@@ -1,0 +1,65 @@
+// Shared helpers for the TRIPS benchmark binaries: canned mall + generator
+// setup and a noisy-fleet factory, so every bench exercises the same
+// simulated venue (the paper's 7-floor mall).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/trips.h"
+
+namespace trips::bench {
+
+/// One self-contained simulation context.
+struct MallContext {
+  std::unique_ptr<dsm::Dsm> dsm;
+  std::unique_ptr<dsm::RoutePlanner> planner;
+  std::unique_ptr<mobility::MobilityGenerator> generator;
+
+  static MallContext Make(int floors = 7, int shops_per_arm = 3) {
+    MallContext ctx;
+    auto mall = dsm::BuildMallDsm({.floors = floors, .shops_per_arm = shops_per_arm});
+    if (!mall.ok()) std::abort();
+    ctx.dsm = std::make_unique<dsm::Dsm>(std::move(mall).ValueOrDie());
+    auto planner = dsm::RoutePlanner::Build(ctx.dsm.get());
+    if (!planner.ok()) std::abort();
+    ctx.planner = std::make_unique<dsm::RoutePlanner>(std::move(planner).ValueOrDie());
+    ctx.generator =
+        std::make_unique<mobility::MobilityGenerator>(ctx.dsm.get(), ctx.planner.get());
+    return ctx;
+  }
+};
+
+/// A generated device plus its degraded observation.
+struct NoisyDevice {
+  mobility::GeneratedDevice truth;
+  positioning::PositioningSequence raw;
+};
+
+/// Generates `count` devices and degrades them with `noise`.
+inline std::vector<NoisyDevice> MakeFleet(const MallContext& ctx, int count,
+                                          const positioning::ErrorModelOptions& noise,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NoisyDevice> fleet;
+  fleet.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto dev = ctx.generator->GenerateDevice("dev-" + std::to_string(i),
+                                             i * kMillisPerMinute, &rng);
+    if (!dev.ok()) std::abort();
+    NoisyDevice nd;
+    nd.truth = std::move(dev).ValueOrDie();
+    nd.raw = positioning::ApplyErrorModel(nd.truth.truth, noise, &rng);
+    fleet.push_back(std::move(nd));
+  }
+  return fleet;
+}
+
+/// Default error model matched to the bench venue's floor count.
+inline positioning::ErrorModelOptions DefaultNoise(int floors) {
+  positioning::ErrorModelOptions noise;
+  noise.floor_count = floors;
+  return noise;
+}
+
+}  // namespace trips::bench

@@ -1,0 +1,136 @@
+// Experiment F2 (paper Fig. 2): the Space Modeler's DSM-creation path.
+// Measures drawing-operation throughput, topology computation cost as the
+// traced space grows, and DSM JSON round-trip cost/size — the three stages of
+// the paper's import -> trace -> tag flow.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace trips;
+
+namespace {
+
+void ReportDsmScaling() {
+  std::printf("=== Fig. 2: DSM creation from traced floorplans ===\n\n");
+  std::printf("%8s %10s %10s %14s %12s\n", "floors", "entities", "regions",
+              "topology_ms", "json_kb");
+  for (int floors : {1, 2, 4, 7, 10, 14}) {
+    auto mall = dsm::BuildMallDsm({.floors = floors, .shops_per_arm = 3});
+    if (!mall.ok()) std::abort();
+    dsm::Dsm d = std::move(mall).ValueOrDie();
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (!d.ComputeTopology().ok()) std::abort();
+    auto t1 = std::chrono::steady_clock::now();
+    double topo_ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+        1000.0;
+
+    std::string json = dsm::ToJson(d).Dump();
+    std::printf("%8d %10zu %10zu %14.2f %12.1f\n", floors, d.entities().size(),
+                d.regions().size(), topo_ms, json.size() / 1024.0);
+  }
+  std::printf("\n");
+}
+
+void BM_DrawingOps(benchmark::State& state) {
+  for (auto _ : state) {
+    config::SpaceModeler modeler;
+    if (!modeler.ImportFloorplan(0, "G", 200, 200).ok()) std::abort();
+    for (int i = 0; i < state.range(0); ++i) {
+      double x = (i % 18) * 11.0;
+      double y = (i / 18 % 18) * 11.0;
+      auto id = modeler.DrawRectangle(dsm::EntityKind::kRoom,
+                                      "room-" + std::to_string(i), 0, x, y, x + 10,
+                                      y + 10);
+      benchmark::DoNotOptimize(id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DrawingOps)->Arg(32)->Arg(128)->Arg(324)->Unit(benchmark::kMillisecond);
+
+void BM_UndoRedo(benchmark::State& state) {
+  config::SpaceModeler modeler;
+  if (!modeler.ImportFloorplan(0, "G", 200, 200).ok()) std::abort();
+  for (int i = 0; i < 64; ++i) {
+    auto id = modeler.DrawRectangle(dsm::EntityKind::kRoom, "r", 0, i, 0, i + 1, 1);
+    benchmark::DoNotOptimize(id);
+  }
+  for (auto _ : state) {
+    if (!modeler.Undo().ok()) std::abort();
+    if (!modeler.Redo().ok()) std::abort();
+  }
+}
+BENCHMARK(BM_UndoRedo)->Unit(benchmark::kMicrosecond);
+
+void BM_ComputeTopology(benchmark::State& state) {
+  auto mall = dsm::BuildMallDsm({.floors = static_cast<int>(state.range(0)),
+                                 .shops_per_arm = 3});
+  if (!mall.ok()) std::abort();
+  dsm::Dsm d = std::move(mall).ValueOrDie();
+  for (auto _ : state) {
+    if (!d.ComputeTopology().ok()) std::abort();
+    benchmark::DoNotOptimize(d.topology());
+  }
+  state.counters["entities"] = static_cast<double>(d.entities().size());
+}
+BENCHMARK(BM_ComputeTopology)->Arg(1)->Arg(4)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_DsmJsonRoundTrip(benchmark::State& state) {
+  auto mall = dsm::BuildMallDsm({.floors = 7, .shops_per_arm = 3});
+  if (!mall.ok()) std::abort();
+  json::Value doc = dsm::ToJson(mall.ValueOrDie());
+  std::string text = doc.Dump();
+  for (auto _ : state) {
+    auto parsed = json::Parse(text);
+    if (!parsed.ok()) std::abort();
+    auto restored = dsm::FromJson(parsed.ValueOrDie());
+    if (!restored.ok()) std::abort();
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_DsmJsonRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionAtQuery(benchmark::State& state) {
+  static bench::MallContext ctx = bench::MallContext::Make(7, 3);
+  Rng rng(5);
+  std::vector<geo::IndoorPoint> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back({rng.Uniform(0, 100), rng.Uniform(0, 60),
+                      static_cast<geo::FloorId>(rng.UniformInt(0, 6))});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.dsm->PartitionAt(points[i++ % points.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionAtQuery);
+
+void BM_RoutePlanning(benchmark::State& state) {
+  static bench::MallContext ctx = bench::MallContext::Make(7, 3);
+  Rng rng(6);
+  for (auto _ : state) {
+    geo::IndoorPoint a{rng.Uniform(2, 98), rng.Uniform(26, 34),
+                       static_cast<geo::FloorId>(rng.UniformInt(0, 6))};
+    geo::IndoorPoint b{rng.Uniform(2, 98), rng.Uniform(26, 34),
+                       static_cast<geo::FloorId>(rng.UniformInt(0, 6))};
+    benchmark::DoNotOptimize(ctx.planner->FindRoute(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutePlanning)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReportDsmScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

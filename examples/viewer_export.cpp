@@ -1,0 +1,87 @@
+// Viewer showcase: renders one translated device every way the Viewer can —
+// per-floor SVG maps with visibility toggles and time windows, the timeline
+// abstraction under both display-point policies, an ASCII map for terminals,
+// and the standalone HTML export.
+//
+//   ./viewer_export [output_dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/trips.h"
+
+using namespace trips;
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : "viewer_out";
+  std::filesystem::create_directories(out_dir);
+
+  auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+  if (!mall.ok()) return 1;
+  auto planner = dsm::RoutePlanner::Build(&mall.ValueOrDie());
+  if (!planner.ok()) return 1;
+
+  mobility::MobilityGenerator generator(&mall.ValueOrDie(), &planner.ValueOrDie());
+  Rng rng(99);
+  auto device = generator.GenerateDevice("3a.6f.14", 0, &rng);
+  if (!device.ok()) return 1;
+  positioning::ErrorModelOptions noise;
+  noise.floor_count = 2;
+  positioning::PositioningSequence raw =
+      positioning::ApplyErrorModel(device->truth, noise, &rng);
+
+  core::Translator translator(&mall.ValueOrDie());
+  if (!translator.Init().ok()) return 1;
+  auto results = translator.TranslateAll({raw});
+  if (!results.ok()) return 1;
+  const core::TranslationResult& r = (*results)[0];
+
+  // All four mobility data sequences of §3 on one canvas.
+  viewer::MapRenderer renderer(&mall.ValueOrDie());
+  renderer.AddTimeline(viewer::Timeline::FromPositioning(r.raw, "raw"));
+  renderer.AddTimeline(viewer::Timeline::FromPositioning(r.cleaned, "cleaned"));
+  renderer.AddTimeline(viewer::Timeline::FromPositioning(device->truth, "truth"));
+  renderer.AddTimeline(viewer::Timeline::FromSemantics(
+      r.semantics, r.cleaned, viewer::DisplayPointPolicy::kTemporalMiddle,
+      "semantics"));
+
+  // Per-floor SVGs.
+  for (const dsm::Floor& floor : mall->floors()) {
+    std::string path = out_dir + "/floor_" + floor.name + ".svg";
+    if (!renderer.WriteFloorSvg(floor.id, path).ok()) return 1;
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  // Visibility control: hide the noisy raw data, keep cleaned + semantics.
+  viewer::MapViewOptions clean_only;
+  clean_only.visible["raw"] = false;
+  clean_only.visible["truth"] = false;
+  renderer.WriteFloorSvg(0, out_dir + "/floor_1F_clean_only.svg", clean_only);
+  std::printf("wrote %s/floor_1F_clean_only.svg (raw/truth hidden)\n",
+              out_dir.c_str());
+
+  // Timeline control: zoom to the first semantics entry's time range.
+  if (!r.semantics.Empty()) {
+    viewer::MapViewOptions windowed;
+    windowed.window = r.semantics.semantics.front().range;
+    renderer.WriteFloorSvg(0, out_dir + "/floor_1F_first_entry.svg", windowed);
+    std::printf("wrote %s/floor_1F_first_entry.svg (windowed)\n", out_dir.c_str());
+  }
+
+  // The HTML bundle (map views + timeline listing).
+  viewer::HtmlExportOptions html;
+  html.title = "TRIPS viewer export: 3a.6f.14";
+  if (!viewer::WriteHtml(*mall, renderer, out_dir + "/view.html", html).ok()) {
+    return 1;
+  }
+  std::printf("wrote %s/view.html\n", out_dir.c_str());
+
+  // Terminal rendering.
+  std::vector<viewer::Timeline> for_ascii;
+  for_ascii.push_back(viewer::Timeline::FromSemantics(
+      r.semantics, r.cleaned, viewer::DisplayPointPolicy::kSpatialCenter,
+      "semantics"));
+  std::printf("\nfloor 1F (ASCII, * = semantics display points):\n%s\n",
+              viewer::RenderFloorAscii(*mall, 0, for_ascii).c_str());
+  std::printf("%s", viewer::RenderTimelineText(r.semantics).c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "annotation/annotator.h"
+
+namespace trips::annotation {
+
+namespace {
+
+// Shared post-processing: merge equal-adjacent triplets, drop short ones.
+void Postprocess(const AnnotatorOptions& options,
+                 core::MobilitySemanticsSequence* seq) {
+  if (options.merge_adjacent && seq->semantics.size() > 1) {
+    std::vector<core::MobilitySemantic> merged;
+    for (core::MobilitySemantic& s : seq->semantics) {
+      if (!merged.empty() && merged.back().event == s.event &&
+          merged.back().region == s.region &&
+          s.range.begin - merged.back().range.end <= options.merge_max_gap) {
+        merged.back().range.end = s.range.end;
+      } else {
+        merged.push_back(std::move(s));
+      }
+    }
+    seq->semantics = std::move(merged);
+  }
+  if (options.min_duration > 0) {
+    std::vector<core::MobilitySemantic> kept;
+    for (core::MobilitySemantic& s : seq->semantics) {
+      if (s.range.Duration() >= options.min_duration) kept.push_back(std::move(s));
+    }
+    seq->semantics = std::move(kept);
+  }
+}
+
+// Builds one triplet from a snippet, or returns false to drop it.
+bool MakeTriplet(const positioning::PositioningSequence& seq, const Snippet& snip,
+                 const SpatialMatcher& matcher, const AnnotatorOptions& options,
+                 const std::string& event, core::MobilitySemantic* out) {
+  SpatialMatch match = matcher.Match(seq, snip.begin, snip.end);
+  if (match.region == dsm::kInvalidRegion && options.drop_unmatched) return false;
+  out->event = event;
+  out->region = match.region;
+  out->region_name = match.region_name;
+  out->range = {seq.records[snip.begin].timestamp,
+                seq.records[snip.end - 1].timestamp};
+  out->inferred = false;
+  return true;
+}
+
+}  // namespace
+
+Annotator::Annotator(const dsm::Dsm* dsm, const EventClassifier* classifier,
+                     AnnotatorOptions options)
+    : dsm_(dsm),
+      classifier_(classifier),
+      options_(options),
+      matcher_(dsm, options.matcher) {}
+
+core::MobilitySemanticsSequence Annotator::Annotate(
+    const positioning::PositioningSequence& cleaned) const {
+  core::MobilitySemanticsSequence out;
+  out.device_id = cleaned.device_id;
+  std::vector<Snippet> snippets = SplitSequence(cleaned, options_.splitter);
+  for (const Snippet& snip : snippets) {
+    if (snip.Size() < 2) continue;
+    FeatureVector features = ExtractFeatures(cleaned, snip.begin, snip.end);
+    std::string event = classifier_->Identify(features);
+    core::MobilitySemantic triplet;
+    if (MakeTriplet(cleaned, snip, matcher_, options_, event, &triplet)) {
+      out.semantics.push_back(std::move(triplet));
+    }
+  }
+  Postprocess(options_, &out);
+  return out;
+}
+
+StopMoveBaseline::StopMoveBaseline(const dsm::Dsm* dsm, AnnotatorOptions options,
+                                   double stop_speed)
+    : dsm_(dsm),
+      options_(options),
+      stop_speed_(stop_speed),
+      matcher_(dsm, options.matcher) {}
+
+core::MobilitySemanticsSequence StopMoveBaseline::Annotate(
+    const positioning::PositioningSequence& cleaned) const {
+  core::MobilitySemanticsSequence out;
+  out.device_id = cleaned.device_id;
+  std::vector<Snippet> snippets = SplitSequence(cleaned, options_.splitter);
+  for (const Snippet& snip : snippets) {
+    if (snip.Size() < 2) continue;
+    FeatureVector features = ExtractFeatures(cleaned, snip.begin, snip.end);
+    // The two-pattern vocabulary of the prior GPS systems: stop or move.
+    std::string event =
+        features[kMeanSpeed] < stop_speed_ ? core::kEventStay : core::kEventPassBy;
+    core::MobilitySemantic triplet;
+    if (MakeTriplet(cleaned, snip, matcher_, options_, event, &triplet)) {
+      out.semantics.push_back(std::move(triplet));
+    }
+  }
+  Postprocess(options_, &out);
+  return out;
+}
+
+}  // namespace trips::annotation

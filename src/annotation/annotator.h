@@ -1,0 +1,70 @@
+// Mobility Semantics Annotator — the Annotation layer of the framework (§2,
+// §3): "reads the cleaned sequence from the Raw Data Cleaner, and extracts a
+// sequence of mobility semantics by matching proper annotations according to
+// the relevant contexts (i.e., semantic regions and mobility events)."
+#pragma once
+
+#include <vector>
+
+#include "annotation/event_classifier.h"
+#include "annotation/spatial_matcher.h"
+#include "annotation/splitter.h"
+#include "core/semantics.h"
+#include "positioning/record.h"
+
+namespace trips::annotation {
+
+/// Options of the annotator.
+struct AnnotatorOptions {
+  SplitterOptions splitter;
+  SpatialMatcherOptions matcher;
+  /// Drop snippets that match no semantic region at all.
+  bool drop_unmatched = true;
+  /// Merge consecutive triplets with equal (event, region)...
+  bool merge_adjacent = true;
+  /// ...but only when separated by at most this much time; merging across a
+  /// longer hole would hide a data gap the Complementing layer should fill.
+  DurationMs merge_max_gap = 30 * kMillisPerSecond;
+  /// Minimum triplet duration; shorter ones are dropped.
+  DurationMs min_duration = 5 * kMillisPerSecond;
+};
+
+/// Produces mobility semantics from cleaned positioning sequences.
+class Annotator {
+ public:
+  /// `dsm` and `classifier` must outlive the annotator. The classifier may be
+  /// untrained (rule-based identification is used then).
+  Annotator(const dsm::Dsm* dsm, const EventClassifier* classifier,
+            AnnotatorOptions options = {});
+
+  /// Annotates one cleaned sequence into its mobility semantics sequence.
+  core::MobilitySemanticsSequence Annotate(
+      const positioning::PositioningSequence& cleaned) const;
+
+ private:
+  const dsm::Dsm* dsm_;
+  const EventClassifier* classifier_;
+  AnnotatorOptions options_;
+  SpatialMatcher matcher_;
+};
+
+/// Baseline annotator implementing the stop/move scheme of the prior GPS
+/// systems TRIPS compares against ([10, 12] in the paper): snippets whose
+/// mean speed is below `stop_speed` become "stay", everything else "pass-by".
+/// Spatial matching is shared with the TRIPS annotator.
+class StopMoveBaseline {
+ public:
+  StopMoveBaseline(const dsm::Dsm* dsm, AnnotatorOptions options = {},
+                   double stop_speed = 0.5);
+
+  core::MobilitySemanticsSequence Annotate(
+      const positioning::PositioningSequence& cleaned) const;
+
+ private:
+  const dsm::Dsm* dsm_;
+  AnnotatorOptions options_;
+  double stop_speed_;
+  SpatialMatcher matcher_;
+};
+
+}  // namespace trips::annotation

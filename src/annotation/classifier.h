@@ -1,0 +1,60 @@
+// Common interface of the learning-based identification models (§3: "a
+// learning-based identification model, for which the training mobility event
+// data is collected through the Event Editor"). All models are implemented
+// from scratch in this repository.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace trips::annotation {
+
+/// A training/inference sample: dense feature values.
+using Sample = std::vector<double>;
+
+/// Multiclass classifier over dense feature vectors.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model. `labels[i]` is the class of `samples[i]`, in
+  /// [0, num_classes). Fails on empty or ragged input.
+  virtual Status Train(const std::vector<Sample>& samples,
+                       const std::vector<int>& labels, int num_classes) = 0;
+
+  /// Predicts the most likely class for `x`; undefined before Train succeeds.
+  virtual int Predict(const Sample& x) const = 0;
+
+  /// Per-class probability estimates (sums to 1).
+  virtual std::vector<double> PredictProba(const Sample& x) const = 0;
+
+  /// Model family name, e.g. "decision_tree".
+  virtual std::string Name() const = 0;
+
+  /// Number of classes the model was trained with (0 before training).
+  virtual int NumClasses() const = 0;
+};
+
+/// Simple holdout accuracy of a trained classifier.
+double Accuracy(const Classifier& model, const std::vector<Sample>& samples,
+                const std::vector<int>& labels);
+
+/// Per-class precision/recall/F1.
+struct ClassMetrics {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  size_t support = 0;
+};
+
+/// Computes per-class metrics of a trained classifier on a labeled set.
+std::vector<ClassMetrics> EvaluatePerClass(const Classifier& model,
+                                           const std::vector<Sample>& samples,
+                                           const std::vector<int>& labels,
+                                           int num_classes);
+
+}  // namespace trips::annotation

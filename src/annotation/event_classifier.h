@@ -1,0 +1,82 @@
+// Event identification: maps snippet features to mobility event names. Wraps
+// a learning model (decision tree / random forest / logistic regression)
+// trained on the segments designated in the Event Editor, with a rule-based
+// fallback for the cold-start case (no training data yet).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotation/classifier.h"
+#include "annotation/features.h"
+#include "config/event_editor.h"
+#include "json/json.h"
+#include "util/result.h"
+
+namespace trips::annotation {
+
+/// Which learning model family the identifier uses.
+enum class ModelKind { kDecisionTree, kRandomForest, kLogisticRegression, kKnn };
+
+/// Short name of a model kind ("random_forest", ...).
+const char* ModelKindName(ModelKind kind);
+
+/// Options of the event identifier.
+struct EventClassifierOptions {
+  ModelKind model = ModelKind::kRandomForest;
+  /// Predictions below this probability fall back to "unknown".
+  double min_confidence = 0.0;
+};
+
+/// Learning-based mobility event identifier.
+class EventClassifier {
+ public:
+  explicit EventClassifier(EventClassifierOptions options = {});
+
+  /// Trains on the Event Editor's designated segments. Fails when fewer than
+  /// two distinct event patterns have segments.
+  Status Train(const std::vector<config::LabeledSegment>& training_data);
+
+  /// Identifies the event of a snippet given its features. Before Train (or
+  /// when confidence is too low) returns the rule-based identification.
+  std::string Identify(const FeatureVector& features) const;
+
+  /// Identification plus the winning probability (1.0 for rule-based).
+  std::pair<std::string, double> IdentifyWithConfidence(
+      const FeatureVector& features) const;
+
+  /// Heuristic cold-start identification: long low-motion snippets are
+  /// stays, directed crossings are pass-bys, the rest wander.
+  static std::string RuleBasedIdentify(const FeatureVector& features);
+
+  /// Serializes the trained identifier (model + event vocabulary) so the
+  /// backend can reuse it "in other translation tasks in the same indoor
+  /// space" (§4). Fails when untrained.
+  Result<json::Value> ToJson() const;
+  /// Restores an identifier serialized with ToJson.
+  static Result<EventClassifier> FromJson(const json::Value& value);
+  /// File-based convenience wrappers around ToJson/FromJson.
+  Status SaveToFile(const std::string& path) const;
+  static Result<EventClassifier> LoadFromFile(const std::string& path);
+
+  /// True after a successful Train call.
+  bool trained() const { return model_ != nullptr; }
+  /// Event names in class-id order (empty before training).
+  const std::vector<std::string>& event_names() const { return event_names_; }
+  /// The underlying model (null before training).
+  const Classifier* model() const { return model_.get(); }
+
+ private:
+  EventClassifierOptions options_;
+  std::unique_ptr<Classifier> model_;
+  std::vector<std::string> event_names_;
+};
+
+/// Builds (features, class-id) training matrices from labeled segments using
+/// the given event vocabulary. Exposed for benches and tests.
+void BuildTrainingMatrix(const std::vector<config::LabeledSegment>& segments,
+                         const std::vector<std::string>& vocabulary,
+                         std::vector<Sample>* samples, std::vector<int>* labels);
+
+}  // namespace trips::annotation

@@ -1,0 +1,59 @@
+#include "annotation/spatial_matcher.h"
+
+#include <map>
+
+namespace trips::annotation {
+
+SpatialMatcher::SpatialMatcher(const dsm::Dsm* dsm, SpatialMatcherOptions options)
+    : dsm_(dsm), options_(options) {}
+
+SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
+                                   size_t begin, size_t end) const {
+  SpatialMatch out;
+  if (end > seq.records.size()) end = seq.records.size();
+  if (begin >= end) return out;
+
+  // Each record votes with the time it "owns": half the gap to each
+  // neighbouring record (1 for singletons).
+  std::map<dsm::RegionId, double> votes;
+  double total = 0;
+  for (size_t i = begin; i < end; ++i) {
+    double weight = 0;
+    if (i > begin) {
+      weight +=
+          static_cast<double>(seq.records[i].timestamp - seq.records[i - 1].timestamp) /
+          2;
+    }
+    if (i + 1 < end) {
+      weight +=
+          static_cast<double>(seq.records[i + 1].timestamp - seq.records[i].timestamp) /
+          2;
+    }
+    if (weight <= 0) weight = 1;
+    dsm::RegionId rid = dsm_->RegionAt(seq.records[i].location);
+    votes[rid] += weight;
+    total += weight;
+  }
+
+  dsm::RegionId best = dsm::kInvalidRegion;
+  double best_votes = 0;
+  for (const auto& [rid, v] : votes) {
+    if (rid == dsm::kInvalidRegion) continue;
+    if (v > best_votes) {
+      best_votes = v;
+      best = rid;
+    }
+  }
+  if (best == dsm::kInvalidRegion || total <= 0) return out;
+  double coverage = best_votes / total;
+  if (coverage < options_.min_coverage) return out;
+
+  out.region = best;
+  out.coverage = coverage;
+  if (const dsm::SemanticRegion* r = dsm_->GetRegion(best)) {
+    out.region_name = r->name;
+  }
+  return out;
+}
+
+}  // namespace trips::annotation

@@ -1,0 +1,107 @@
+#include "annotation/splitter.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace trips::annotation {
+
+using positioning::PositioningSequence;
+
+namespace {
+
+// Collects indices of the spatio-temporal neighbours of record i. Records are
+// time-sorted, so the temporal window bounds the scan.
+std::vector<size_t> Neighbours(const PositioningSequence& seq, size_t i,
+                               const SplitterOptions& opt) {
+  std::vector<size_t> out;
+  const auto& records = seq.records;
+  const auto& ri = records[i];
+  // Scan backwards (excluding self).
+  for (size_t j = i; j-- > 0;) {
+    if (ri.timestamp - records[j].timestamp > opt.eps_time) break;
+    if (records[j].location.floor == ri.location.floor &&
+        records[j].location.PlanarDistanceTo(ri.location) <= opt.eps_space) {
+      out.push_back(j);
+    }
+  }
+  // Scan forwards.
+  for (size_t j = i + 1; j < records.size(); ++j) {
+    if (records[j].timestamp - ri.timestamp > opt.eps_time) break;
+    if (records[j].location.floor == ri.location.floor &&
+        records[j].location.PlanarDistanceTo(ri.location) <= opt.eps_space) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
+                                   const SplitterOptions& options) {
+  std::vector<Snippet> snippets;
+  const size_t n = seq.records.size();
+  if (n < 2) return snippets;
+
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  std::vector<int> label(n, kUnvisited);
+  int next_cluster = 0;
+
+  // Sequential DBSCAN.
+  for (size_t i = 0; i < n; ++i) {
+    if (label[i] != kUnvisited) continue;
+    std::vector<size_t> nb = Neighbours(seq, i, options);
+    if (nb.size() + 1 < options.min_pts) {
+      label[i] = kNoise;
+      continue;
+    }
+    int cluster = next_cluster++;
+    label[i] = cluster;
+    std::queue<size_t> frontier;
+    for (size_t j : nb) frontier.push(j);
+    while (!frontier.empty()) {
+      size_t j = frontier.front();
+      frontier.pop();
+      if (label[j] == kNoise) label[j] = cluster;  // border point
+      if (label[j] != kUnvisited) continue;
+      label[j] = cluster;
+      std::vector<size_t> nb2 = Neighbours(seq, j, options);
+      if (nb2.size() + 1 >= options.min_pts) {
+        for (size_t k : nb2) {
+          if (label[k] == kUnvisited || label[k] == kNoise) frontier.push(k);
+        }
+      }
+    }
+  }
+
+  // Maximal time-contiguous runs of equal label become snippets.
+  size_t run_begin = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || label[i] != label[run_begin]) {
+      Snippet s;
+      s.begin = run_begin;
+      s.end = i;
+      s.dense = label[run_begin] >= 0;
+      snippets.push_back(s);
+      run_begin = i;
+    }
+  }
+
+  // Merge too-short runs into the preceding snippet.
+  if (options.min_snippet > 0 && snippets.size() > 1) {
+    std::vector<Snippet> merged;
+    for (const Snippet& s : snippets) {
+      DurationMs dur = seq.records[s.end - 1].timestamp - seq.records[s.begin].timestamp;
+      if (!merged.empty() && dur < options.min_snippet) {
+        merged.back().end = s.end;
+      } else {
+        merged.push_back(s);
+      }
+    }
+    snippets = std::move(merged);
+  }
+  return snippets;
+}
+
+}  // namespace trips::annotation

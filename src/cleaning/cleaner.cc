@@ -1,0 +1,245 @@
+#include "cleaning/cleaner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace trips::cleaning {
+
+using positioning::PositioningSequence;
+using positioning::RawRecord;
+
+RawDataCleaner::RawDataCleaner(const dsm::Dsm* dsm, const dsm::RoutePlanner* planner,
+                               CleanerOptions options)
+    : dsm_(dsm), planner_(planner), options_(options) {}
+
+double RawDataCleaner::MinIndoorDistance(const geo::IndoorPoint& a,
+                                         const geo::IndoorPoint& b) const {
+  double planar = a.PlanarDistanceTo(b);
+  double vertical =
+      options_.floor_change_penalty * std::abs(a.floor - b.floor);
+  return planar + vertical;
+}
+
+bool RawDataCleaner::NearVerticalConnector(const geo::Point2& p) const {
+  for (const dsm::Entity& e : dsm_->entities()) {
+    if (!dsm::IsVerticalKind(e.kind)) continue;
+    if (e.shape.Contains(p) ||
+        e.shape.BoundaryDistanceTo(p) <= options_.vertical_connector_slack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RawDataCleaner::ViolatesSpeed(const geo::IndoorPoint& a, const geo::IndoorPoint& b,
+                                   DurationMs dt_ms) const {
+  if (dt_ms <= 0) return false;  // co-timestamped records carry no speed signal
+  double dist = a.PlanarDistanceTo(b);
+  if (a.floor != b.floor) {
+    // Floor changes at a staircase/elevator are legitimate transitions and
+    // cost only the planar approach; anywhere else they are charged the full
+    // per-floor penalty, which makes them violate the speed constraint at
+    // common sampling rates (the DSM-captured mobility constraint).
+    bool at_connector =
+        NearVerticalConnector(a.xy) && NearVerticalConnector(b.xy);
+    if (!at_connector) {
+      dist += options_.floor_change_penalty * std::abs(a.floor - b.floor);
+    }
+  }
+  double speed = dist / (static_cast<double>(dt_ms) / 1000.0);
+  return speed > options_.max_walking_speed;
+}
+
+PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
+                                          CleaningReport* report) const {
+  CleaningReport local;
+  CleaningReport* rep = report != nullptr ? report : &local;
+  *rep = CleaningReport{};
+  rep->total_records = raw.records.size();
+
+  PositioningSequence out;
+  out.device_id = raw.device_id;
+  out.records = raw.records;
+  out.SortByTime();
+  if (out.records.size() < 2) return out;
+
+  const size_t n = out.records.size();
+
+  // Pass 1: speed-constraint scan against the last accepted record. A floor
+  // change is only accepted as a legitimate transition when it happens at a
+  // vertical connector AND the new floor is corroborated by the next few
+  // records; otherwise floor value correction adopts the anchor floor when
+  // the local consensus supports it, and remaining violators are marked
+  // invalid for interpolation.
+  //
+  // Majority floor of the (up to) three records following i; falls back to
+  // record i's own floor when no successors exist.
+  auto local_floor_consensus = [&](size_t i) {
+    std::map<geo::FloorId, int> votes;
+    for (size_t j = i + 1; j < std::min(n, i + 4); ++j) {
+      ++votes[out.records[j].location.floor];
+    }
+    geo::FloorId best = out.records[i].location.floor;
+    int best_votes = 0;
+    for (const auto& [floor, v] : votes) {
+      if (v > best_votes) {
+        best_votes = v;
+        best = floor;
+      }
+    }
+    return best;
+  };
+  std::vector<bool> invalid(n, false);
+  // Seed the anchor at the first record that is speed-consistent with its
+  // successor; everything before it (e.g. a bad first fix) is invalid.
+  size_t first_anchor = 0;
+  for (size_t s = 0; s + 1 < n && s < 8; ++s) {
+    const RawRecord& a = out.records[s];
+    const RawRecord& b = out.records[s + 1];
+    if (!ViolatesSpeed(a.location, b.location, b.timestamp - a.timestamp)) {
+      first_anchor = s;
+      break;
+    }
+    first_anchor = s + 1;
+  }
+  for (size_t i = 0; i < first_anchor; ++i) {
+    invalid[i] = true;
+    ++rep->speed_violations;
+  }
+  size_t last_ok = first_anchor;
+  for (size_t i = first_anchor + 1; i < n; ++i) {
+    const RawRecord& prev = out.records[last_ok];
+    RawRecord& cur = out.records[i];
+    DurationMs dt = cur.timestamp - prev.timestamp;
+    double planar_speed =
+        dt > 0 ? prev.location.PlanarDistanceTo(cur.location) /
+                     (static_cast<double>(dt) / 1000.0)
+               : 0;
+    bool planar_ok = planar_speed <= options_.max_walking_speed;
+
+    if (cur.location.floor == prev.location.floor) {
+      if (planar_ok) {
+        last_ok = i;
+      } else {
+        ++rep->speed_violations;
+        invalid[i] = true;
+      }
+      continue;
+    }
+
+    // Floor change against the anchor.
+    geo::FloorId consensus = local_floor_consensus(i);
+    bool at_connector = NearVerticalConnector(prev.location.xy) &&
+                        NearVerticalConnector(cur.location.xy);
+    if (at_connector && planar_ok && cur.location.floor == consensus) {
+      last_ok = i;  // legitimate, corroborated transition
+      continue;
+    }
+    ++rep->speed_violations;
+    if (planar_ok && consensus == prev.location.floor) {
+      // The anchor and upcoming records agree: this record's floor is wrong.
+      cur.location.floor = prev.location.floor;
+      ++rep->floor_corrected;
+      last_ok = i;
+    } else if (planar_ok && cur.location.floor == consensus) {
+      // Upcoming records side with this record: the anchor's floor was the
+      // odd one out; accept and resume from here.
+      last_ok = i;
+    } else {
+      invalid[i] = true;
+    }
+  }
+
+  // Pass 2: location interpolation for invalid runs between accepted anchors,
+  // along the indoor route between the anchors when available.
+  size_t i = 0;
+  while (i < n) {
+    if (!invalid[i]) {
+      ++i;
+      continue;
+    }
+    size_t run_begin = i;
+    size_t run_end = i;
+    while (run_end + 1 < n && invalid[run_end + 1]) ++run_end;
+
+    bool has_prev = run_begin > 0;
+    bool has_next = run_end + 1 < n;
+    if (has_prev && has_next) {
+      const RawRecord& a = out.records[run_begin - 1];
+      const RawRecord& b = out.records[run_end + 1];
+      dsm::Route route;
+      bool have_route = false;
+      if (options_.interpolate_along_routes && planner_ != nullptr) {
+        geo::IndoorPoint src = options_.snap_to_walkable
+                                   ? dsm_->SnapToWalkable(a.location)
+                                   : a.location;
+        geo::IndoorPoint dst = options_.snap_to_walkable
+                                   ? dsm_->SnapToWalkable(b.location)
+                                   : b.location;
+        Result<dsm::Route> r = planner_->FindRoute(src, dst);
+        if (r.ok()) {
+          route = std::move(r).ValueOrDie();
+          have_route = true;
+        }
+      }
+      DurationMs span = b.timestamp - a.timestamp;
+      for (size_t k = run_begin; k <= run_end; ++k) {
+        RawRecord& rec = out.records[k];
+        double t = span > 0 ? static_cast<double>(rec.timestamp - a.timestamp) /
+                                  static_cast<double>(span)
+                            : 0.5;
+        if (have_route) {
+          rec.location = route.PointAtDistance(route.distance * t);
+        } else {
+          rec.location.xy = a.location.xy + (b.location.xy - a.location.xy) * t;
+          rec.location.floor = t < 0.5 ? a.location.floor : b.location.floor;
+        }
+        ++rep->interpolated;
+      }
+    } else {
+      // Leading/trailing run without both anchors: clamp to the one anchor.
+      const RawRecord& anchor =
+          has_prev ? out.records[run_begin - 1] : out.records[run_end + 1];
+      for (size_t k = run_begin; k <= run_end; ++k) {
+        out.records[k].location = anchor.location;
+        ++rep->interpolated;
+      }
+    }
+    i = run_end + 1;
+  }
+
+  // Pass 3: optional planar smoothing (centred moving average per floor run).
+  if (options_.smoothing_window > 1) {
+    std::vector<geo::Point2> smoothed(n);
+    size_t half = options_.smoothing_window / 2;
+    for (size_t k = 0; k < n; ++k) {
+      size_t lo = k >= half ? k - half : 0;
+      size_t hi = std::min(n - 1, k + half);
+      geo::Point2 sum;
+      int count = 0;
+      for (size_t j = lo; j <= hi; ++j) {
+        if (out.records[j].location.floor != out.records[k].location.floor) continue;
+        sum = sum + out.records[j].location.xy;
+        ++count;
+      }
+      smoothed[k] = count > 0 ? sum / count : out.records[k].location.xy;
+      if (count > 1) ++rep->smoothed;
+    }
+    for (size_t k = 0; k < n; ++k) out.records[k].location.xy = smoothed[k];
+  }
+
+  // Pass 4: snap anything left outside walkable space back in.
+  if (options_.snap_to_walkable) {
+    for (RawRecord& rec : out.records) {
+      if (!dsm_->IsWalkable(rec.location)) {
+        rec.location = dsm_->SnapToWalkable(rec.location);
+        ++rep->snapped;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace trips::cleaning

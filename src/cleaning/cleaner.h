@@ -1,0 +1,90 @@
+// Raw Data Cleaner — the Cleaning layer of the three-layer translation
+// framework (§3): "the invalid positioning records are identified by checking
+// the speeds between consecutive positioning records based on the minimum
+// indoor walking distance [13]. An invalid positioning record is repaired in
+// two steps. A floor value correction fixes an error in that record's floor
+// value. If the speed constraint violation still occurs after the correction,
+// a location interpolation is performed by deriving the possible locations at
+// the time of that record based on the indoor geometrical and topological
+// information captured by the DSM."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "dsm/routing.h"
+#include "positioning/record.h"
+#include "util/result.h"
+
+namespace trips::cleaning {
+
+/// Tuning knobs of the cleaner.
+struct CleanerOptions {
+  /// Maximum plausible indoor walking speed (m/s). Consecutive records whose
+  /// implied speed exceeds this violate the speed constraint.
+  double max_walking_speed = 3.0;
+  /// Metres charged per floor difference when computing the minimum indoor
+  /// walking distance between records on different floors.
+  double floor_change_penalty = 15.0;
+  /// Floor changes within this distance of a staircase/elevator footprint are
+  /// legitimate transitions: the floor penalty is waived there. Changes away
+  /// from every vertical connector are physically impossible and flag the
+  /// record as invalid (the DSM-captured indoor mobility constraint).
+  double vertical_connector_slack = 4.0;
+  /// Use the DSM route distance between repair anchors so interpolated
+  /// locations follow walkable paths; falls back to straight lines when no
+  /// route exists.
+  bool interpolate_along_routes = true;
+  /// Snap repaired/cleaned locations that fall outside every walkable
+  /// partition back onto the nearest walkable boundary.
+  bool snap_to_walkable = true;
+  /// Optional planar smoothing: centred moving average over this many
+  /// records (0 or 1 disables). Reduces isotropic positioning noise without
+  /// displacing dwell clusters.
+  size_t smoothing_window = 0;
+};
+
+/// Counters describing what the cleaner did to one sequence.
+struct CleaningReport {
+  size_t total_records = 0;
+  size_t speed_violations = 0;   ///< records that violated the speed constraint
+  size_t floor_corrected = 0;    ///< repaired by floor value correction alone
+  size_t interpolated = 0;       ///< repaired by DSM-guided location interpolation
+  size_t snapped = 0;            ///< nudged back into walkable space
+  size_t smoothed = 0;           ///< records touched by the smoothing filter
+};
+
+/// Cleans raw positioning sequences against a DSM.
+class RawDataCleaner {
+ public:
+  /// `dsm` must have topology computed; `planner` may be null when
+  /// interpolate_along_routes is false. Both must outlive the cleaner.
+  RawDataCleaner(const dsm::Dsm* dsm, const dsm::RoutePlanner* planner,
+                 CleanerOptions options = {});
+
+  /// Returns the cleaned copy of `raw` (same record count and timestamps;
+  /// locations repaired). `report` may be null.
+  positioning::PositioningSequence Clean(const positioning::PositioningSequence& raw,
+                                         CleaningReport* report = nullptr) const;
+
+  /// The minimum indoor walking distance between two located records,
+  /// including the floor-change penalty — the quantity the speed constraint
+  /// checks.
+  double MinIndoorDistance(const geo::IndoorPoint& a, const geo::IndoorPoint& b) const;
+
+  const CleanerOptions& options() const { return options_; }
+
+ private:
+  // True iff moving a->b within `dt_ms` violates the speed constraint.
+  bool ViolatesSpeed(const geo::IndoorPoint& a, const geo::IndoorPoint& b,
+                     DurationMs dt_ms) const;
+  // True iff the planar point sits on/near a vertical connector footprint.
+  bool NearVerticalConnector(const geo::Point2& p) const;
+
+  const dsm::Dsm* dsm_;
+  const dsm::RoutePlanner* planner_;
+  CleanerOptions options_;
+};
+
+}  // namespace trips::cleaning

@@ -1,0 +1,85 @@
+#include "complement/knowledge.h"
+
+namespace trips::complement {
+
+double MobilityKnowledge::TransitionProb(dsm::RegionId a, dsm::RegionId b) const {
+  auto row = transition_prob.find(a);
+  if (row == transition_prob.end()) return 0;
+  auto cell = row->second.find(b);
+  return cell != row->second.end() ? cell->second : 0;
+}
+
+MobilityKnowledge MobilityKnowledge::Uniform(const dsm::Dsm& dsm) {
+  MobilityKnowledge k;
+  const size_t n = dsm.regions().size();
+  for (const dsm::SemanticRegion& r : dsm.regions()) {
+    std::vector<dsm::RegionId> adj = dsm.AdjacentRegions(r.id);
+    if (!adj.empty()) {
+      double p = 1.0 / static_cast<double>(adj.size());
+      for (dsm::RegionId b : adj) k.transition_prob[r.id][b] = p;
+    }
+    if (n > 0) k.popularity[r.id] = 1.0 / static_cast<double>(n);
+    k.mean_dwell[r.id] = 2 * kMillisPerMinute;
+  }
+  return k;
+}
+
+void KnowledgeBuilder::AddSequence(const core::MobilitySemanticsSequence& seq) {
+  ++sequences_;
+  dsm::RegionId prev = dsm::kInvalidRegion;
+  for (const core::MobilitySemantic& s : seq.semantics) {
+    if (s.region == dsm::kInvalidRegion) continue;
+    ++visits_[s.region];
+    dwell_sum_[s.region] += s.range.Duration();
+    if (prev != dsm::kInvalidRegion && prev != s.region) {
+      ++counts_[prev][s.region];
+    }
+    prev = s.region;
+  }
+}
+
+MobilityKnowledge KnowledgeBuilder::Build(double smoothing) const {
+  MobilityKnowledge k;
+
+  // Transition rows: observed counts + smoothing mass over DSM-adjacent
+  // successors.
+  std::map<dsm::RegionId, std::map<dsm::RegionId, double>> mass;
+  for (const auto& [a, row] : counts_) {
+    for (const auto& [b, c] : row) {
+      mass[a][b] += static_cast<double>(c);
+      k.observed_transitions += c;
+    }
+  }
+  if (smoothing > 0 && dsm_ != nullptr) {
+    for (const dsm::SemanticRegion& r : dsm_->regions()) {
+      for (dsm::RegionId b : dsm_->AdjacentRegions(r.id)) {
+        mass[r.id][b] += smoothing;
+      }
+    }
+  }
+  for (const auto& [a, row] : mass) {
+    double total = 0;
+    for (const auto& [b, m] : row) total += m;
+    if (total <= 0) continue;
+    for (const auto& [b, m] : row) k.transition_prob[a][b] = m / total;
+  }
+
+  // Popularity.
+  size_t total_visits = 0;
+  for (const auto& [r, v] : visits_) total_visits += v;
+  if (total_visits > 0) {
+    for (const auto& [r, v] : visits_) {
+      k.popularity[r] =
+          static_cast<double>(v) / static_cast<double>(total_visits);
+    }
+  }
+
+  // Mean dwell.
+  for (const auto& [r, sum] : dwell_sum_) {
+    size_t v = visits_.count(r) ? visits_.at(r) : 0;
+    k.mean_dwell[r] = v > 0 ? sum / static_cast<DurationMs>(v) : 0;
+  }
+  return k;
+}
+
+}  // namespace trips::complement

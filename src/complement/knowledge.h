@@ -1,0 +1,60 @@
+// Mobility-knowledge construction — first half of the Complementing layer
+// (§3): "a knowledge construction aggregates the mobility semantics already
+// annotated to build the prior mobility knowledge that captures the
+// transition probabilities between semantic regions."
+#pragma once
+
+#include <map>
+
+#include "core/semantics.h"
+#include "dsm/dsm.h"
+
+namespace trips::complement {
+
+/// The prior mobility knowledge: a first-order Markov model over semantic
+/// regions plus per-region dwell statistics.
+struct MobilityKnowledge {
+  /// P(next = b | current = a); rows sum to 1 over a's support.
+  std::map<dsm::RegionId, std::map<dsm::RegionId, double>> transition_prob;
+  /// Visit frequency of each region across the corpus (sums to 1).
+  std::map<dsm::RegionId, double> popularity;
+  /// Mean observed triplet duration per region.
+  std::map<dsm::RegionId, DurationMs> mean_dwell;
+  /// Number of transitions the model was estimated from.
+  size_t observed_transitions = 0;
+
+  /// P(b | a), 0 when unknown.
+  double TransitionProb(dsm::RegionId a, dsm::RegionId b) const;
+
+  /// A knowledge object with uniform transitions over the DSM's region
+  /// adjacency graph — the no-learning baseline the benches compare against.
+  static MobilityKnowledge Uniform(const dsm::Dsm& dsm);
+};
+
+/// Accumulates annotated sequences into mobility knowledge.
+class KnowledgeBuilder {
+ public:
+  /// `dsm` supplies the region adjacency used for smoothing; must outlive
+  /// the builder.
+  explicit KnowledgeBuilder(const dsm::Dsm* dsm) : dsm_(dsm) {}
+
+  /// Adds one annotated semantics sequence to the corpus.
+  void AddSequence(const core::MobilitySemanticsSequence& seq);
+
+  /// Number of sequences added so far.
+  size_t SequenceCount() const { return sequences_; }
+
+  /// Estimates the knowledge. `smoothing` is a Laplace pseudo-count spread
+  /// over each region's DSM-adjacent successors, so topologically possible
+  /// but unobserved transitions keep non-zero probability.
+  MobilityKnowledge Build(double smoothing = 0.5) const;
+
+ private:
+  const dsm::Dsm* dsm_;
+  size_t sequences_ = 0;
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> counts_;
+  std::map<dsm::RegionId, size_t> visits_;
+  std::map<dsm::RegionId, DurationMs> dwell_sum_;
+};
+
+}  // namespace trips::complement

@@ -1,0 +1,289 @@
+#include "config/data_selector.h"
+
+#include <map>
+
+#include "positioning/csv_io.h"
+#include "util/string_util.h"
+
+namespace trips::config {
+
+namespace {
+
+class DeviceIdRule : public SelectionRule {
+ public:
+  explicit DeviceIdRule(std::string glob) : glob_(std::move(glob)) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    return GlobMatch(glob_, seq.device_id);
+  }
+  std::string Describe() const override { return "device_id ~ '" + glob_ + "'"; }
+
+ private:
+  std::string glob_;
+};
+
+class SpatialRangeRule : public SelectionRule {
+ public:
+  SpatialRangeRule(geo::BoundingBox box, geo::FloorId floor, double min_fraction)
+      : box_(box), floor_(floor), min_fraction_(min_fraction) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    if (seq.records.empty()) return min_fraction_ <= 0;
+    size_t inside = 0;
+    for (const positioning::RawRecord& r : seq.records) {
+      if ((floor_ < 0 || r.location.floor == floor_) && box_.Contains(r.location.xy)) {
+        ++inside;
+      }
+    }
+    return static_cast<double>(inside) / static_cast<double>(seq.records.size()) >=
+           min_fraction_;
+  }
+  std::string Describe() const override {
+    return "spatial_range(floor=" + std::to_string(floor_) +
+           ", frac>=" + FormatDouble(min_fraction_, 3) + ")";
+  }
+
+ private:
+  geo::BoundingBox box_;
+  geo::FloorId floor_;
+  double min_fraction_;
+};
+
+class TemporalRangeRule : public SelectionRule {
+ public:
+  TemporalRangeRule(TimeRange range, bool within) : range_(range), within_(within) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    if (seq.records.empty()) return false;
+    TimeRange span = seq.Span();
+    return within_ ? (span.begin >= range_.begin && span.end <= range_.end)
+                   : span.Overlaps(range_);
+  }
+  std::string Describe() const override {
+    return std::string(within_ ? "within" : "overlaps") + " [" +
+           FormatTimestamp(range_.begin) + ", " + FormatTimestamp(range_.end) + "]";
+  }
+
+ private:
+  TimeRange range_;
+  bool within_;
+};
+
+class FrequencyRule : public SelectionRule {
+ public:
+  FrequencyRule(double min_hz, double max_hz) : min_hz_(min_hz), max_hz_(max_hz) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    double hz = seq.FrequencyHz();
+    return hz >= min_hz_ && hz <= max_hz_;
+  }
+  std::string Describe() const override {
+    return "frequency in [" + FormatDouble(min_hz_) + ", " + FormatDouble(max_hz_) +
+           "] Hz";
+  }
+
+ private:
+  double min_hz_, max_hz_;
+};
+
+class MinDurationRule : public SelectionRule {
+ public:
+  explicit MinDurationRule(DurationMs min_duration) : min_(min_duration) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    return seq.Span().Duration() >= min_;
+  }
+  std::string Describe() const override {
+    return "duration >= " + std::to_string(min_ / kMillisPerSecond) + "s";
+  }
+
+ private:
+  DurationMs min_;
+};
+
+class MinRecordsRule : public SelectionRule {
+ public:
+  explicit MinRecordsRule(size_t n) : n_(n) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    return seq.records.size() >= n_;
+  }
+  std::string Describe() const override {
+    return "records >= " + std::to_string(n_);
+  }
+
+ private:
+  size_t n_;
+};
+
+class PeriodicPatternRule : public SelectionRule {
+ public:
+  PeriodicPatternRule(DurationMs begin, DurationMs end, double min_fraction)
+      : begin_(begin), end_(end), min_fraction_(min_fraction) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    if (seq.records.empty()) return false;
+    size_t inside = 0;
+    for (const positioning::RawRecord& r : seq.records) {
+      DurationMs tod = MillisOfDay(r.timestamp);
+      bool in = begin_ <= end_ ? (tod >= begin_ && tod < end_)
+                               : (tod >= begin_ || tod < end_);  // wraps midnight
+      if (in) ++inside;
+    }
+    return static_cast<double>(inside) / static_cast<double>(seq.records.size()) >=
+           min_fraction_;
+  }
+  std::string Describe() const override {
+    return "daily window [" + std::to_string(begin_ / kMillisPerHour) + "h, " +
+           std::to_string(end_ / kMillisPerHour) + "h) frac>=" +
+           FormatDouble(min_fraction_, 2);
+  }
+
+ private:
+  DurationMs begin_, end_;
+  double min_fraction_;
+};
+
+class AndRule : public SelectionRule {
+ public:
+  explicit AndRule(std::vector<RulePtr> rules) : rules_(std::move(rules)) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    for (const RulePtr& r : rules_) {
+      if (r && !r->Matches(seq)) return false;
+    }
+    return true;
+  }
+  std::string Describe() const override { return Combine("AND"); }
+
+ protected:
+  std::string Combine(const std::string& op) const {
+    std::string out = "(";
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (i > 0) out += " " + op + " ";
+      out += rules_[i] ? rules_[i]->Describe() : "true";
+    }
+    return out + ")";
+  }
+  std::vector<RulePtr> rules_;
+};
+
+class OrRule : public AndRule {
+ public:
+  explicit OrRule(std::vector<RulePtr> rules) : AndRule(std::move(rules)) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    if (rules_.empty()) return true;
+    for (const RulePtr& r : rules_) {
+      if (r && r->Matches(seq)) return true;
+    }
+    return false;
+  }
+  std::string Describe() const override { return Combine("OR"); }
+};
+
+class NotRule : public SelectionRule {
+ public:
+  explicit NotRule(RulePtr rule) : rule_(std::move(rule)) {}
+  bool Matches(const positioning::PositioningSequence& seq) const override {
+    return rule_ == nullptr || !rule_->Matches(seq);
+  }
+  std::string Describe() const override {
+    return "NOT " + (rule_ ? rule_->Describe() : "true");
+  }
+
+ private:
+  RulePtr rule_;
+};
+
+class InMemorySource : public SequenceSource {
+ public:
+  explicit InMemorySource(std::vector<positioning::PositioningSequence> seqs)
+      : seqs_(std::move(seqs)) {}
+  Result<std::vector<positioning::PositioningSequence>> Load() const override {
+    return seqs_;
+  }
+  std::string Describe() const override {
+    return "in-memory (" + std::to_string(seqs_.size()) + " sequences)";
+  }
+
+ private:
+  std::vector<positioning::PositioningSequence> seqs_;
+};
+
+class CsvFileSource : public SequenceSource {
+ public:
+  explicit CsvFileSource(std::string path) : path_(std::move(path)) {}
+  Result<std::vector<positioning::PositioningSequence>> Load() const override {
+    return positioning::ReadCsvFile(path_);
+  }
+  std::string Describe() const override { return "csv:" + path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+RulePtr DeviceIdPattern(std::string glob) {
+  return std::make_shared<DeviceIdRule>(std::move(glob));
+}
+RulePtr SpatialRange(geo::BoundingBox box, geo::FloorId floor, double min_fraction) {
+  return std::make_shared<SpatialRangeRule>(box, floor, min_fraction);
+}
+RulePtr TemporalRange(TimeRange range, bool require_within) {
+  return std::make_shared<TemporalRangeRule>(range, require_within);
+}
+RulePtr FrequencyRange(double min_hz, double max_hz) {
+  return std::make_shared<FrequencyRule>(min_hz, max_hz);
+}
+RulePtr MinDuration(DurationMs min_duration) {
+  return std::make_shared<MinDurationRule>(min_duration);
+}
+RulePtr MinRecords(size_t min_records) {
+  return std::make_shared<MinRecordsRule>(min_records);
+}
+RulePtr PeriodicPattern(DurationMs begin_of_day, DurationMs end_of_day,
+                        double min_fraction) {
+  return std::make_shared<PeriodicPatternRule>(begin_of_day, end_of_day, min_fraction);
+}
+RulePtr And(std::vector<RulePtr> rules) {
+  return std::make_shared<AndRule>(std::move(rules));
+}
+RulePtr Or(std::vector<RulePtr> rules) {
+  return std::make_shared<OrRule>(std::move(rules));
+}
+RulePtr Not(RulePtr rule) { return std::make_shared<NotRule>(std::move(rule)); }
+
+void DataSelector::AddSequences(
+    std::vector<positioning::PositioningSequence> sequences) {
+  sources_.push_back(std::make_shared<InMemorySource>(std::move(sequences)));
+}
+
+void DataSelector::AddCsvFile(std::string path) {
+  sources_.push_back(std::make_shared<CsvFileSource>(std::move(path)));
+}
+
+void DataSelector::AddSource(std::shared_ptr<const SequenceSource> source) {
+  sources_.push_back(std::move(source));
+}
+
+Result<std::vector<positioning::PositioningSequence>> DataSelector::Select() const {
+  // Merge sources per device id, in device first-appearance order.
+  std::map<std::string, size_t> index;
+  std::vector<positioning::PositioningSequence> merged;
+  for (const auto& source : sources_) {
+    TRIPS_ASSIGN_OR_RETURN(std::vector<positioning::PositioningSequence> loaded,
+                           source->Load());
+    for (positioning::PositioningSequence& seq : loaded) {
+      auto [it, inserted] = index.try_emplace(seq.device_id, merged.size());
+      if (inserted) {
+        merged.push_back(std::move(seq));
+      } else {
+        auto& dst = merged[it->second].records;
+        dst.insert(dst.end(), seq.records.begin(), seq.records.end());
+      }
+    }
+  }
+  std::vector<positioning::PositioningSequence> selected;
+  for (positioning::PositioningSequence& seq : merged) {
+    seq.SortByTime();
+    if (rule_ == nullptr || rule_->Matches(seq)) {
+      selected.push_back(std::move(seq));
+    }
+  }
+  return selected;
+}
+
+}  // namespace trips::config

@@ -1,0 +1,104 @@
+// Data Selector — first Configurator module (§2): "accepts the indoor
+// positioning data from multi-sources (e.g., text files, database tables, and
+// streams APIs), and offers users a set of configurable and combinable rules
+// to select the (device) positioning sequences of particular interest.
+// Typical rules include device ID pattern, spatial range, temporal range,
+// positioning frequency, and periodic pattern."
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "positioning/record.h"
+#include "util/result.h"
+
+namespace trips::config {
+
+/// A predicate over one device's positioning sequence. Rules are combinable
+/// with And/Or/Not to form a selection tree.
+class SelectionRule {
+ public:
+  virtual ~SelectionRule() = default;
+  /// True iff the sequence passes this rule.
+  virtual bool Matches(const positioning::PositioningSequence& seq) const = 0;
+  /// Human-readable rule description, e.g. "device_id ~ '3a.*'".
+  virtual std::string Describe() const = 0;
+};
+
+using RulePtr = std::shared_ptr<const SelectionRule>;
+
+/// Device ID glob pattern ('*' and '?'), e.g. "3a.*.14".
+RulePtr DeviceIdPattern(std::string glob);
+
+/// At least `min_fraction` of the records fall inside `box` on `floor`
+/// (floor = -1 means any floor). min_fraction > 0 with an empty sequence
+/// never matches.
+RulePtr SpatialRange(geo::BoundingBox box, geo::FloorId floor,
+                     double min_fraction = 1e-9);
+
+/// The sequence's time span overlaps (or, when `require_within`, lies fully
+/// inside) the given range.
+RulePtr TemporalRange(TimeRange range, bool require_within = false);
+
+/// Mean positioning frequency lies in [min_hz, max_hz].
+RulePtr FrequencyRange(double min_hz, double max_hz);
+
+/// The sequence spans at least `min_duration` (e.g. "lasts for more than one
+/// hour").
+RulePtr MinDuration(DurationMs min_duration);
+
+/// The sequence has at least `min_records` records.
+RulePtr MinRecords(size_t min_records);
+
+/// Periodic (daily) pattern: at least `min_fraction` of the records fall in
+/// the daily clock window [begin_of_day, end_of_day), expressed in
+/// milliseconds since UTC midnight — e.g. the mall's operating hours.
+RulePtr PeriodicPattern(DurationMs begin_of_day, DurationMs end_of_day,
+                        double min_fraction = 1.0);
+
+/// Logical combinators.
+RulePtr And(std::vector<RulePtr> rules);
+RulePtr Or(std::vector<RulePtr> rules);
+RulePtr Not(RulePtr rule);
+
+/// A pluggable source of positioning sequences (text file, table dump,
+/// stream adapter, ...).
+class SequenceSource {
+ public:
+  virtual ~SequenceSource() = default;
+  /// Loads all sequences from this source.
+  virtual Result<std::vector<positioning::PositioningSequence>> Load() const = 0;
+  /// Source description for diagnostics.
+  virtual std::string Describe() const = 0;
+};
+
+/// Configures sources plus a rule tree and produces the selected sequences.
+class DataSelector {
+ public:
+  /// Adds in-memory sequences (e.g. a decoded database table).
+  void AddSequences(std::vector<positioning::PositioningSequence> sequences);
+  /// Adds a CSV file source (read lazily at Select time).
+  void AddCsvFile(std::string path);
+  /// Adds a custom source (e.g. a stream adapter).
+  void AddSource(std::shared_ptr<const SequenceSource> source);
+
+  /// Sets the selection rule; nullptr selects everything.
+  void SetRule(RulePtr rule) { rule_ = std::move(rule); }
+  const RulePtr& rule() const { return rule_; }
+
+  /// Loads every source, merges records of the same device across sources
+  /// (time-sorted), applies the rule, and returns the selected sequences.
+  Result<std::vector<positioning::PositioningSequence>> Select() const;
+
+  /// Number of configured sources.
+  size_t SourceCount() const { return sources_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const SequenceSource>> sources_;
+  RulePtr rule_;
+};
+
+}  // namespace trips::config

@@ -1,0 +1,267 @@
+#include "config/space_modeler.h"
+
+#include <algorithm>
+
+namespace trips::config {
+
+SpaceModeler::SpaceModeler(SpaceModelerOptions options)
+    : options_(std::move(options)) {}
+
+Status SpaceModeler::ImportFloorplan(geo::FloorId floor, const std::string& name,
+                                     double width, double height) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("floorplan must have positive extent");
+  }
+  for (const dsm::Floor& f : floors_) {
+    if (f.id == floor) {
+      return Status::AlreadyExists("floor " + std::to_string(floor) +
+                                   " already imported");
+    }
+  }
+  dsm::Floor f;
+  f.id = floor;
+  f.name = name;
+  f.outline = geo::Polygon::Rectangle(0, 0, width, height);
+  floors_.push_back(std::move(f));
+  return Status::OK();
+}
+
+void SpaceModeler::Checkpoint() {
+  undo_stack_.push_back(shapes_);
+  redo_stack_.clear();
+}
+
+geo::Point2 SpaceModeler::Snap(const geo::Point2& p) const {
+  if (options_.snap_distance <= 0) return p;
+  geo::Point2 best = p;
+  double best_dist = options_.snap_distance;
+  for (const DrawnShape& s : shapes_) {
+    for (const geo::Point2& v : s.shape.vertices) {
+      double d = v.DistanceTo(p);
+      if (d < best_dist) {
+        best_dist = d;
+        best = v;
+      }
+    }
+  }
+  return best;
+}
+
+DrawnShape* SpaceModeler::FindShape(ShapeId id) {
+  for (DrawnShape& s : shapes_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+const DrawnShape* SpaceModeler::GetShape(ShapeId id) const {
+  for (const DrawnShape& s : shapes_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Result<ShapeId> SpaceModeler::AddShape(dsm::EntityKind kind, const std::string& name,
+                                       geo::FloorId floor, geo::Polygon polygon) {
+  bool floor_known = false;
+  for (const dsm::Floor& f : floors_) floor_known |= (f.id == floor);
+  if (!floor_known) {
+    return Status::FailedPrecondition("floor " + std::to_string(floor) +
+                                      " not imported; call ImportFloorplan first");
+  }
+  if (polygon.vertices.size() < 3) {
+    return Status::InvalidArgument("shape '" + name + "' needs >= 3 vertices");
+  }
+  Checkpoint();
+  DrawnShape s;
+  s.id = next_id_++;
+  s.kind = kind;
+  s.name = name;
+  s.floor = floor;
+  s.shape = std::move(polygon);
+  shapes_.push_back(std::move(s));
+  return shapes_.back().id;
+}
+
+Result<ShapeId> SpaceModeler::DrawPolygon(dsm::EntityKind kind,
+                                          const std::string& name, geo::FloorId floor,
+                                          std::vector<geo::Point2> vertices) {
+  for (geo::Point2& v : vertices) v = Snap(v);
+  return AddShape(kind, name, floor, geo::Polygon(std::move(vertices)));
+}
+
+Result<ShapeId> SpaceModeler::DrawRectangle(dsm::EntityKind kind,
+                                            const std::string& name,
+                                            geo::FloorId floor, double x0, double y0,
+                                            double x1, double y1) {
+  return AddShape(kind, name, floor, geo::Polygon::Rectangle(x0, y0, x1, y1));
+}
+
+Result<ShapeId> SpaceModeler::DrawCircle(dsm::EntityKind kind, const std::string& name,
+                                         geo::FloorId floor, geo::Point2 center,
+                                         double radius) {
+  if (radius <= 0) return Status::InvalidArgument("circle radius must be positive");
+  geo::Circle c{Snap(center), radius};
+  return AddShape(kind, name, floor, c.ToPolygon(options_.circle_segments));
+}
+
+Result<ShapeId> SpaceModeler::DrawPolyline(dsm::EntityKind kind,
+                                           const std::string& name, geo::FloorId floor,
+                                           std::vector<geo::Point2> points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("polyline needs >= 2 points");
+  }
+  for (geo::Point2& p : points) p = Snap(p);
+  // Close the traced chain into a thin polygon by offsetting each segment
+  // sideways by the wall half-thickness: forward along one side, back along
+  // the other.
+  double h = options_.wall_half_thickness;
+  std::vector<geo::Point2> ring;
+  ring.reserve(points.size() * 2);
+  auto normal_at = [&](size_t i) {
+    size_t a = i == 0 ? 0 : i - 1;
+    size_t b = i + 1 < points.size() ? i + 1 : points.size() - 1;
+    geo::Point2 dir = (points[b] - points[a]).Normalized();
+    return geo::Point2{-dir.y, dir.x};
+  };
+  for (size_t i = 0; i < points.size(); ++i) {
+    ring.push_back(points[i] + normal_at(i) * h);
+  }
+  for (size_t i = points.size(); i-- > 0;) {
+    ring.push_back(points[i] - normal_at(i) * h);
+  }
+  return AddShape(kind, name, floor, geo::Polygon(std::move(ring)));
+}
+
+Status SpaceModeler::MoveShape(ShapeId id, double dx, double dy) {
+  DrawnShape* s = FindShape(id);
+  if (s == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  Checkpoint();
+  s = FindShape(id);  // Checkpoint copies; pointer remains valid but re-fetch anyway.
+  for (geo::Point2& v : s->shape.vertices) {
+    v.x += dx;
+    v.y += dy;
+  }
+  return Status::OK();
+}
+
+Status SpaceModeler::ResizeShape(ShapeId id, double factor) {
+  if (factor <= 0) return Status::InvalidArgument("resize factor must be positive");
+  DrawnShape* s = FindShape(id);
+  if (s == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  Checkpoint();
+  s = FindShape(id);
+  geo::Point2 c = s->shape.Centroid();
+  for (geo::Point2& v : s->shape.vertices) {
+    v = c + (v - c) * factor;
+  }
+  return Status::OK();
+}
+
+Status SpaceModeler::TransformShape(ShapeId id, std::vector<geo::Point2> new_vertices) {
+  if (new_vertices.size() < 3) {
+    return Status::InvalidArgument("transformed shape needs >= 3 vertices");
+  }
+  DrawnShape* s = FindShape(id);
+  if (s == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  Checkpoint();
+  s = FindShape(id);
+  s->shape.vertices = std::move(new_vertices);
+  return Status::OK();
+}
+
+Status SpaceModeler::EraseShape(ShapeId id) {
+  if (FindShape(id) == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  Checkpoint();
+  shapes_.erase(std::remove_if(shapes_.begin(), shapes_.end(),
+                               [id](const DrawnShape& s) { return s.id == id; }),
+                shapes_.end());
+  return Status::OK();
+}
+
+Status SpaceModeler::SetLayer(ShapeId id, int layer) {
+  DrawnShape* s = FindShape(id);
+  if (s == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  Checkpoint();
+  FindShape(id)->layer = layer;
+  return Status::OK();
+}
+
+Status SpaceModeler::Undo() {
+  if (undo_stack_.empty()) return Status::FailedPrecondition("nothing to undo");
+  redo_stack_.push_back(std::move(shapes_));
+  shapes_ = std::move(undo_stack_.back());
+  undo_stack_.pop_back();
+  return Status::OK();
+}
+
+Status SpaceModeler::Redo() {
+  if (redo_stack_.empty()) return Status::FailedPrecondition("nothing to redo");
+  undo_stack_.push_back(std::move(shapes_));
+  shapes_ = std::move(redo_stack_.back());
+  redo_stack_.pop_back();
+  return Status::OK();
+}
+
+Status SpaceModeler::AssignTag(ShapeId id, const std::string& tag) {
+  DrawnShape* s = FindShape(id);
+  if (s == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  Checkpoint();
+  FindShape(id)->semantic_tag = tag;
+  return Status::OK();
+}
+
+Status SpaceModeler::MarkAsRegion(ShapeId id, const std::string& category) {
+  DrawnShape* s = FindShape(id);
+  if (s == nullptr) return Status::NotFound("shape " + std::to_string(id));
+  if (s->name.empty()) {
+    return Status::FailedPrecondition("region shapes need a name");
+  }
+  Checkpoint();
+  DrawnShape* fresh = FindShape(id);
+  fresh->make_region = true;
+  fresh->region_category = category;
+  return Status::OK();
+}
+
+void SpaceModeler::SetTagStyle(const std::string& tag, const std::string& color) {
+  tag_styles_[tag] = color;
+}
+
+Result<dsm::Dsm> SpaceModeler::BuildDsm(const std::string& model_name) const {
+  dsm::Dsm out;
+  out.set_name(model_name);
+  for (const dsm::Floor& f : floors_) {
+    TRIPS_RETURN_NOT_OK(out.AddFloor(f));
+  }
+  // Draw order by layer, then insertion, matching the canvas stacking.
+  std::vector<const DrawnShape*> ordered;
+  ordered.reserve(shapes_.size());
+  for (const DrawnShape& s : shapes_) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const DrawnShape* a, const DrawnShape* b) {
+                     return a->layer < b->layer;
+                   });
+  for (const DrawnShape* s : ordered) {
+    dsm::Entity e;
+    e.kind = s->kind;
+    e.name = s->name;
+    e.floor = s->floor;
+    e.shape = s->shape;
+    e.semantic_tag = s->semantic_tag;
+    TRIPS_ASSIGN_OR_RETURN(dsm::EntityId eid, out.AddEntity(std::move(e)));
+    if (s->make_region) {
+      dsm::SemanticRegion r;
+      r.name = s->name;
+      r.category = s->region_category.empty() ? s->semantic_tag : s->region_category;
+      r.floor = s->floor;
+      r.shape = s->shape;
+      TRIPS_ASSIGN_OR_RETURN(dsm::RegionId rid, out.AddRegion(std::move(r)));
+      TRIPS_RETURN_NOT_OK(out.MapEntityToRegion(eid, rid));
+    }
+  }
+  TRIPS_RETURN_NOT_OK(out.ComputeTopology());
+  return out;
+}
+
+}  // namespace trips::config

@@ -1,0 +1,136 @@
+// Space Modeler — second Configurator module (§2, §3 "Creating DSM from
+// Floorplan Image"). The paper's mouse-driven canvas becomes a programmatic
+// drawing API with the same three-step flow and features: (1) import the
+// floorplan; (2) trace it by drawing/combining geometric elements (polygons,
+// polylines, circles) with undo/redo, auto-adjust hints, transformation
+// edit-mode and layer control; (3) load and attach semantic tags, then build
+// the DSM (geometry + topology + regions) from the drawn shapes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "util/result.h"
+
+namespace trips::config {
+
+/// Identifier of a drawn shape on the Space Modeler canvas.
+using ShapeId = int32_t;
+
+/// One shape traced on the canvas.
+struct DrawnShape {
+  ShapeId id = -1;
+  dsm::EntityKind kind = dsm::EntityKind::kRoom;
+  std::string name;
+  geo::FloorId floor = 0;
+  geo::Polygon shape;
+  std::string semantic_tag;
+  /// Drawing layer (layer/group control); higher layers render on top.
+  int layer = 0;
+  /// Display style key (maps to a color in the Viewer legend).
+  std::string style;
+  /// When true, BuildDsm also creates a semantic region from this shape.
+  bool make_region = false;
+  std::string region_category;
+};
+
+/// Options controlling drawing assistance.
+struct SpaceModelerOptions {
+  /// Auto-adjust hint: snap new vertices to existing vertices closer than
+  /// this distance (metres); 0 disables snapping.
+  double snap_distance = 0.5;
+  /// Half-thickness used when closing a traced polyline (wall) into a thin
+  /// polygon.
+  double wall_half_thickness = 0.15;
+  /// Circle tessellation for ToPolygon.
+  int circle_segments = 24;
+};
+
+/// The drawing tool. All mutating operations are undoable.
+class SpaceModeler {
+ public:
+  explicit SpaceModeler(SpaceModelerOptions options = {});
+
+  // ---- step (1): import the floorplan ----
+
+  /// Registers a floor canvas of the given size (the floorplan image extent).
+  /// Floors can be imported in any order; duplicate ids fail.
+  Status ImportFloorplan(geo::FloorId floor, const std::string& name, double width,
+                         double height);
+
+  // ---- step (2): trace the floorplan ----
+
+  /// Draws a polygon entity; vertices are snapped per the auto-adjust hint.
+  Result<ShapeId> DrawPolygon(dsm::EntityKind kind, const std::string& name,
+                              geo::FloorId floor, std::vector<geo::Point2> vertices);
+  /// Draws an axis-aligned rectangle entity.
+  Result<ShapeId> DrawRectangle(dsm::EntityKind kind, const std::string& name,
+                                geo::FloorId floor, double x0, double y0, double x1,
+                                double y1);
+  /// Draws a circle entity (tessellated into a polygon).
+  Result<ShapeId> DrawCircle(dsm::EntityKind kind, const std::string& name,
+                             geo::FloorId floor, geo::Point2 center, double radius);
+  /// Traces a polyline (typically a wall) and closes it into a thin polygon.
+  Result<ShapeId> DrawPolyline(dsm::EntityKind kind, const std::string& name,
+                               geo::FloorId floor, std::vector<geo::Point2> points);
+
+  // Edit-mode: free transformation / resizing / moving.
+
+  /// Translates a shape by (dx, dy).
+  Status MoveShape(ShapeId id, double dx, double dy);
+  /// Scales a shape about its centroid.
+  Status ResizeShape(ShapeId id, double factor);
+  /// Replaces a shape's vertices outright.
+  Status TransformShape(ShapeId id, std::vector<geo::Point2> new_vertices);
+  /// Deletes a shape.
+  Status EraseShape(ShapeId id);
+  /// Assigns a drawing layer (layer/group control).
+  Status SetLayer(ShapeId id, int layer);
+
+  /// Undo the last mutating operation; fails when nothing to undo.
+  Status Undo();
+  /// Redo the last undone operation; fails when nothing to redo.
+  Status Redo();
+
+  // ---- step (3): semantic tags and styles ----
+
+  /// Attaches a semantic tag to a drawn shape (the semantic tab).
+  Status AssignTag(ShapeId id, const std::string& tag);
+  /// Marks a shape to also become a semantic region named after the shape.
+  Status MarkAsRegion(ShapeId id, const std::string& category);
+  /// Customizes the display style of a semantic tag (Viewer legend color).
+  void SetTagStyle(const std::string& tag, const std::string& color);
+
+  // ---- output ----
+
+  /// Builds the DSM: every drawn shape becomes an entity; shapes marked as
+  /// regions also produce semantic regions mapped to their entities; the
+  /// topology is computed. The modeler remains editable afterwards.
+  Result<dsm::Dsm> BuildDsm(const std::string& model_name) const;
+
+  /// Access to the canvas state.
+  const std::vector<DrawnShape>& shapes() const { return shapes_; }
+  const DrawnShape* GetShape(ShapeId id) const;
+  const std::map<std::string, std::string>& tag_styles() const { return tag_styles_; }
+  size_t FloorCount() const { return floors_.size(); }
+
+ private:
+  // Snapshot-based undo: push the current canvas before each mutation.
+  void Checkpoint();
+  geo::Point2 Snap(const geo::Point2& p) const;
+  Result<ShapeId> AddShape(dsm::EntityKind kind, const std::string& name,
+                           geo::FloorId floor, geo::Polygon polygon);
+  DrawnShape* FindShape(ShapeId id);
+
+  SpaceModelerOptions options_;
+  std::vector<dsm::Floor> floors_;
+  std::vector<DrawnShape> shapes_;
+  std::map<std::string, std::string> tag_styles_;
+  ShapeId next_id_ = 0;
+  std::vector<std::vector<DrawnShape>> undo_stack_;
+  std::vector<std::vector<DrawnShape>> redo_stack_;
+};
+
+}  // namespace trips::config

@@ -1,0 +1,149 @@
+#include "core/analytics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace trips::core {
+
+void MobilityAnalytics::AddSequence(const MobilitySemanticsSequence& seq) {
+  ++sequences_;
+  for (const MobilitySemantic& s : seq.semantics) {
+    if (s.region == dsm::kInvalidRegion) continue;
+    Accum& accum = regions_[s.region];
+    if (accum.name.empty()) {
+      accum.name = s.region_name;
+      if (accum.name.empty() && dsm_ != nullptr) {
+        if (const dsm::SemanticRegion* r = dsm_->GetRegion(s.region)) {
+          accum.name = r->name;
+        }
+      }
+    }
+    ++accum.visits;
+    if (s.event == kEventStay) {
+      ++accum.stays;
+      accum.device_stayed[seq.device_id] = true;
+    } else {
+      if (s.event == kEventPassBy) ++accum.pass_bys;
+      accum.device_stayed.try_emplace(seq.device_id, false);
+    }
+    accum.total_time += s.range.Duration();
+  }
+  corpus_.push_back(seq);
+}
+
+RegionStats MobilityAnalytics::Finalize(dsm::RegionId region,
+                                        const Accum& accum) const {
+  RegionStats stats;
+  stats.region = region;
+  stats.region_name = accum.name;
+  stats.visits = accum.visits;
+  stats.stays = accum.stays;
+  stats.pass_bys = accum.pass_bys;
+  stats.total_time = accum.total_time;
+  stats.unique_devices = accum.device_stayed.size();
+  stats.mean_visit =
+      accum.visits > 0 ? accum.total_time / static_cast<DurationMs>(accum.visits) : 0;
+  size_t stayed = 0;
+  for (const auto& [device, did_stay] : accum.device_stayed) {
+    if (did_stay) ++stayed;
+  }
+  stats.conversion_rate =
+      stats.unique_devices > 0
+          ? static_cast<double>(stayed) / static_cast<double>(stats.unique_devices)
+          : 0;
+  return stats;
+}
+
+std::vector<RegionStats> MobilityAnalytics::RegionReport() const {
+  std::vector<RegionStats> out;
+  out.reserve(regions_.size());
+  for (const auto& [region, accum] : regions_) {
+    out.push_back(Finalize(region, accum));
+  }
+  return out;
+}
+
+namespace {
+std::vector<RegionStats> TakeTop(std::vector<RegionStats> stats, size_t k,
+                                 bool by_time) {
+  std::sort(stats.begin(), stats.end(),
+            [by_time](const RegionStats& a, const RegionStats& b) {
+              if (by_time) {
+                if (a.total_time != b.total_time) return a.total_time > b.total_time;
+                return a.visits > b.visits;
+              }
+              if (a.visits != b.visits) return a.visits > b.visits;
+              return a.total_time > b.total_time;
+            });
+  if (stats.size() > k) stats.resize(k);
+  return stats;
+}
+}  // namespace
+
+std::vector<RegionStats> MobilityAnalytics::TopRegionsByVisits(size_t k) const {
+  return TakeTop(RegionReport(), k, /*by_time=*/false);
+}
+
+std::vector<RegionStats> MobilityAnalytics::TopRegionsByTime(size_t k) const {
+  return TakeTop(RegionReport(), k, /*by_time=*/true);
+}
+
+std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>>
+MobilityAnalytics::FlowMatrix() const {
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> flow;
+  for (const MobilitySemanticsSequence& seq : corpus_) {
+    dsm::RegionId prev = dsm::kInvalidRegion;
+    for (const MobilitySemantic& s : seq.semantics) {
+      if (s.region == dsm::kInvalidRegion) continue;
+      if (prev != dsm::kInvalidRegion && prev != s.region) {
+        ++flow[prev][s.region];
+      }
+      prev = s.region;
+    }
+  }
+  return flow;
+}
+
+std::vector<DurationMs> MobilityAnalytics::HourlyOccupancy(
+    dsm::RegionId region) const {
+  std::vector<DurationMs> hours(24, 0);
+  for (const MobilitySemanticsSequence& seq : corpus_) {
+    for (const MobilitySemantic& s : seq.semantics) {
+      if (s.region != region) continue;
+      // Walk the triplet hour by hour so ranges crossing hour boundaries are
+      // apportioned correctly.
+      TimestampMs t = s.range.begin;
+      while (t < s.range.end) {
+        DurationMs into_hour = t % kMillisPerHour;
+        TimestampMs hour_end = t - into_hour + kMillisPerHour;
+        TimestampMs slice_end = std::min<TimestampMs>(hour_end, s.range.end);
+        size_t hour = static_cast<size_t>(MillisOfDay(t) / kMillisPerHour) % 24;
+        hours[hour] += slice_end - t;
+        t = slice_end;
+      }
+    }
+  }
+  return hours;
+}
+
+std::string MobilityAnalytics::FormatReport(size_t k) const {
+  std::vector<RegionStats> top = TopRegionsByVisits(k);
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-22s %7s %8s %6s %8s %10s %9s %6s\n", "region",
+                "visits", "devices", "stays", "pass-bys", "total_min", "mean_min",
+                "conv%");
+  out += buf;
+  for (const RegionStats& s : top) {
+    std::snprintf(buf, sizeof(buf), "%-22s %7zu %8zu %6zu %8zu %10.1f %9.1f %5.0f%%\n",
+                  s.region_name.c_str(), s.visits, s.unique_devices, s.stays,
+                  s.pass_bys,
+                  static_cast<double>(s.total_time) / kMillisPerMinute,
+                  static_cast<double>(s.mean_visit) / kMillisPerMinute,
+                  s.conversion_rate * 100);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace trips::core

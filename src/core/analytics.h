@@ -1,0 +1,88 @@
+// Mobility analytics over translated semantics — the downstream analyses the
+// paper's introduction motivates: popular indoor location discovery [8],
+// in-store marketing [2], and behaviour analysis. All computations consume
+// mobility semantics sequences (not raw records), demonstrating the point of
+// the translation: the condensed form is what analyses want to run on.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/semantics.h"
+#include "dsm/dsm.h"
+
+namespace trips::core {
+
+/// Aggregated statistics of one semantic region across a corpus.
+struct RegionStats {
+  dsm::RegionId region = dsm::kInvalidRegion;
+  std::string region_name;
+  /// Triplets of any event touching the region.
+  size_t visits = 0;
+  /// Distinct devices that touched the region.
+  size_t unique_devices = 0;
+  /// Triplets by event kind.
+  size_t stays = 0;
+  size_t pass_bys = 0;
+  /// Total and mean time spent in the region (all events).
+  DurationMs total_time = 0;
+  DurationMs mean_visit = 0;
+  /// Devices with a stay / devices with any visit — the "did the passer-by
+  /// convert into a shopper" metric of in-store marketing.
+  double conversion_rate = 0;
+};
+
+/// Region-level aggregation of a corpus of semantics sequences.
+class MobilityAnalytics {
+ public:
+  /// `dsm` provides region names for ids missing them; may be null.
+  explicit MobilityAnalytics(const dsm::Dsm* dsm = nullptr) : dsm_(dsm) {}
+
+  /// Adds one device's semantics to the corpus.
+  void AddSequence(const MobilitySemanticsSequence& seq);
+
+  /// Number of sequences added.
+  size_t SequenceCount() const { return sequences_; }
+
+  /// Per-region statistics, unordered.
+  std::vector<RegionStats> RegionReport() const;
+
+  /// The `k` regions with the most visits (the frequently visited indoor
+  /// POIs of [8]). Ties broken by total time.
+  std::vector<RegionStats> TopRegionsByVisits(size_t k) const;
+
+  /// The `k` regions with the largest total dwell time.
+  std::vector<RegionStats> TopRegionsByTime(size_t k) const;
+
+  /// Transition counts between regions (row = from, col = to), over
+  /// consecutive triplets of each sequence. The user-facing sibling of the
+  /// Complementor's knowledge construction.
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> FlowMatrix() const;
+
+  /// Occupancy histogram for `region`: triplet-time falling into each UTC
+  /// hour of day, in milliseconds (index 0..23).
+  std::vector<DurationMs> HourlyOccupancy(dsm::RegionId region) const;
+
+  /// Renders the visit report as an aligned text table (top `k` regions).
+  std::string FormatReport(size_t k = 10) const;
+
+ private:
+  struct Accum {
+    std::string name;
+    size_t visits = 0;
+    size_t stays = 0;
+    size_t pass_bys = 0;
+    DurationMs total_time = 0;
+    std::map<std::string, bool> device_stayed;  // device -> had a stay
+  };
+
+  RegionStats Finalize(dsm::RegionId region, const Accum& accum) const;
+
+  const dsm::Dsm* dsm_;
+  size_t sequences_ = 0;
+  std::map<dsm::RegionId, Accum> regions_;
+  std::vector<MobilitySemanticsSequence> corpus_;  // kept for flow/occupancy
+};
+
+}  // namespace trips::core

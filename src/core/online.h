@@ -1,0 +1,76 @@
+// Online (streaming) translation: the Data Selector's "streams APIs" input
+// taken to its conclusion. Records arrive one at a time from a live
+// positioning feed; per-device buffers are translated and emitted once the
+// device goes quiet (left the venue / lost coverage) or its buffer grows too
+// large. Built on the batch Translator, so online results use whatever
+// mobility knowledge and event model the translator currently holds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/translator.h"
+
+namespace trips::core {
+
+/// Streaming options.
+struct OnlineOptions {
+  /// A device whose newest record is older than this at Poll time is
+  /// considered departed; its buffer is translated and emitted.
+  DurationMs flush_after = 10 * kMillisPerMinute;
+  /// A device buffer reaching this many records is translated immediately
+  /// (bounded memory for devices that never leave).
+  size_t max_buffer_records = 20'000;
+  /// Buffers smaller than this are dropped, not translated, at flush time
+  /// (a couple of stray fixes carry no semantics).
+  size_t min_flush_records = 4;
+};
+
+/// Incremental front-end over a Translator.
+///
+///     core::OnlineTranslator online(&translator);
+///     for (const auto& [device, record] : feed) {
+///       online.Ingest(device, record);
+///       for (auto& result : online.Poll(record.timestamp)) Emit(result);
+///     }
+///     for (auto& result : online.FlushAll()) Emit(result);
+class OnlineTranslator {
+ public:
+  /// `translator` must be initialized and outlive this object.
+  explicit OnlineTranslator(const Translator* translator, OnlineOptions options = {});
+
+  /// Buffers one record. Returns the translation of the device's buffer when
+  /// ingestion itself forced a flush (buffer cap reached), else no value.
+  Result<std::vector<TranslationResult>> Ingest(const std::string& device,
+                                                const positioning::RawRecord& record);
+
+  /// Flushes every device idle at `now` and returns their translations.
+  Result<std::vector<TranslationResult>> Poll(TimestampMs now);
+
+  /// Flushes everything regardless of idleness (end of stream).
+  Result<std::vector<TranslationResult>> FlushAll();
+
+  /// Devices currently buffered.
+  size_t PendingDevices() const { return buffers_.size(); }
+  /// Total buffered records.
+  size_t PendingRecords() const;
+  /// Sequences emitted so far (flushed and translated).
+  size_t EmittedCount() const { return emitted_; }
+
+ private:
+  struct Buffer {
+    positioning::PositioningSequence sequence;
+    TimestampMs newest = 0;
+  };
+
+  // Translates and removes one buffer; appends to `out` unless too small.
+  Status FlushDevice(const std::string& device, std::vector<TranslationResult>* out);
+
+  const Translator* translator_;
+  OnlineOptions options_;
+  std::map<std::string, Buffer> buffers_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace trips::core

@@ -1,0 +1,56 @@
+#include "core/pipeline.h"
+
+#include "core/result_io.h"
+#include "dsm/dsm_json.h"
+
+namespace trips::core {
+
+Pipeline::Pipeline(TranslatorOptions options) : options_(options) {}
+
+Status Pipeline::SetDsm(dsm::Dsm dsm) {
+  if (!dsm.topology_computed()) {
+    TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  }
+  dsm_ = std::make_unique<dsm::Dsm>(std::move(dsm));
+  translator_ = std::make_unique<Translator>(dsm_.get(), options_);
+  return translator_->Init();
+}
+
+Status Pipeline::LoadDsm(const std::string& path) {
+  TRIPS_ASSIGN_OR_RETURN(dsm::Dsm loaded, dsm::LoadFromFile(path));
+  return SetDsm(std::move(loaded));
+}
+
+Result<std::vector<TranslationResult>> Pipeline::Run() {
+  if (translator_ == nullptr) {
+    return Status::FailedPrecondition("no DSM installed; call SetDsm/LoadDsm first");
+  }
+  TRIPS_ASSIGN_OR_RETURN(std::vector<positioning::PositioningSequence> selected,
+                         selector_.Select());
+  if (!editor_.training_data().empty()) {
+    // Training is best-effort: with segments for fewer than two patterns the
+    // rule-based identifier stays in place.
+    Status trained = translator_->TrainEventModel(editor_.training_data());
+    if (!trained.ok() && trained.code() != StatusCode::kFailedPrecondition) {
+      return trained;
+    }
+  }
+  return translator_->TranslateAll(selected);
+}
+
+Result<size_t> Pipeline::ExportResults(const std::vector<TranslationResult>& results,
+                                       const std::string& dir) const {
+  size_t written = 0;
+  for (const TranslationResult& r : results) {
+    std::string name = r.semantics.device_id;
+    for (char& c : name) {
+      if (c == '/' || c == '\\' || c == ':') c = '_';
+    }
+    TRIPS_RETURN_NOT_OK(
+        WriteResultFile(r.semantics, dir + "/" + name + ".result.json"));
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace trips::core

@@ -1,0 +1,71 @@
+// The five-step TRIPS workflow (§4, Fig. 6): (1) set up the positioning data
+// with the Data Selector, (2) import or create the DSM, (3) define event
+// patterns and collect training data, (4) submit the translation task, (5)
+// browse the result in the Viewer. Pipeline wires the components so an
+// application drives the whole session through one object; each step remains
+// individually accessible for finer control.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/data_selector.h"
+#include "config/event_editor.h"
+#include "core/translator.h"
+#include "dsm/dsm.h"
+
+namespace trips::core {
+
+/// One full TRIPS session.
+class Pipeline {
+ public:
+  explicit Pipeline(TranslatorOptions options = {});
+
+  // ---- step (1): positioning data ----
+
+  /// The Data Selector to configure (sources + rules).
+  config::DataSelector& selector() { return selector_; }
+
+  // ---- step (2): indoor space ----
+
+  /// Installs the DSM (built by a SpaceModeler, loaded from JSON, or one of
+  /// the sample spaces). Recomputes topology when needed and (re)creates the
+  /// Translator.
+  Status SetDsm(dsm::Dsm dsm);
+  /// Loads the DSM from a JSON file.
+  Status LoadDsm(const std::string& path);
+  const dsm::Dsm* dsm() const { return dsm_ ? dsm_.get() : nullptr; }
+
+  // ---- step (3): event patterns & training data ----
+
+  /// The Event Editor to configure. The data "will be stored in the backend
+  /// for the reuse in other translation tasks" — the editor persists across
+  /// Run calls.
+  config::EventEditor& event_editor() { return editor_; }
+
+  // ---- step (4): translation ----
+
+  /// Executes selection, optional model training and batch translation.
+  /// Fails when no DSM is installed or selection fails.
+  Result<std::vector<TranslationResult>> Run();
+
+  /// The Translator (valid after SetDsm/LoadDsm).
+  Translator* translator() { return translator_ ? translator_.get() : nullptr; }
+
+  // ---- step (5): browsing / export ----
+
+  /// Writes, for every result, a JSON result file
+  /// "<dir>/<device>.result.json". Returns the number of files written.
+  Result<size_t> ExportResults(const std::vector<TranslationResult>& results,
+                               const std::string& dir) const;
+
+ private:
+  TranslatorOptions options_;
+  config::DataSelector selector_;
+  config::EventEditor editor_;
+  std::unique_ptr<dsm::Dsm> dsm_;
+  std::unique_ptr<Translator> translator_;
+};
+
+}  // namespace trips::core

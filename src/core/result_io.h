@@ -1,0 +1,35 @@
+// Translation-result files: the exportable artifact of step (4) of the
+// workflow (Fig. 5(4) shows "the exported translation result file" of device
+// 3a.*.14). JSON schema:
+//   { "device": "...",
+//     "semantics": [ {"event", "region", "region_name",
+//                     "begin", "end", "inferred"}, ... ] }
+#pragma once
+
+#include <string>
+
+#include "core/semantics.h"
+#include "json/json.h"
+#include "positioning/record.h"
+
+namespace trips::core {
+
+/// Serializes a semantics sequence to the result-file JSON value.
+json::Value SemanticsToJson(const MobilitySemanticsSequence& seq);
+
+/// Parses a result-file JSON value back into a semantics sequence.
+Result<MobilitySemanticsSequence> SemanticsFromJson(const json::Value& value);
+
+/// Writes a result file for one device.
+Status WriteResultFile(const MobilitySemanticsSequence& seq, const std::string& path);
+
+/// Reads a result file.
+Result<MobilitySemanticsSequence> ReadResultFile(const std::string& path);
+
+/// Renders the side-by-side raw-vs-semantics comparison of the paper's
+/// Table 1 for one device (first `max_raw_rows` raw records shown).
+std::string RenderTable1(const positioning::PositioningSequence& raw,
+                         const MobilitySemanticsSequence& semantics,
+                         size_t max_raw_rows = 8);
+
+}  // namespace trips::core

@@ -1,0 +1,82 @@
+#include "core/semantics.h"
+
+#include <algorithm>
+
+namespace trips::core {
+
+std::string MobilitySemantic::ToString() const {
+  std::string out = "(";
+  out += event;
+  out += ", ";
+  out += region_name.empty() ? ("region#" + std::to_string(region)) : region_name;
+  out += ", ";
+  out += FormatClock(range.begin);
+  out += "-";
+  out += FormatClock(range.end);
+  if (inferred) out += ", inferred";
+  out += ")";
+  return out;
+}
+
+TimeRange MobilitySemanticsSequence::Span() const {
+  if (semantics.empty()) return {};
+  return {semantics.front().range.begin, semantics.back().range.end};
+}
+
+const MobilitySemantic* MobilitySemanticsSequence::At(TimestampMs t) const {
+  for (const MobilitySemantic& s : semantics) {
+    if (s.range.Contains(t)) return &s;
+  }
+  return nullptr;
+}
+
+DurationMs MobilitySemanticsSequence::CoveredDuration() const {
+  DurationMs total = 0;
+  for (const MobilitySemantic& s : semantics) total += s.range.Duration();
+  return total;
+}
+
+void MobilitySemanticsSequence::SortByTime() {
+  std::stable_sort(semantics.begin(), semantics.end(),
+                   [](const MobilitySemantic& a, const MobilitySemantic& b) {
+                     return a.range.begin < b.range.begin;
+                   });
+}
+
+std::string MobilitySemanticsSequence::ToString() const {
+  std::string out = device_id + ":\n";
+  for (const MobilitySemantic& s : semantics) {
+    out += "  " + s.ToString() + "\n";
+  }
+  return out;
+}
+
+SemanticsAgreement CompareSemantics(const MobilitySemanticsSequence& truth,
+                                    const MobilitySemanticsSequence& predicted,
+                                    DurationMs step) {
+  SemanticsAgreement out;
+  if (truth.Empty() || step <= 0) return out;
+  TimeRange span = truth.Span();
+  DurationMs full = 0, region = 0, event = 0, evaluated = 0;
+  for (TimestampMs t = span.begin; t <= span.end; t += step) {
+    const MobilitySemantic* gt = truth.At(t);
+    if (gt == nullptr) continue;
+    evaluated += step;
+    const MobilitySemantic* pr = predicted.At(t);
+    if (pr == nullptr) continue;
+    bool region_ok = pr->region == gt->region;
+    bool event_ok = pr->event == gt->event;
+    if (region_ok) region += step;
+    if (event_ok) event += step;
+    if (region_ok && event_ok) full += step;
+  }
+  out.evaluated = evaluated;
+  if (evaluated > 0) {
+    out.full_match = static_cast<double>(full) / static_cast<double>(evaluated);
+    out.region_match = static_cast<double>(region) / static_cast<double>(evaluated);
+    out.event_match = static_cast<double>(event) / static_cast<double>(evaluated);
+  }
+  return out;
+}
+
+}  // namespace trips::core

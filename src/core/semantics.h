@@ -1,0 +1,87 @@
+// Mobility semantics — the output representation of TRIPS (§1, Table 1):
+// a sequence of triplets (event annotation, spatial annotation, temporal
+// annotation), e.g. (stay, Adidas, 1:02:05-1:18:15pm).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/entity.h"
+#include "util/time_util.h"
+
+namespace trips::core {
+
+/// Built-in mobility event names. Events are user-defined patterns (§2 Event
+/// Editor); these are the ones the paper's walk-through uses. Custom patterns
+/// are plain strings alongside these.
+inline constexpr const char* kEventStay = "stay";
+inline constexpr const char* kEventPassBy = "pass-by";
+inline constexpr const char* kEventWander = "wander";
+inline constexpr const char* kEventUnknown = "unknown";
+
+/// One mobility semantics triplet.
+struct MobilitySemantic {
+  /// Event annotation: a mobility event pattern name ("stay", "pass-by", ...).
+  std::string event;
+  /// Spatial annotation: the semantic region, by id and display name.
+  dsm::RegionId region = dsm::kInvalidRegion;
+  std::string region_name;
+  /// Temporal annotation.
+  TimeRange range;
+  /// True when this triplet was inferred by the Complementing layer rather
+  /// than annotated from observed records.
+  bool inferred = false;
+
+  bool operator==(const MobilitySemantic& other) const = default;
+
+  /// Renders "(stay, Adidas, 13:02:05-13:18:15)" as in Table 1.
+  std::string ToString() const;
+};
+
+/// The mobility semantics of one device: an ordered sequence of triplets.
+struct MobilitySemanticsSequence {
+  std::string device_id;
+  std::vector<MobilitySemantic> semantics;
+
+  bool Empty() const { return semantics.empty(); }
+  size_t Size() const { return semantics.size(); }
+
+  /// Time span from the first triplet's begin to the last triplet's end.
+  TimeRange Span() const;
+
+  /// The triplet covering time `t`, or nullptr.
+  const MobilitySemantic* At(TimestampMs t) const;
+
+  /// Total time covered by triplets (gaps excluded).
+  DurationMs CoveredDuration() const;
+
+  /// Sorts triplets by begin time.
+  void SortByTime();
+
+  /// Renders the sequence as in Table 1's right column (one triplet per line).
+  std::string ToString() const;
+};
+
+/// Agreement metrics between two semantics sequences over a common span,
+/// measured by time-weighted overlap (the natural metric when triplet
+/// boundaries differ slightly). Used to score annotation and complementing
+/// quality against generator ground truth.
+struct SemanticsAgreement {
+  /// Fraction of evaluated time where both region and event match.
+  double full_match = 0;
+  /// Fraction of evaluated time where the region matches.
+  double region_match = 0;
+  /// Fraction of evaluated time where the event matches.
+  double event_match = 0;
+  /// Total milliseconds evaluated.
+  DurationMs evaluated = 0;
+};
+
+/// Computes time-weighted agreement of `predicted` against `truth`, sampled
+/// every `step` milliseconds over truth's span. Instants where truth has no
+/// triplet are skipped.
+SemanticsAgreement CompareSemantics(const MobilitySemanticsSequence& truth,
+                                    const MobilitySemanticsSequence& predicted,
+                                    DurationMs step = 1000);
+
+}  // namespace trips::core

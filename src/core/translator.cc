@@ -1,0 +1,94 @@
+#include "core/translator.h"
+
+namespace trips::core {
+
+Translator::Translator(const dsm::Dsm* dsm, TranslatorOptions options)
+    : dsm_(dsm), options_(options), classifier_(options.classifier) {}
+
+Status Translator::Init() {
+  if (dsm_ == nullptr) return Status::InvalidArgument("dsm is null");
+  if (!dsm_->topology_computed()) {
+    return Status::FailedPrecondition("DSM topology not computed");
+  }
+  TRIPS_ASSIGN_OR_RETURN(dsm::RoutePlanner planner, dsm::RoutePlanner::Build(dsm_));
+  planner_.emplace(std::move(planner));
+  knowledge_ = complement::MobilityKnowledge::Uniform(*dsm_);
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status Translator::TrainEventModel(
+    const std::vector<config::LabeledSegment>& training_data) {
+  return classifier_.Train(training_data);
+}
+
+TranslationResult Translator::CleanAndAnnotate(
+    const positioning::PositioningSequence& seq) const {
+  TranslationResult result;
+  result.raw = seq;
+  result.raw.SortByTime();
+
+  if (options_.enable_cleaning) {
+    cleaning::RawDataCleaner cleaner(dsm_, planner_.has_value() ? &*planner_ : nullptr,
+                                     options_.cleaner);
+    result.cleaned = cleaner.Clean(result.raw, &result.cleaning_report);
+  } else {
+    result.cleaned = result.raw;
+    result.cleaning_report.total_records = result.raw.records.size();
+  }
+
+  annotation::Annotator annotator(dsm_, &classifier_, options_.annotator);
+  result.original_semantics = annotator.Annotate(result.cleaned);
+  return result;
+}
+
+Result<std::vector<TranslationResult>> Translator::TranslateAll(
+    const std::vector<positioning::PositioningSequence>& sequences) {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+
+  // Layers 1+2 on every sequence.
+  std::vector<TranslationResult> results;
+  results.reserve(sequences.size());
+  for (const positioning::PositioningSequence& seq : sequences) {
+    results.push_back(CleanAndAnnotate(seq));
+  }
+
+  // Knowledge construction aggregates all annotated sequences.
+  complement::KnowledgeBuilder builder(dsm_);
+  for (const TranslationResult& r : results) {
+    builder.AddSequence(r.original_semantics);
+  }
+  complement::MobilityKnowledge learned =
+      builder.Build(options_.knowledge_smoothing);
+  if (learned.observed_transitions > 0) {
+    knowledge_ = std::move(learned);
+  }
+
+  // Layer 3 on every sequence.
+  if (options_.enable_complementing) {
+    complement::Complementor complementor(dsm_, &knowledge_, options_.complementor);
+    for (TranslationResult& r : results) {
+      r.semantics = complementor.Complement(r.original_semantics,
+                                            &r.complement_report);
+    }
+  } else {
+    for (TranslationResult& r : results) r.semantics = r.original_semantics;
+  }
+  return results;
+}
+
+Result<TranslationResult> Translator::Translate(
+    const positioning::PositioningSequence& seq) const {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  TranslationResult result = CleanAndAnnotate(seq);
+  if (options_.enable_complementing) {
+    complement::Complementor complementor(dsm_, &knowledge_, options_.complementor);
+    result.semantics =
+        complementor.Complement(result.original_semantics, &result.complement_report);
+  } else {
+    result.semantics = result.original_semantics;
+  }
+  return result;
+}
+
+}  // namespace trips::core

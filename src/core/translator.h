@@ -1,0 +1,110 @@
+// The Translator — backend component of TRIPS (§2): "constructs a sequence
+// of mobility semantics for each individual positioning sequence" by running
+// the three-layer framework (Fig. 3): Cleaning -> Annotation -> Complementing,
+// "without manual interventions".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "annotation/annotator.h"
+#include "annotation/event_classifier.h"
+#include "cleaning/cleaner.h"
+#include "complement/complementor.h"
+#include "complement/knowledge.h"
+#include "config/event_editor.h"
+#include "core/semantics.h"
+#include "dsm/dsm.h"
+#include "dsm/routing.h"
+
+namespace trips::core {
+
+/// Cleaner defaults for the full pipeline: light smoothing suppresses the
+/// per-fix positioning jitter that would otherwise inflate the motion
+/// features the Annotation layer classifies on.
+inline cleaning::CleanerOptions DefaultPipelineCleanerOptions() {
+  cleaning::CleanerOptions opt;
+  opt.smoothing_window = 3;
+  return opt;
+}
+
+/// End-to-end translation options (one knob struct per layer).
+struct TranslatorOptions {
+  cleaning::CleanerOptions cleaner = DefaultPipelineCleanerOptions();
+  annotation::AnnotatorOptions annotator;
+  annotation::EventClassifierOptions classifier;
+  complement::ComplementorOptions complementor;
+  /// Layer switches (ablations / baselines).
+  bool enable_cleaning = true;
+  bool enable_complementing = true;
+  /// Laplace smoothing used when building mobility knowledge.
+  double knowledge_smoothing = 0.5;
+};
+
+/// Everything the Translator produced for one device — the material the
+/// Viewer traces ("the input, output and intermediate data involved in the
+/// translation", §1).
+struct TranslationResult {
+  positioning::PositioningSequence raw;
+  positioning::PositioningSequence cleaned;
+  /// Annotation-layer output (before complementing).
+  MobilitySemanticsSequence original_semantics;
+  /// Final output (after complementing).
+  MobilitySemanticsSequence semantics;
+  cleaning::CleaningReport cleaning_report;
+  complement::ComplementReport complement_report;
+};
+
+/// The three-layer translator. Typical use:
+///
+///     core::Translator translator(&dsm, options);
+///     TRIPS_RETURN_NOT_OK(translator.Init());
+///     translator.TrainEventModel(editor.training_data());       // optional
+///     auto results = translator.TranslateAll(selected_sequences);
+class Translator {
+ public:
+  /// `dsm` must outlive the translator and have topology computed.
+  explicit Translator(const dsm::Dsm* dsm, TranslatorOptions options = {});
+
+  /// Builds the route planner over the DSM. Must be called once before
+  /// translating.
+  Status Init();
+
+  /// Trains the learning-based event identification model from Event Editor
+  /// segments. Without training, the rule-based identifier is used.
+  Status TrainEventModel(const std::vector<config::LabeledSegment>& training_data);
+
+  /// Translates a batch: cleans and annotates every sequence, builds the
+  /// mobility knowledge from all annotated sequences ("referring to other
+  /// generated mobility semantics sequences", §2), then complements each.
+  Result<std::vector<TranslationResult>> TranslateAll(
+      const std::vector<positioning::PositioningSequence>& sequences);
+
+  /// Translates one sequence using the current knowledge (from a previous
+  /// TranslateAll, or the uniform prior when none exists yet).
+  Result<TranslationResult> Translate(const positioning::PositioningSequence& seq) const;
+
+  /// The current mobility knowledge (uniform prior before any batch run).
+  const complement::MobilityKnowledge& knowledge() const { return knowledge_; }
+  /// The event classifier (untrained => rule-based identification).
+  const annotation::EventClassifier& classifier() const { return classifier_; }
+  const TranslatorOptions& options() const { return options_; }
+  /// The route planner (valid after Init).
+  const dsm::RoutePlanner* planner() const {
+    return planner_.has_value() ? &*planner_ : nullptr;
+  }
+
+ private:
+  // Cleaning + Annotation layers for one sequence (no complementing).
+  TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const;
+
+  const dsm::Dsm* dsm_;
+  TranslatorOptions options_;
+  std::optional<dsm::RoutePlanner> planner_;
+  annotation::EventClassifier classifier_;
+  complement::MobilityKnowledge knowledge_;
+  bool initialized_ = false;
+};
+
+}  // namespace trips::core

@@ -1,0 +1,44 @@
+// Umbrella header: include this to get the whole TRIPS public API.
+//
+// TRIPS translates raw indoor positioning data into visual mobility
+// semantics (Li, Lu, Shi, Chen, Chen, Shou — PVLDB 11(12), 2018).
+//
+// Component map:
+//   Configurator  — config::DataSelector, config::SpaceModeler,
+//                   config::EventEditor
+//   Translator    — core::Translator (cleaning::RawDataCleaner,
+//                   annotation::Annotator, complement::Complementor)
+//   Viewer        — viewer::Timeline, viewer::MapRenderer, viewer::RenderHtml
+//   Substrates    — dsm::Dsm (+ routing, JSON, sample spaces),
+//                   positioning::* (records, CSV, error model),
+//                   mobility::MobilityGenerator (ground-truth data)
+#pragma once
+
+#include "annotation/annotator.h"
+#include "annotation/event_classifier.h"
+#include "cleaning/cleaner.h"
+#include "complement/complementor.h"
+#include "complement/knowledge.h"
+#include "config/data_selector.h"
+#include "config/event_editor.h"
+#include "config/space_modeler.h"
+#include "core/analytics.h"
+#include "core/online.h"
+#include "core/pipeline.h"
+#include "core/result_io.h"
+#include "core/semantics.h"
+#include "core/translator.h"
+#include "dsm/dsm.h"
+#include "dsm/dsm_json.h"
+#include "dsm/routing.h"
+#include "dsm/sample_spaces.h"
+#include "dsm/validation.h"
+#include "mobility/generator.h"
+#include "positioning/csv_io.h"
+#include "positioning/error_model.h"
+#include "positioning/record.h"
+#include "viewer/ascii_renderer.h"
+#include "viewer/heatmap.h"
+#include "viewer/html_export.h"
+#include "viewer/map_renderer.h"
+#include "viewer/timeline.h"

@@ -1,0 +1,388 @@
+#include "dsm/dsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trips::dsm {
+
+namespace {
+// A door is attached to a partition when its centroid is inside the partition
+// or within this many metres of the partition boundary.
+constexpr double kDoorAttachDistance = 1.5;
+}  // namespace
+
+const char* EntityKindName(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kRoom:
+      return "room";
+    case EntityKind::kHallway:
+      return "hallway";
+    case EntityKind::kDoor:
+      return "door";
+    case EntityKind::kWall:
+      return "wall";
+    case EntityKind::kStaircase:
+      return "staircase";
+    case EntityKind::kElevator:
+      return "elevator";
+    case EntityKind::kObstacle:
+      return "obstacle";
+  }
+  return "unknown";
+}
+
+bool ParseEntityKind(const std::string& name, EntityKind* out) {
+  static const std::pair<const char*, EntityKind> kTable[] = {
+      {"room", EntityKind::kRoom},           {"hallway", EntityKind::kHallway},
+      {"door", EntityKind::kDoor},           {"wall", EntityKind::kWall},
+      {"staircase", EntityKind::kStaircase}, {"elevator", EntityKind::kElevator},
+      {"obstacle", EntityKind::kObstacle},
+  };
+  for (const auto& [n, k] : kTable) {
+    if (name == n) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsWalkableKind(EntityKind kind) {
+  return kind == EntityKind::kRoom || kind == EntityKind::kHallway ||
+         kind == EntityKind::kStaircase || kind == EntityKind::kElevator;
+}
+
+bool IsVerticalKind(EntityKind kind) {
+  return kind == EntityKind::kStaircase || kind == EntityKind::kElevator;
+}
+
+Status Dsm::AddFloor(Floor floor) {
+  for (const Floor& f : floors_) {
+    if (f.id == floor.id) {
+      return Status::AlreadyExists("floor " + std::to_string(floor.id));
+    }
+  }
+  floors_.push_back(std::move(floor));
+  std::sort(floors_.begin(), floors_.end(),
+            [](const Floor& a, const Floor& b) { return a.id < b.id; });
+  return Status::OK();
+}
+
+Result<EntityId> Dsm::AddEntity(Entity entity) {
+  if (entity.shape.vertices.size() < 3) {
+    return Status::InvalidArgument("entity '" + entity.name +
+                                   "' needs a polygon with >= 3 vertices");
+  }
+  entity.id = next_entity_id_++;
+  entities_.push_back(std::move(entity));
+  topology_computed_ = false;
+  return entities_.back().id;
+}
+
+Result<RegionId> Dsm::AddRegion(SemanticRegion region) {
+  if (region.shape.vertices.size() < 3) {
+    return Status::InvalidArgument("region '" + region.name +
+                                   "' needs a polygon with >= 3 vertices");
+  }
+  if (region.name.empty()) {
+    return Status::InvalidArgument("semantic region needs a name");
+  }
+  region.id = next_region_id_++;
+  regions_.push_back(std::move(region));
+  topology_computed_ = false;
+  return regions_.back().id;
+}
+
+Status Dsm::MapEntityToRegion(EntityId entity, RegionId region) {
+  const Entity* e = GetEntity(entity);
+  if (e == nullptr) return Status::NotFound("entity " + std::to_string(entity));
+  if (region < 0 || region >= static_cast<RegionId>(regions_.size())) {
+    return Status::NotFound("region " + std::to_string(region));
+  }
+  auto& members = regions_[region].member_entities;
+  if (std::find(members.begin(), members.end(), entity) == members.end()) {
+    members.push_back(entity);
+  }
+  topology_computed_ = false;
+  return Status::OK();
+}
+
+Status Dsm::ComputeTopology() {
+  topology_ = Topology{};
+
+  // 1. Attach each door to the walkable partitions around it.
+  for (const Entity& door : entities_) {
+    if (door.kind != EntityKind::kDoor) continue;
+    geo::Point2 c = door.Center();
+    std::vector<std::pair<double, EntityId>> candidates;
+    for (const Entity& part : entities_) {
+      if (!IsWalkableKind(part.kind) || part.floor != door.floor) continue;
+      double dist = part.shape.Contains(c) ? 0.0 : part.shape.BoundaryDistanceTo(c);
+      // Also accept when any door vertex falls inside the partition.
+      if (dist > kDoorAttachDistance) {
+        for (const geo::Point2& v : door.shape.vertices) {
+          if (part.shape.Contains(v)) {
+            dist = 0.0;
+            break;
+          }
+        }
+      }
+      if (dist <= kDoorAttachDistance) candidates.emplace_back(dist, part.id);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<EntityId> attached;
+    for (const auto& [dist, pid] : candidates) {
+      attached.push_back(pid);
+      if (attached.size() == 4) break;  // doors join at most a handful of partitions
+    }
+    topology_.door_partitions[door.id] = attached;
+    for (EntityId pid : attached) {
+      topology_.partition_doors[pid].push_back(door.id);
+    }
+  }
+
+  // 2. Overlap links between same-floor walkable partitions: crossing
+  //    corridors, connectors placed inside hallways, etc. The portal point is
+  //    the centre of the bounding-box intersection when it lies in both
+  //    shapes (exact for the axis-aligned partitions floorplans are traced
+  //    with), else the contained centroid.
+  for (size_t i = 0; i < entities_.size(); ++i) {
+    const Entity& a = entities_[i];
+    if (!IsWalkableKind(a.kind)) continue;
+    for (size_t j = i + 1; j < entities_.size(); ++j) {
+      const Entity& b = entities_[j];
+      if (!IsWalkableKind(b.kind) || a.floor != b.floor) continue;
+      geo::BoundingBox ba = a.shape.Bounds();
+      geo::BoundingBox bb = b.shape.Bounds();
+      if (!ba.Intersects(bb)) continue;
+      geo::BoundingBox inter;
+      inter.Extend({std::max(ba.min.x, bb.min.x), std::max(ba.min.y, bb.min.y)});
+      inter.Extend({std::min(ba.max.x, bb.max.x), std::min(ba.max.y, bb.max.y)});
+      geo::Point2 candidates[] = {inter.Center(), a.Center(), b.Center()};
+      bool linked = false;
+      for (const geo::Point2& c : candidates) {
+        if (a.shape.Contains(c) && b.shape.Contains(c)) {
+          topology_.partition_overlaps.push_back({a.id, b.id, c});
+          linked = true;
+          break;
+        }
+      }
+      (void)linked;
+    }
+  }
+
+  // 3. Vertical links: same-named staircases/elevators on different floors.
+  std::vector<const Entity*> verticals;
+  for (const Entity& e : entities_) {
+    if (IsVerticalKind(e.kind)) verticals.push_back(&e);
+  }
+  for (size_t i = 0; i < verticals.size(); ++i) {
+    for (size_t j = i + 1; j < verticals.size(); ++j) {
+      const Entity* a = verticals[i];
+      const Entity* b = verticals[j];
+      if (a->name == b->name && !a->name.empty() &&
+          std::abs(a->floor - b->floor) == 1) {
+        topology_.vertical_links.emplace_back(a->id, b->id);
+      }
+    }
+  }
+
+  // 4. Region membership: explicit mapping + geometric auto-mapping of
+  //    partitions whose centroid lies in the region shape.
+  for (const SemanticRegion& region : regions_) {
+    for (EntityId eid : region.member_entities) {
+      const Entity* e = GetEntity(eid);
+      if (e != nullptr && IsWalkableKind(e->kind)) {
+        topology_.partition_regions[eid].push_back(region.id);
+      }
+    }
+    for (const Entity& part : entities_) {
+      if (!IsWalkableKind(part.kind) || part.floor != region.floor) continue;
+      auto& mapped = topology_.partition_regions[part.id];
+      if (std::find(mapped.begin(), mapped.end(), region.id) != mapped.end()) continue;
+      if (region.shape.Contains(part.Center())) {
+        mapped.push_back(region.id);
+      }
+    }
+  }
+
+  // 5. Region adjacency. Three geometric signals:
+  //    (a) door-based: regions touching the same door connect through it;
+  //    (b) contact-based: same-floor regions whose shapes overlap or share a
+  //        boundary flow into each other;
+  //    (c) vertical: regions covering the two ends of a staircase/elevator
+  //        link connect across floors.
+  auto link = [this](RegionId a, RegionId b) {
+    if (a == b || a == kInvalidRegion || b == kInvalidRegion) return;
+    topology_.region_adjacency[a].insert(b);
+    topology_.region_adjacency[b].insert(a);
+  };
+  auto regions_near = [this](const geo::Point2& p, geo::FloorId floor,
+                             double max_dist) {
+    std::vector<RegionId> out;
+    for (const SemanticRegion& r : regions_) {
+      if (r.floor != floor) continue;
+      if (r.shape.Contains(p) || r.shape.BoundaryDistanceTo(p) <= max_dist) {
+        out.push_back(r.id);
+      }
+    }
+    return out;
+  };
+  // (a) doors.
+  for (const Entity& door : entities_) {
+    if (door.kind != EntityKind::kDoor) continue;
+    std::vector<RegionId> near =
+        regions_near(door.Center(), door.floor, kDoorAttachDistance);
+    for (size_t i = 0; i < near.size(); ++i) {
+      for (size_t j = i + 1; j < near.size(); ++j) {
+        link(near[i], near[j]);
+      }
+    }
+  }
+  // (b) shape contact.
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    for (size_t j = i + 1; j < regions_.size(); ++j) {
+      const SemanticRegion& a = regions_[i];
+      const SemanticRegion& b = regions_[j];
+      if (a.floor != b.floor) continue;
+      geo::BoundingBox ba = a.shape.Bounds();
+      geo::BoundingBox bb = b.shape.Bounds();
+      if (!ba.Intersects(bb)) continue;
+      geo::BoundingBox inter;
+      inter.Extend({std::max(ba.min.x, bb.min.x), std::max(ba.min.y, bb.min.y)});
+      inter.Extend({std::min(ba.max.x, bb.max.x), std::min(ba.max.y, bb.max.y)});
+      for (const geo::Point2& c : {inter.Center(), a.Center(), b.Center()}) {
+        if (a.shape.Contains(c) && b.shape.Contains(c)) {
+          link(a.id, b.id);
+          break;
+        }
+      }
+    }
+  }
+  // (c) vertical connectors.
+  for (const auto& [va, vb] : topology_.vertical_links) {
+    const Entity* ea = GetEntity(va);
+    const Entity* eb = GetEntity(vb);
+    if (ea == nullptr || eb == nullptr) continue;
+    for (RegionId ra : regions_near(ea->Center(), ea->floor, kDoorAttachDistance)) {
+      for (RegionId rb : regions_near(eb->Center(), eb->floor, kDoorAttachDistance)) {
+        link(ra, rb);
+      }
+    }
+  }
+
+  topology_computed_ = true;
+  return Status::OK();
+}
+
+const Floor* Dsm::GetFloor(geo::FloorId id) const {
+  for (const Floor& f : floors_) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+const Entity* Dsm::GetEntity(EntityId id) const {
+  if (id < 0 || id >= static_cast<EntityId>(entities_.size())) return nullptr;
+  // Entity ids are assigned densely in insertion order.
+  return &entities_[id];
+}
+
+const SemanticRegion* Dsm::GetRegion(RegionId id) const {
+  if (id < 0 || id >= static_cast<RegionId>(regions_.size())) return nullptr;
+  return &regions_[id];
+}
+
+const SemanticRegion* Dsm::FindRegionByName(const std::string& name) const {
+  for (const SemanticRegion& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+EntityId Dsm::PartitionAt(const geo::IndoorPoint& p) const {
+  EntityId best = kInvalidEntity;
+  double best_area = 1e300;
+  for (const Entity& e : entities_) {
+    if (!IsWalkableKind(e.kind) || e.floor != p.floor) continue;
+    if (e.shape.Contains(p.xy)) {
+      double area = e.shape.AbsArea();
+      if (area < best_area) {
+        best_area = area;
+        best = e.id;
+      }
+    }
+  }
+  return best;
+}
+
+bool Dsm::IsWalkable(const geo::IndoorPoint& p) const {
+  return PartitionAt(p) != kInvalidEntity;
+}
+
+RegionId Dsm::RegionAt(const geo::IndoorPoint& p) const {
+  RegionId best = kInvalidRegion;
+  double best_area = 1e300;
+  for (const SemanticRegion& r : regions_) {
+    if (r.floor != p.floor) continue;
+    if (r.shape.Contains(p.xy)) {
+      double area = r.shape.AbsArea();
+      if (area < best_area) {
+        best_area = area;
+        best = r.id;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<EntityId> Dsm::DoorsOfPartition(EntityId pid) const {
+  auto it = topology_.partition_doors.find(pid);
+  return it != topology_.partition_doors.end() ? it->second : std::vector<EntityId>{};
+}
+
+std::vector<EntityId> Dsm::PartitionsOfDoor(EntityId door) const {
+  auto it = topology_.door_partitions.find(door);
+  return it != topology_.door_partitions.end() ? it->second : std::vector<EntityId>{};
+}
+
+std::vector<RegionId> Dsm::AdjacentRegions(RegionId rid) const {
+  auto it = topology_.region_adjacency.find(rid);
+  if (it == topology_.region_adjacency.end()) return {};
+  return std::vector<RegionId>(it->second.begin(), it->second.end());
+}
+
+geo::IndoorPoint Dsm::SnapToWalkable(const geo::IndoorPoint& p) const {
+  if (IsWalkable(p)) return p;
+  double best_dist = 1e300;
+  geo::Point2 best = p.xy;
+  for (const Entity& e : entities_) {
+    if (!IsWalkableKind(e.kind) || e.floor != p.floor) continue;
+    for (const geo::Segment& edge : e.shape.Edges()) {
+      geo::Point2 q = edge.ClosestPoint(p.xy);
+      double d = q.DistanceTo(p.xy);
+      if (d < best_dist) {
+        best_dist = d;
+        best = q;
+      }
+    }
+  }
+  // Nudge the snapped point slightly inside the partition it borders.
+  if (best_dist < 1e300) {
+    geo::Point2 inward = best + (best - p.xy).Normalized() * 1e-6;
+    return {inward, p.floor};
+  }
+  return p;
+}
+
+geo::BoundingBox Dsm::FloorBounds(geo::FloorId floor) const {
+  geo::BoundingBox box;
+  const Floor* f = GetFloor(floor);
+  if (f != nullptr) box.Extend(f->outline.Bounds());
+  for (const Entity& e : entities_) {
+    if (e.floor == floor) box.Extend(e.shape.Bounds());
+  }
+  return box;
+}
+
+}  // namespace trips::dsm

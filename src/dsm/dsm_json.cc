@@ -1,0 +1,146 @@
+#include "dsm/dsm_json.h"
+
+namespace trips::dsm {
+
+namespace {
+
+json::Value PolygonToJson(const geo::Polygon& poly) {
+  json::Array arr;
+  for (const geo::Point2& p : poly.vertices) {
+    arr.push_back(json::Array{p.x, p.y});
+  }
+  return arr;
+}
+
+Result<geo::Polygon> PolygonFromJson(const json::Value& v, const std::string& what) {
+  if (!v.is_array()) return Status::ParseError(what + ": shape must be an array");
+  geo::Polygon poly;
+  for (const json::Value& pt : v.AsArray()) {
+    if (!pt.is_array() || pt.AsArray().size() != 2 || !pt.AsArray()[0].is_number() ||
+        !pt.AsArray()[1].is_number()) {
+      return Status::ParseError(what + ": vertex must be [x, y]");
+    }
+    poly.vertices.push_back({pt.AsArray()[0].AsDouble(), pt.AsArray()[1].AsDouble()});
+  }
+  return poly;
+}
+
+}  // namespace
+
+json::Value ToJson(const Dsm& dsm) {
+  json::Object root;
+  root["name"] = dsm.name();
+
+  json::Array floors;
+  for (const Floor& f : dsm.floors()) {
+    json::Object jf;
+    jf["id"] = f.id;
+    jf["name"] = f.name;
+    jf["outline"] = PolygonToJson(f.outline);
+    floors.push_back(std::move(jf));
+  }
+  root["floors"] = std::move(floors);
+
+  json::Array entities;
+  for (const Entity& e : dsm.entities()) {
+    json::Object je;
+    je["id"] = e.id;
+    je["kind"] = EntityKindName(e.kind);
+    je["name"] = e.name;
+    je["floor"] = e.floor;
+    if (!e.semantic_tag.empty()) je["tag"] = e.semantic_tag;
+    je["shape"] = PolygonToJson(e.shape);
+    entities.push_back(std::move(je));
+  }
+  root["entities"] = std::move(entities);
+
+  json::Array regions;
+  for (const SemanticRegion& r : dsm.regions()) {
+    json::Object jr;
+    jr["id"] = r.id;
+    jr["name"] = r.name;
+    jr["category"] = r.category;
+    jr["floor"] = r.floor;
+    jr["shape"] = PolygonToJson(r.shape);
+    json::Array members;
+    for (EntityId eid : r.member_entities) members.push_back(eid);
+    jr["members"] = std::move(members);
+    regions.push_back(std::move(jr));
+  }
+  root["regions"] = std::move(regions);
+
+  return root;
+}
+
+Result<Dsm> FromJson(const json::Value& value) {
+  if (!value.is_object()) return Status::ParseError("DSM document must be an object");
+  Dsm dsm;
+  dsm.set_name(value.GetString("name", "dsm"));
+
+  if (const json::Value* floors = value.AsObject().Find("floors");
+      floors != nullptr && floors->is_array()) {
+    for (const json::Value& jf : floors->AsArray()) {
+      Floor f;
+      f.id = static_cast<geo::FloorId>(jf.GetInt("id"));
+      f.name = jf.GetString("name");
+      if (const json::Value* outline = jf.AsObject().Find("outline")) {
+        TRIPS_ASSIGN_OR_RETURN(f.outline, PolygonFromJson(*outline, "floor outline"));
+      }
+      TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(f)));
+    }
+  }
+
+  if (const json::Value* entities = value.AsObject().Find("entities");
+      entities != nullptr && entities->is_array()) {
+    for (const json::Value& je : entities->AsArray()) {
+      Entity e;
+      std::string kind = je.GetString("kind", "room");
+      if (!ParseEntityKind(kind, &e.kind)) {
+        return Status::ParseError("unknown entity kind '" + kind + "'");
+      }
+      e.name = je.GetString("name");
+      e.floor = static_cast<geo::FloorId>(je.GetInt("floor"));
+      e.semantic_tag = je.GetString("tag");
+      if (const json::Value* shape = je.AsObject().Find("shape")) {
+        TRIPS_ASSIGN_OR_RETURN(e.shape, PolygonFromJson(*shape, "entity " + e.name));
+      }
+      auto added = dsm.AddEntity(std::move(e));
+      if (!added.ok()) return added.status();
+    }
+  }
+
+  if (const json::Value* regions = value.AsObject().Find("regions");
+      regions != nullptr && regions->is_array()) {
+    for (const json::Value& jr : regions->AsArray()) {
+      SemanticRegion r;
+      r.name = jr.GetString("name");
+      r.category = jr.GetString("category");
+      r.floor = static_cast<geo::FloorId>(jr.GetInt("floor"));
+      if (const json::Value* shape = jr.AsObject().Find("shape")) {
+        TRIPS_ASSIGN_OR_RETURN(r.shape, PolygonFromJson(*shape, "region " + r.name));
+      }
+      if (const json::Value* members = jr.AsObject().Find("members");
+          members != nullptr && members->is_array()) {
+        for (const json::Value& m : members->AsArray()) {
+          if (m.is_number()) r.member_entities.push_back(static_cast<EntityId>(m.AsInt()));
+        }
+      }
+      auto added = dsm.AddRegion(std::move(r));
+      if (!added.ok()) return added.status();
+    }
+  }
+
+  TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  return dsm;
+}
+
+Status SaveToFile(const Dsm& dsm, const std::string& path) {
+  return json::WriteFile(ToJson(dsm), path);
+}
+
+Result<Dsm> LoadFromFile(const std::string& path) {
+  TRIPS_ASSIGN_OR_RETURN(json::Value doc, json::ParseFile(path));
+  return FromJson(doc);
+}
+
+}  // namespace trips::dsm

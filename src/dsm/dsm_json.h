@@ -1,0 +1,33 @@
+// JSON (de)serialization of the Digital Space Model. The paper stores the
+// DSM "in JSON format, which is flexible to parse and manipulate" (§3).
+//
+// Document shape:
+//   { "name": ...,
+//     "floors":   [{"id", "name", "outline": [[x,y],...]}, ...],
+//     "entities": [{"id", "kind", "name", "floor", "tag", "shape": [[x,y],...]}, ...],
+//     "regions":  [{"id", "name", "category", "floor",
+//                   "shape": [[x,y],...], "members": [entityId,...]}, ...] }
+#pragma once
+
+#include <string>
+
+#include "dsm/dsm.h"
+#include "json/json.h"
+
+namespace trips::dsm {
+
+/// Serializes a DSM (geometry, tags, regions, mappings) to a JSON value.
+/// Topology is derived data and is not stored; recompute after loading.
+json::Value ToJson(const Dsm& dsm);
+
+/// Reconstructs a DSM from JSON produced by ToJson (or hand-written in the
+/// same schema) and recomputes its topology.
+Result<Dsm> FromJson(const json::Value& value);
+
+/// Writes a DSM to a .json file (pretty-printed).
+Status SaveToFile(const Dsm& dsm, const std::string& path);
+
+/// Loads a DSM from a .json file and recomputes its topology.
+Result<Dsm> LoadFromFile(const std::string& path);
+
+}  // namespace trips::dsm

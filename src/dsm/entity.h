@@ -1,0 +1,97 @@
+// Indoor entities and semantic regions — the building blocks of the Digital
+// Space Model (DSM). The paper's DSM "describes the geometric attributes and
+// topological relations for indoor entities, those for semantic regions, and
+// the mapping between indoor entities and semantic regions" (§2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geometry/shapes.h"
+
+namespace trips::dsm {
+
+/// Identifier of an indoor entity within one DSM.
+using EntityId = int32_t;
+/// Identifier of a semantic region within one DSM.
+using RegionId = int32_t;
+/// Sentinel for "no entity / no region".
+constexpr EntityId kInvalidEntity = -1;
+constexpr RegionId kInvalidRegion = -1;
+
+/// The distinct kinds of indoor entities the DSM models. Rooms, hallways,
+/// staircases and elevators are *walkable partitions*; doors connect
+/// partitions; walls and obstacles block movement.
+enum class EntityKind {
+  kRoom,
+  kHallway,
+  kDoor,
+  kWall,
+  kStaircase,
+  kElevator,
+  kObstacle,
+};
+
+/// Short lower-case name for an entity kind ("room", "door", ...).
+const char* EntityKindName(EntityKind kind);
+/// Inverse of EntityKindName; returns false for unknown names.
+bool ParseEntityKind(const std::string& name, EntityKind* out);
+
+/// True for kinds an object can be located in (room/hallway/staircase/elevator).
+bool IsWalkableKind(EntityKind kind);
+/// True for kinds that connect floors (staircase/elevator).
+bool IsVerticalKind(EntityKind kind);
+
+/// One indoor entity: a named, typed shape on a floor.
+///
+/// Walls are typically traced as thin polygons (or polylines closed by the
+/// Space Modeler); doors as small rectangles straddling the boundary between
+/// the two partitions they connect. Vertical connectors (staircase/elevator)
+/// that share the same `name` on different floors are linked by the topology
+/// computation.
+struct Entity {
+  EntityId id = kInvalidEntity;
+  EntityKind kind = EntityKind::kRoom;
+  std::string name;
+  geo::FloorId floor = 0;
+  geo::Polygon shape;
+  /// Free-form semantic tag assigned in the Space Modeler's semantic tab,
+  /// e.g. "shop", "cashier", "corridor". May be empty.
+  std::string semantic_tag;
+
+  /// Centroid of the entity's shape.
+  geo::Point2 Center() const { return shape.Centroid(); }
+  /// The entity's indoor centroid (centroid + floor).
+  geo::IndoorPoint IndoorCenter() const { return {shape.Centroid(), floor}; }
+};
+
+/// A semantic region: a region of the space carrying practical semantics
+/// (e.g. "Nike Store", "Cashier", "Center Hall"). The Annotator's spatial
+/// annotations and the Complementor's transition knowledge are expressed
+/// over semantic regions.
+struct SemanticRegion {
+  RegionId id = kInvalidRegion;
+  /// Display name used in mobility semantics, e.g. "Adidas".
+  std::string name;
+  /// Category tag, e.g. "shop", "cashier", "hall", "restroom".
+  std::string category;
+  geo::FloorId floor = 0;
+  geo::Polygon shape;
+  /// Entities mapped to this region (the DSM's entity↔region mapping).
+  std::vector<EntityId> member_entities;
+
+  geo::Point2 Center() const { return shape.Centroid(); }
+  geo::IndoorPoint IndoorCenter() const { return {shape.Centroid(), floor}; }
+};
+
+/// One floor of the modeled indoor space.
+struct Floor {
+  geo::FloorId id = 0;
+  std::string name;  ///< e.g. "1F", "G".
+  /// Outer boundary of the floor (walkable envelope).
+  geo::Polygon outline;
+};
+
+}  // namespace trips::dsm

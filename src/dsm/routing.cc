@@ -1,0 +1,223 @@
+#include "dsm/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace trips::dsm {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+geo::IndoorPoint Route::PointAtDistance(double d) const {
+  if (waypoints.empty()) return {};
+  if (d <= 0) return waypoints.front();
+  double acc = 0;
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    const geo::IndoorPoint& a = waypoints[i - 1];
+    const geo::IndoorPoint& b = waypoints[i];
+    double leg;
+    if (a.floor == b.floor) {
+      leg = a.PlanarDistanceTo(b);
+    } else {
+      // Vertical transition: cost was charged by the planner; approximate its
+      // walking length with the floor change. Position jumps at the midpoint.
+      leg = 15.0 * std::abs(a.floor - b.floor);
+      if (d <= acc + leg) {
+        return (d - acc) < leg / 2 ? a : b;
+      }
+      acc += leg;
+      continue;
+    }
+    if (d <= acc + leg && leg > 0) {
+      double t = (d - acc) / leg;
+      return {a.xy + (b.xy - a.xy) * t, a.floor};
+    }
+    acc += leg;
+  }
+  return waypoints.back();
+}
+
+Result<RoutePlanner> RoutePlanner::Build(const Dsm* dsm, RoutePlannerOptions options) {
+  if (dsm == nullptr) return Status::InvalidArgument("dsm is null");
+  if (!dsm->topology_computed()) {
+    return Status::FailedPrecondition("DSM topology not computed");
+  }
+  RoutePlanner planner;
+  planner.dsm_ = dsm;
+  planner.options_ = options;
+
+  const Topology& topo = dsm->topology();
+
+  // One node per door, belonging to all partitions the door connects.
+  std::map<EntityId, int> door_node;
+  for (const auto& [door_id, partitions] : topo.door_partitions) {
+    const Entity* door = dsm->GetEntity(door_id);
+    if (door == nullptr || partitions.empty()) continue;
+    Node node;
+    node.point = door->IndoorCenter();
+    node.partitions = partitions;
+    door_node[door_id] = static_cast<int>(planner.nodes_.size());
+    planner.nodes_.push_back(std::move(node));
+  }
+  // One node per partition-overlap portal (crossing corridors etc.),
+  // belonging to both overlapping partitions.
+  for (const Topology::Overlap& ov : topo.partition_overlaps) {
+    const Entity* ea = dsm->GetEntity(ov.a);
+    if (ea == nullptr) continue;
+    Node node;
+    node.point = {ov.portal, ea->floor};
+    node.partitions = {ov.a, ov.b};
+    planner.nodes_.push_back(std::move(node));
+  }
+  // One node per vertical connector endpoint (its own partition).
+  std::map<EntityId, int> vertical_node;
+  for (const auto& [a, b] : topo.vertical_links) {
+    for (EntityId vid : {a, b}) {
+      if (vertical_node.count(vid)) continue;
+      const Entity* v = dsm->GetEntity(vid);
+      if (v == nullptr) continue;
+      Node node;
+      node.point = v->IndoorCenter();
+      node.partitions = {vid};
+      vertical_node[vid] = static_cast<int>(planner.nodes_.size());
+      planner.nodes_.push_back(std::move(node));
+    }
+  }
+
+  planner.adjacency_.resize(planner.nodes_.size());
+  for (size_t i = 0; i < planner.nodes_.size(); ++i) {
+    for (EntityId pid : planner.nodes_[i].partitions) {
+      planner.partition_nodes_[pid].push_back(static_cast<int>(i));
+    }
+  }
+
+  // Intra-partition edges: nodes sharing a partition connect with planar
+  // distance (partitions are convex-ish rooms/hallways in floorplans).
+  for (const auto& [pid, node_ids] : planner.partition_nodes_) {
+    for (size_t i = 0; i < node_ids.size(); ++i) {
+      for (size_t j = i + 1; j < node_ids.size(); ++j) {
+        int a = node_ids[i];
+        int b = node_ids[j];
+        double w = planner.nodes_[a].point.PlanarDistanceTo(planner.nodes_[b].point);
+        planner.AddEdge(a, b, w);
+      }
+    }
+  }
+  // Vertical edges between linked connector endpoints.
+  for (const auto& [a, b] : topo.vertical_links) {
+    auto ia = vertical_node.find(a);
+    auto ib = vertical_node.find(b);
+    if (ia == vertical_node.end() || ib == vertical_node.end()) continue;
+    const Entity* ea = dsm->GetEntity(a);
+    const Entity* eb = dsm->GetEntity(b);
+    double w = options.vertical_cost_per_floor * std::abs(ea->floor - eb->floor);
+    planner.AddEdge(ia->second, ib->second, w);
+  }
+  // A vertical connector is itself a walkable partition that may carry doors;
+  // nothing further needed: door nodes listing it as a partition already link.
+
+  return planner;
+}
+
+void RoutePlanner::AddEdge(int a, int b, double w) {
+  adjacency_[a].push_back({b, w});
+  adjacency_[b].push_back({a, w});
+}
+
+std::vector<std::pair<int, double>> RoutePlanner::LocalNodes(
+    const geo::IndoorPoint& p) const {
+  std::vector<std::pair<int, double>> out;
+  EntityId pid = dsm_->PartitionAt(p);
+  if (pid == kInvalidEntity) return out;
+  auto it = partition_nodes_.find(pid);
+  if (it == partition_nodes_.end()) return out;
+  for (int node : it->second) {
+    out.emplace_back(node, nodes_[node].point.PlanarDistanceTo(p));
+  }
+  return out;
+}
+
+Result<Route> RoutePlanner::FindRoute(const geo::IndoorPoint& from,
+                                      const geo::IndoorPoint& to) const {
+  EntityId from_part = dsm_->PartitionAt(from);
+  EntityId to_part = dsm_->PartitionAt(to);
+  if (from_part == kInvalidEntity) {
+    return Status::NotFound("route origin is outside every walkable partition");
+  }
+  if (to_part == kInvalidEntity) {
+    return Status::NotFound("route target is outside every walkable partition");
+  }
+
+  // Same partition: straight line.
+  if (from_part == to_part) {
+    Route route;
+    route.waypoints = {from, to};
+    route.distance = from.PlanarDistanceTo(to);
+    return route;
+  }
+
+  // Dijkstra from virtual source (links to nodes in from's partition) to any
+  // node in to's partition, then down to `to`.
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<int> prev(nodes_.size(), -1);
+  using QItem = std::pair<double, int>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+  for (const auto& [node, w] : LocalNodes(from)) {
+    if (w < dist[node]) {
+      dist[node] = w;
+      queue.push({w, node});
+    }
+  }
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const Edge& e : adjacency_[u]) {
+      double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        queue.push({nd, e.to});
+      }
+    }
+  }
+
+  int best_exit = -1;
+  double best_total = kInf;
+  for (const auto& [node, w] : LocalNodes(to)) {
+    if (dist[node] + w < best_total) {
+      best_total = dist[node] + w;
+      best_exit = node;
+    }
+  }
+  if (best_exit < 0) {
+    return Status::NotFound("no indoor path between the given points");
+  }
+
+  std::vector<int> chain;
+  for (int n = best_exit; n != -1; n = prev[n]) chain.push_back(n);
+  std::reverse(chain.begin(), chain.end());
+
+  Route route;
+  route.waypoints.push_back(from);
+  for (int n : chain) route.waypoints.push_back(nodes_[n].point);
+  route.waypoints.push_back(to);
+  route.distance = best_total;
+  return route;
+}
+
+double RoutePlanner::IndoorDistance(const geo::IndoorPoint& from,
+                                    const geo::IndoorPoint& to) const {
+  Result<Route> r = FindRoute(from, to);
+  return r.ok() ? r->distance : kInf;
+}
+
+bool RoutePlanner::Reachable(const geo::IndoorPoint& from,
+                             const geo::IndoorPoint& to) const {
+  return FindRoute(from, to).ok();
+}
+
+}  // namespace trips::dsm

@@ -1,0 +1,83 @@
+// Indoor shortest-path routing over the DSM's door/partition topology.
+// Used by the Cleaning layer's location interpolation ("deriving the possible
+// locations ... based on the indoor geometrical and topological information
+// captured by the DSM", §3) and by the mobility generator substrate.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "util/result.h"
+
+namespace trips::dsm {
+
+/// Options controlling the route planner.
+struct RoutePlannerOptions {
+  /// Cost in metres charged for moving one floor via a staircase/elevator.
+  double vertical_cost_per_floor = 15.0;
+};
+
+/// A computed indoor route: the waypoints (start, door midpoints, vertical
+/// transitions, end) and the total indoor walking distance.
+struct Route {
+  std::vector<geo::IndoorPoint> waypoints;
+  double distance = 0;
+
+  bool Empty() const { return waypoints.empty(); }
+
+  /// The point reached after walking `d` metres along the route (clamped to
+  /// the endpoints). Vertical transitions consume their per-floor cost but
+  /// keep the planar position of the connector.
+  geo::IndoorPoint PointAtDistance(double d) const;
+};
+
+/// Plans shortest walkable paths between indoor points. Builds a static node
+/// graph (doors + vertical connectors) from the DSM once, then answers
+/// queries with Dijkstra searches seeded at the query endpoints.
+class RoutePlanner {
+ public:
+  /// Builds the routing graph. The DSM's topology must be computed first.
+  static Result<RoutePlanner> Build(const Dsm* dsm, RoutePlannerOptions options = {});
+
+  /// Computes the shortest route from `from` to `to`. Fails with NotFound
+  /// when either endpoint lies outside every walkable partition or no
+  /// connected path exists.
+  Result<Route> FindRoute(const geo::IndoorPoint& from, const geo::IndoorPoint& to) const;
+
+  /// Shortest indoor walking distance, or +inf if unreachable/outside.
+  double IndoorDistance(const geo::IndoorPoint& from, const geo::IndoorPoint& to) const;
+
+  /// True iff a walkable path exists between the two points.
+  bool Reachable(const geo::IndoorPoint& from, const geo::IndoorPoint& to) const;
+
+  /// Number of nodes in the static routing graph (doors + vertical pairs).
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    geo::IndoorPoint point;
+    // Partitions this node belongs to (a door node belongs to the partitions
+    // it connects; a vertical node to its own partition).
+    std::vector<EntityId> partitions;
+  };
+  struct Edge {
+    int to;
+    double weight;
+  };
+
+  RoutePlanner() = default;
+
+  void AddEdge(int a, int b, double w);
+  // Finds graph nodes directly reachable from `p` (sharing its partition).
+  std::vector<std::pair<int, double>> LocalNodes(const geo::IndoorPoint& p) const;
+
+  const Dsm* dsm_ = nullptr;
+  RoutePlannerOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  // partition id -> node indices inside it.
+  std::map<EntityId, std::vector<int>> partition_nodes_;
+};
+
+}  // namespace trips::dsm

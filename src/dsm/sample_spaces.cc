@@ -1,0 +1,200 @@
+#include "dsm/sample_spaces.h"
+
+#include <string>
+#include <vector>
+
+namespace trips::dsm {
+
+namespace {
+
+// Brand pool for shop regions; reused with a floor suffix when exhausted.
+const char* kBrands[] = {
+    "Adidas",    "Nike",       "Cashier",   "Starbucks", "Uniqlo",   "Zara",
+    "H&M",       "Apple",      "Samsung",   "Lego",      "Sephora",  "MUJI",
+    "Rolex",     "Swatch",     "Gucci",     "Prada",     "Decathlon", "Ikea",
+    "BookTown",  "ToysRUs",    "FoodCourt", "Cinema",    "GameZone", "KidsPark",
+    "TeaHouse",  "Bakery",     "Pharmacy",  "Optics",    "Jewelry",  "Florist",
+    "PetShop",   "GadgetHub",  "SportsPro", "ShoeBox",   "HatStand", "Denim&Co",
+    "Silkroad",  "Teavana",    "SushiGo",   "BurgerLab", "NoodleBar", "JuiceStop",
+};
+constexpr int kBrandCount = static_cast<int>(sizeof(kBrands) / sizeof(kBrands[0]));
+
+// Adds a rectangular entity and returns its id.
+Result<EntityId> AddRect(Dsm* dsm, EntityKind kind, const std::string& name,
+                         geo::FloorId floor, double x0, double y0, double x1,
+                         double y1, const std::string& tag = "") {
+  Entity e;
+  e.kind = kind;
+  e.name = name;
+  e.floor = floor;
+  e.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+  e.semantic_tag = tag;
+  return dsm->AddEntity(std::move(e));
+}
+
+// Adds a rectangular semantic region and returns its id.
+Result<RegionId> AddRectRegion(Dsm* dsm, const std::string& name,
+                               const std::string& category, geo::FloorId floor,
+                               double x0, double y0, double x1, double y1) {
+  SemanticRegion r;
+  r.name = name;
+  r.category = category;
+  r.floor = floor;
+  r.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+  return dsm->AddRegion(std::move(r));
+}
+
+}  // namespace
+
+Result<Dsm> BuildMallDsm(const MallOptions& options) {
+  if (options.floors < 1) return Status::InvalidArgument("mall needs >= 1 floor");
+  if (options.shops_per_arm < 1 || options.shops_per_arm > 3) {
+    return Status::InvalidArgument("shops_per_arm must be in [1,3]");
+  }
+  Dsm dsm;
+  dsm.set_name("synthetic-mall");
+
+  int brand_cursor = 0;
+  for (geo::FloorId f = 0; f < options.floors; ++f) {
+    Floor floor;
+    floor.id = f;
+    floor.name = std::to_string(f + 1) + "F";
+    floor.outline = geo::Polygon::Rectangle(0, 0, 100, 60);
+    TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(floor)));
+
+    std::string suffix = "@" + std::to_string(f + 1) + "F";
+
+    // Corridors (crossing hallways) and the open center hall over their
+    // crossing.
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kHallway, "corridor-h" + suffix, f, 0, 24, 100, 36,
+                "corridor")
+            .status());
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kHallway, "corridor-v" + suffix, f, 44, 0, 56, 60,
+                "corridor")
+            .status());
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kHallway, "hall" + suffix, f, 40, 20, 60, 40,
+                "hall")
+            .status());
+
+    // Vertical connectors inside the vertical corridor (same name across
+    // floors so topology links them).
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kStaircase, "stair-A", f, 45, 56, 55, 60).status());
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kElevator, "elev-A", f, 45, 0, 55, 3).status());
+
+    // Shops: `shops_per_arm` on each side of the horizontal corridor on both
+    // wings, 10 m wide, flush against the corridor. Wing x-starts.
+    std::vector<double> xs;
+    for (int i = 0; i < options.shops_per_arm; ++i) {
+      xs.push_back(2 + 14 * i);   // west wing: 2, 16, 30
+      xs.push_back(60 + 14 * i);  // east wing: 60, 74, 88 (88+10<100)
+    }
+    for (double x : xs) {
+      for (int side = 0; side < 2; ++side) {
+        bool top = side == 0;
+        double y0 = top ? 36 : 4;
+        double y1 = top ? 56 : 24;
+        std::string brand = kBrands[brand_cursor % kBrandCount];
+        if (brand_cursor >= kBrandCount) brand += suffix;
+        ++brand_cursor;
+
+        auto shop = AddRect(&dsm, EntityKind::kRoom, brand, f, x, y0, x + 10, y1,
+                            "shop");
+        TRIPS_RETURN_NOT_OK(shop.status());
+        // Door straddling the corridor-facing wall.
+        double door_y = top ? 36 : 24;
+        TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, brand + "-door", f,
+                                    x + 4, door_y - 0.6, x + 6, door_y + 0.6)
+                                .status());
+        auto region = AddRectRegion(&dsm, brand, "shop", f, x, y0, x + 10, y1);
+        TRIPS_RETURN_NOT_OK(region.status());
+        TRIPS_RETURN_NOT_OK(
+            dsm.MapEntityToRegion(shop.ValueOrDie(), region.ValueOrDie()));
+      }
+    }
+
+    if (options.corridor_regions) {
+      TRIPS_RETURN_NOT_OK(
+          AddRectRegion(&dsm, "Center Hall" + suffix, "hall", f, 40, 20, 60, 40)
+              .status());
+      TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "West Corridor" + suffix, "corridor",
+                                        f, 0, 24, 40, 36)
+                              .status());
+      TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "East Corridor" + suffix, "corridor",
+                                        f, 60, 24, 100, 36)
+                              .status());
+      TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "North Corridor" + suffix, "corridor",
+                                        f, 44, 40, 56, 60)
+                              .status());
+      TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "South Corridor" + suffix, "corridor",
+                                        f, 44, 0, 56, 20)
+                              .status());
+    }
+  }
+
+  TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  return dsm;
+}
+
+Result<Dsm> BuildOfficeDsm() {
+  Dsm dsm;
+  dsm.set_name("sample-office");
+
+  const char* kRooms[] = {"Office-101", "Office-102", "Office-103",
+                          "Office-104", "Office-105", "Office-106"};
+  for (geo::FloorId f = 0; f < 2; ++f) {
+    Floor floor;
+    floor.id = f;
+    floor.name = std::to_string(f + 1) + "F";
+    floor.outline = geo::Polygon::Rectangle(0, 0, 60, 24);
+    TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(floor)));
+
+    std::string suffix = f == 0 ? "" : "-2F";
+
+    // One central corridor.
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kHallway, "corridor" + suffix, f,
+                                0, 10, 60, 14, "corridor")
+                            .status());
+    TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "Corridor" + (f == 0 ? std::string("-1F")
+                                                                 : std::string("-2F")),
+                                      "corridor", f, 0, 10, 60, 14)
+                            .status());
+
+    // Offices: three above, three below the corridor.
+    for (int i = 0; i < 3; ++i) {
+      double x = 2 + 20 * i;
+      for (int side = 0; side < 2; ++side) {
+        bool top = side == 0;
+        int idx = i + (top ? 0 : 3);
+        std::string name = std::string(kRooms[idx]) + suffix;
+        double y0 = top ? 14 : 2;
+        double y1 = top ? 22 : 10;
+        auto room =
+            AddRect(&dsm, EntityKind::kRoom, name, f, x, y0, x + 16, y1, "office");
+        TRIPS_RETURN_NOT_OK(room.status());
+        double door_y = top ? 14 : 10;
+        TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, name + "-door", f,
+                                    x + 7, door_y - 0.5, x + 9, door_y + 0.5)
+                                .status());
+        auto region = AddRectRegion(&dsm, name, idx == 2 ? "meeting" : "office", f,
+                                    x, y0, x + 16, y1);
+        TRIPS_RETURN_NOT_OK(region.status());
+        TRIPS_RETURN_NOT_OK(
+            dsm.MapEntityToRegion(room.ValueOrDie(), region.ValueOrDie()));
+      }
+    }
+
+    // Staircase at the east end of the corridor.
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kStaircase, "stair-1", f, 56, 10, 60, 14).status());
+  }
+
+  TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  return dsm;
+}
+
+}  // namespace trips::dsm

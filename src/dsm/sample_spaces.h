@@ -1,0 +1,41 @@
+// Ready-made sample indoor spaces.
+//
+// BuildMallDsm reproduces the shape of the paper's demonstration venue: a
+// 7-floor shopping mall (Hangzhou, §4) with shops along corridors, a center
+// hall, staircases and an elevator. BuildOfficeDsm is a smaller two-floor
+// office used by examples and tests.
+#pragma once
+
+#include "dsm/dsm.h"
+#include "util/result.h"
+
+namespace trips::dsm {
+
+/// Options for the synthetic mall model.
+struct MallOptions {
+  /// Number of floors (the paper's venue has 7).
+  int floors = 7;
+  /// Shops per side per corridor arm; total shops/floor = 4 * shops_per_arm.
+  int shops_per_arm = 3;
+  /// Whether to create semantic regions for corridors and the center hall.
+  bool corridor_regions = true;
+};
+
+/// Builds the synthetic mall DSM with topology computed.
+///
+/// Per-floor layout (metres), floor f in [0, floors):
+///   outline          (0,0)-(100,60)
+///   corridor-h       (0,24)-(100,36)      hallway
+///   corridor-v       (44,0)-(56,60)       hallway
+///   center hall      (40,20)-(60,40)      semantic region over the crossing
+///   shops            10x20 rooms flush against the horizontal corridor, with
+///                    doors to it; branded semantic regions cover them
+///   stair-A          (45,56)-(55,60)      staircase linking all floors
+///   elev-A           (45,0)-(55,3)        elevator linking all floors
+Result<Dsm> BuildMallDsm(const MallOptions& options = {});
+
+/// Builds a small two-floor office: six offices and a meeting room per floor
+/// along one corridor, one staircase. Topology computed.
+Result<Dsm> BuildOfficeDsm();
+
+}  // namespace trips::dsm

@@ -1,0 +1,146 @@
+#include "dsm/validation.h"
+
+#include <map>
+#include <set>
+
+namespace trips::dsm {
+
+namespace {
+
+void Add(std::vector<ValidationIssue>* issues, IssueSeverity severity,
+         std::string code, std::string message, EntityId entity = kInvalidEntity,
+         RegionId region = kInvalidRegion) {
+  issues->push_back(
+      {severity, std::move(code), std::move(message), entity, region});
+}
+
+}  // namespace
+
+Result<std::vector<ValidationIssue>> ValidateDsm(const Dsm& dsm,
+                                                 const ValidationOptions& options) {
+  if (!dsm.topology_computed()) {
+    return Status::FailedPrecondition("compute topology before validating");
+  }
+  std::vector<ValidationIssue> issues;
+  const Topology& topo = dsm.topology();
+
+  // Doors must bridge at least two partitions.
+  for (const Entity& e : dsm.entities()) {
+    if (e.kind != EntityKind::kDoor) continue;
+    size_t attached = dsm.PartitionsOfDoor(e.id).size();
+    if (attached < 2) {
+      Add(&issues, IssueSeverity::kError, "door-unattached",
+          "door '" + e.name + "' connects " + std::to_string(attached) +
+              " partition(s); expected >= 2",
+          e.id);
+    }
+  }
+
+  // Walkable partitions should be reachable: a door, an overlap, or a
+  // vertical link must touch them.
+  std::set<EntityId> connected;
+  for (const auto& [door, parts] : topo.door_partitions) {
+    for (EntityId p : parts) connected.insert(p);
+  }
+  for (const Topology::Overlap& ov : topo.partition_overlaps) {
+    connected.insert(ov.a);
+    connected.insert(ov.b);
+  }
+  for (const auto& [a, b] : topo.vertical_links) {
+    connected.insert(a);
+    connected.insert(b);
+  }
+  for (const Entity& e : dsm.entities()) {
+    if (!IsWalkableKind(e.kind)) continue;
+    if (!connected.count(e.id)) {
+      Add(&issues, IssueSeverity::kWarning, "island-partition",
+          "walkable partition '" + e.name +
+              "' has no door, overlap or vertical link",
+          e.id);
+    }
+    if (e.name.empty()) {
+      Add(&issues, IssueSeverity::kWarning, "unnamed-entity",
+          "walkable partition #" + std::to_string(e.id) + " has no name", e.id);
+    }
+  }
+
+  // Vertical connectors should link somewhere.
+  std::set<EntityId> vertically_linked;
+  for (const auto& [a, b] : topo.vertical_links) {
+    vertically_linked.insert(a);
+    vertically_linked.insert(b);
+  }
+  for (const Entity& e : dsm.entities()) {
+    if (!IsVerticalKind(e.kind)) continue;
+    if (!vertically_linked.count(e.id)) {
+      Add(&issues, IssueSeverity::kWarning, "vertical-unlinked",
+          "connector '" + e.name + "' on floor " + std::to_string(e.floor) +
+              " links to no other floor (same-named twin missing?)",
+          e.id);
+    }
+  }
+
+  // Regions: adjacency, walkable coverage, duplicate names.
+  std::map<std::string, int> name_counts;
+  for (const SemanticRegion& r : dsm.regions()) {
+    ++name_counts[r.name];
+    if (dsm.AdjacentRegions(r.id).empty() && dsm.regions().size() > 1) {
+      Add(&issues, IssueSeverity::kWarning, "region-no-adjacency",
+          "region '" + r.name + "' is disconnected in the region graph",
+          kInvalidEntity, r.id);
+    }
+    // Coverage estimate on a grid over the region bbox.
+    geo::BoundingBox box = r.shape.Bounds();
+    int inside = 0, walkable = 0;
+    int grid = std::max(options.coverage_grid, 2);
+    for (int gy = 0; gy < grid; ++gy) {
+      for (int gx = 0; gx < grid; ++gx) {
+        geo::Point2 p{box.min.x + (gx + 0.5) / grid * box.Width(),
+                      box.min.y + (gy + 0.5) / grid * box.Height()};
+        if (!r.shape.Contains(p)) continue;
+        ++inside;
+        if (dsm.IsWalkable({p, r.floor})) ++walkable;
+      }
+    }
+    if (inside > 0) {
+      double fraction = static_cast<double>(walkable) / inside;
+      if (fraction < options.min_region_walkable_fraction) {
+        Add(&issues, IssueSeverity::kWarning, "region-not-walkable",
+            "region '" + r.name + "' is only " +
+                std::to_string(static_cast<int>(fraction * 100)) +
+                "% covered by walkable partitions",
+            kInvalidEntity, r.id);
+      }
+    }
+  }
+  for (const auto& [name, count] : name_counts) {
+    if (count > 1) {
+      Add(&issues, IssueSeverity::kWarning, "duplicate-region-name",
+          "region name '" + name + "' used " + std::to_string(count) + " times");
+    }
+  }
+
+  // Declared floors without entities.
+  for (const Floor& f : dsm.floors()) {
+    bool populated = false;
+    for (const Entity& e : dsm.entities()) populated |= (e.floor == f.id);
+    if (!populated) {
+      Add(&issues, IssueSeverity::kWarning, "empty-floor",
+          "floor '" + f.name + "' (id " + std::to_string(f.id) +
+              ") carries no entities");
+    }
+  }
+
+  return issues;
+}
+
+std::string FormatIssues(const std::vector<ValidationIssue>& issues) {
+  std::string out;
+  for (const ValidationIssue& issue : issues) {
+    out += issue.severity == IssueSeverity::kError ? "[ERROR] " : "[WARN]  ";
+    out += issue.code + ": " + issue.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace trips::dsm

@@ -1,0 +1,58 @@
+// DSM linting: structural checks the Space Modeler runs before a traced
+// model is used for translation. Catching a door that connects nothing or an
+// island partition at modeling time is far cheaper than debugging why the
+// Cleaning layer interpolates through walls later.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/dsm.h"
+
+namespace trips::dsm {
+
+/// Severity of a validation finding.
+enum class IssueSeverity { kWarning, kError };
+
+/// One validation finding.
+struct ValidationIssue {
+  IssueSeverity severity = IssueSeverity::kWarning;
+  /// Stable machine-readable code, e.g. "door-unattached".
+  std::string code;
+  /// Human-readable description naming the offending entity/region.
+  std::string message;
+  /// The entity involved, or kInvalidEntity.
+  EntityId entity = kInvalidEntity;
+  /// The region involved, or kInvalidRegion.
+  RegionId region = kInvalidRegion;
+};
+
+/// Options of the validator.
+struct ValidationOptions {
+  /// Regions whose walkable coverage (fraction of sampled interior points in
+  /// some walkable partition) falls below this raise "region-not-walkable".
+  double min_region_walkable_fraction = 0.5;
+  /// Sampling grid used for the coverage estimate, points per axis.
+  int coverage_grid = 8;
+};
+
+/// Checks performed (codes):
+///   door-unattached       [error]   door connects fewer than 2 partitions
+///   island-partition      [warning] walkable partition with no door/overlap/
+///                                   vertical link (unreachable from outside)
+///   region-no-adjacency   [warning] region disconnected in the region graph
+///   region-not-walkable   [warning] region area mostly outside walkable space
+///   duplicate-region-name [warning] two regions share a display name
+///   unnamed-entity        [warning] walkable partition without a name
+///   empty-floor           [warning] declared floor carrying no entities
+///   vertical-unlinked     [warning] staircase/elevator with no vertical link
+///
+/// Topology must be computed; returns an error status otherwise. The issues
+/// list is empty for a healthy model.
+Result<std::vector<ValidationIssue>> ValidateDsm(const Dsm& dsm,
+                                                 const ValidationOptions& options = {});
+
+/// Renders issues one per line ("[ERROR] door-unattached: ...").
+std::string FormatIssues(const std::vector<ValidationIssue>& issues);
+
+}  // namespace trips::dsm

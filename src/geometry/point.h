@@ -1,0 +1,98 @@
+// 2-D point/vector primitives. Indoor locations are 2-D points plus a floor
+// number (see IndoorPoint); all planar math lives on Point2.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace trips::geo {
+
+/// A point (or vector) in the floorplan plane, in metres.
+struct Point2 {
+  double x = 0;
+  double y = 0;
+
+  Point2() = default;
+  Point2(double px, double py) : x(px), y(py) {}
+
+  Point2 operator+(const Point2& o) const { return {x + o.x, y + o.y}; }
+  Point2 operator-(const Point2& o) const { return {x - o.x, y - o.y}; }
+  Point2 operator*(double s) const { return {x * s, y * s}; }
+  Point2 operator/(double s) const { return {x / s, y / s}; }
+  bool operator==(const Point2& o) const { return x == o.x && y == o.y; }
+
+  /// Dot product.
+  double Dot(const Point2& o) const { return x * o.x + y * o.y; }
+  /// Z-component of the 3-D cross product (signed parallelogram area).
+  double Cross(const Point2& o) const { return x * o.y - y * o.x; }
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  /// Squared Euclidean norm.
+  double NormSq() const { return x * x + y * y; }
+  /// Euclidean distance to another point.
+  double DistanceTo(const Point2& o) const { return (*this - o).Norm(); }
+  /// Unit vector in this direction (returns {0,0} for the zero vector).
+  Point2 Normalized() const {
+    double n = Norm();
+    return n > 0 ? Point2{x / n, y / n} : Point2{};
+  }
+
+  std::string ToString() const;
+};
+
+/// Floor index within a building (0 = ground floor).
+using FloorId = int32_t;
+
+/// An indoor location: planar point + floor. This is the geometry of one raw
+/// positioning record's location, e.g. "(5.1, 12.7, 3F)" in the paper.
+struct IndoorPoint {
+  Point2 xy;
+  FloorId floor = 0;
+
+  IndoorPoint() = default;
+  IndoorPoint(double x, double y, FloorId f) : xy(x, y), floor(f) {}
+  IndoorPoint(Point2 p, FloorId f) : xy(p), floor(f) {}
+
+  bool operator==(const IndoorPoint& o) const = default;
+
+  /// Planar distance, ignoring the floor difference.
+  double PlanarDistanceTo(const IndoorPoint& o) const { return xy.DistanceTo(o.xy); }
+
+  std::string ToString() const;
+};
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point2 min{1e300, 1e300};
+  Point2 max{-1e300, -1e300};
+
+  /// True iff no point has been added.
+  bool Empty() const { return min.x > max.x; }
+  /// Grows the box to cover `p`.
+  void Extend(const Point2& p) {
+    if (p.x < min.x) min.x = p.x;
+    if (p.y < min.y) min.y = p.y;
+    if (p.x > max.x) max.x = p.x;
+    if (p.y > max.y) max.y = p.y;
+  }
+  /// Grows the box to cover another box.
+  void Extend(const BoundingBox& b) {
+    if (b.Empty()) return;
+    Extend(b.min);
+    Extend(b.max);
+  }
+  /// True iff `p` lies within the closed box.
+  bool Contains(const Point2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// True iff the two closed boxes intersect.
+  bool Intersects(const BoundingBox& b) const {
+    return !(b.min.x > max.x || b.max.x < min.x || b.min.y > max.y || b.max.y < min.y);
+  }
+  double Width() const { return Empty() ? 0 : max.x - min.x; }
+  double Height() const { return Empty() ? 0 : max.y - min.y; }
+  Point2 Center() const { return (min + max) / 2; }
+};
+
+}  // namespace trips::geo

@@ -1,0 +1,474 @@
+#include "json/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace trips::json {
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  items_.emplace_back(key, Value());
+  return items_.back().second;
+}
+
+const Value* Object::Find(const std::string& key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Object::operator==(const Object& other) const { return items_ == other.items_; }
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return num_ == other.num_;
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return arr_ == other.arr_;
+    case Type::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+double Value::GetDouble(const std::string& key, double fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = obj_.Find(key);
+  return (v && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+int64_t Value::GetInt(const std::string& key, int64_t fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = obj_.Find(key);
+  return (v && v->is_number()) ? v->AsInt() : fallback;
+}
+
+bool Value::GetBool(const std::string& key, bool fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = obj_.Find(key);
+  return (v && v->is_bool()) ? v->AsBool() : fallback;
+}
+
+std::string Value::GetString(const std::string& key, std::string fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = obj_.Find(key);
+  return (v && v->is_string()) ? v->AsString() : fallback;
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+// Formats a number the shortest way that round-trips: integers without a
+// fractional part, otherwise up to 17 significant digits.
+std::string FormatNumber(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  if (!std::isfinite(d)) return "null";  // JSON has no Inf/NaN.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    double back = std::strtod(buf, nullptr);
+    if (back == d) break;
+  }
+  return buf;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      *out += FormatNumber(num_);
+      break;
+    case Type::kString:
+      *out += EscapeString(str_);
+      break;
+    case Type::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) *out += indent > 0 ? "," : ",";
+        Indent(out, indent, depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) Indent(out, indent, depth);
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      size_t i = 0;
+      for (const auto& [k, v] : obj_.items()) {
+        if (i++ > 0) *out += ",";
+        Indent(out, indent, depth + 1);
+        *out += EscapeString(k);
+        *out += indent > 0 ? ": " : ":";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) Indent(out, indent, depth);
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(&out, 0, 0);
+  return out;
+}
+
+std::string Value::Pretty() const {
+  std::string out;
+  DumpTo(&out, 2, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWs();
+    Value v;
+    TRIPS_RETURN_NOT_OK(ParseValue(&v));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  Status Expect(char c) {
+    if (!Peek(c)) return Fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out) {
+    if (depth_ > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        TRIPS_RETURN_NOT_OK(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", Value(true), out);
+      case 'f':
+        return ParseLiteral("false", Value(false), out);
+      case 'n':
+        return ParseLiteral("null", Value(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, Value v, Value* out) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
+    pos_ += lit.size();
+    *out = std::move(v);
+    return Status::OK();
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("invalid value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return Fail("invalid number '" + num + "'");
+    *out = Value(d);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    TRIPS_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          TRIPS_RETURN_NOT_OK(ParseHex4(&code));
+          // Surrogate pair handling.
+          if (code >= 0xD800 && code <= 0xDBFF && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned low = 0;
+            TRIPS_RETURN_NOT_OK(ParseHex4(&low));
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Fail("invalid surrogate pair");
+            }
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    TRIPS_RETURN_NOT_OK(Expect('['));
+    ++depth_;
+    Array arr;
+    SkipWs();
+    if (Peek(']')) {
+      ++pos_;
+      --depth_;
+      *out = Value(std::move(arr));
+      return Status::OK();
+    }
+    while (true) {
+      Value v;
+      SkipWs();
+      TRIPS_RETURN_NOT_OK(ParseValue(&v));
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      TRIPS_RETURN_NOT_OK(Expect(']'));
+      break;
+    }
+    --depth_;
+    *out = Value(std::move(arr));
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out) {
+    TRIPS_RETURN_NOT_OK(Expect('{'));
+    ++depth_;
+    Object obj;
+    SkipWs();
+    if (Peek('}')) {
+      ++pos_;
+      --depth_;
+      *out = Value(std::move(obj));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      TRIPS_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      TRIPS_RETURN_NOT_OK(Expect(':'));
+      SkipWs();
+      Value v;
+      TRIPS_RETURN_NOT_OK(ParseValue(&v));
+      obj[key] = std::move(v);
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      TRIPS_RETURN_NOT_OK(Expect('}'));
+      break;
+    }
+    --depth_;
+    *out = Value(std::move(obj));
+    return Status::OK();
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+Result<Value> ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+Status WriteFile(const Value& value, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << value.Pretty() << "\n";
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace trips::json

@@ -1,0 +1,122 @@
+// Minimal JSON value model, parser and serializer.
+//
+// The paper stores the Digital Space Model "in JSON format, which is flexible
+// to parse and manipulate" (§3). This module is the self-contained substrate
+// for that: a tagged-union Value plus strict RFC-8259-style parsing (UTF-8
+// pass-through, \uXXXX escapes decoded to UTF-8) and deterministic
+// serialization (object keys kept in insertion order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace trips::json {
+
+class Value;
+
+/// Array of JSON values.
+using Array = std::vector<Value>;
+
+/// JSON object preserving insertion order of keys.
+class Object {
+ public:
+  /// Returns the value for `key`, inserting a null value if absent.
+  Value& operator[](const std::string& key);
+  /// Returns the value for `key` or nullptr when absent.
+  const Value* Find(const std::string& key) const;
+  /// True iff `key` is present.
+  bool Contains(const std::string& key) const { return Find(key) != nullptr; }
+  /// Number of members.
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Members in insertion order.
+  const std::vector<std::pair<std::string, Value>>& items() const { return items_; }
+
+  bool operator==(const Object& other) const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> items_;
+};
+
+/// The type tag of a JSON value.
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// A JSON value: null, bool, number (double), string, array or object.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}                 // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}               // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}            // NOLINT
+  Value(int i) : type_(Type::kNumber), num_(i) {}               // NOLINT
+  Value(int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), str_(s) {}       // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}   // NOLINT
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; behaviour is undefined if the type tag does not match
+  /// (guard with the is_*() predicates or the Get* helpers below).
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+  const Array& AsArray() const { return arr_; }
+  Array& AsArray() { return arr_; }
+  const Object& AsObject() const { return obj_; }
+  Object& AsObject() { return obj_; }
+
+  /// Typed lookups into an object value; return the fallback when this value
+  /// is not an object, the key is missing, or the member has the wrong type.
+  double GetDouble(const std::string& key, double fallback = 0) const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+  std::string GetString(const std::string& key, std::string fallback = "") const;
+
+  /// Serializes compactly (no whitespace).
+  std::string Dump() const;
+  /// Serializes with 2-space indentation.
+  std::string Pretty() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<Value> ParseFile(const std::string& path);
+
+/// Writes `value` to `path`, pretty-printed.
+Status WriteFile(const Value& value, const std::string& path);
+
+/// Escapes a string for embedding in JSON output (adds surrounding quotes).
+std::string EscapeString(std::string_view s);
+
+}  // namespace trips::json

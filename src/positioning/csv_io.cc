@@ -1,0 +1,112 @@
+#include "positioning/csv_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace trips::positioning {
+
+namespace {
+
+bool ParseDoubleStrict(std::string_view text, double* out) {
+  std::string s(Trim(text));
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+Result<TimestampMs> ParseTimestampField(std::string_view field) {
+  std::string s(Trim(field));
+  if (s.empty()) return Status::ParseError("empty timestamp field");
+  // Epoch-millisecond integers have no '-' past position 0 and no ':'.
+  if (s.find(':') == std::string::npos) {
+    char* end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end == s.c_str() + s.size()) return static_cast<TimestampMs>(v);
+    return Status::ParseError("bad numeric timestamp '" + s + "'");
+  }
+  return ParseTimestamp(s);
+}
+
+}  // namespace
+
+Result<std::vector<PositioningSequence>> ParseCsv(const std::string& text) {
+  std::map<std::string, size_t> index;
+  std::vector<PositioningSequence> sequences;
+  size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, ',');
+    if (line_no == 1 && !fields.empty() && ToLower(Trim(fields[0])) == "device_id") {
+      continue;  // header row
+    }
+    if (fields.size() != 5) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 5 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    std::string device(Trim(fields[0]));
+    double x = 0, y = 0, floor = 0;
+    if (!ParseDoubleStrict(fields[1], &x) || !ParseDoubleStrict(fields[2], &y) ||
+        !ParseDoubleStrict(fields[3], &floor)) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": bad numeric field");
+    }
+    auto ts = ParseTimestampField(fields[4]);
+    if (!ts.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                ts.status().message());
+    }
+    auto [it, inserted] = index.try_emplace(device, sequences.size());
+    if (inserted) {
+      sequences.emplace_back();
+      sequences.back().device_id = device;
+    }
+    sequences[it->second].records.emplace_back(
+        x, y, static_cast<geo::FloorId>(floor), ts.ValueOrDie());
+  }
+  for (PositioningSequence& seq : sequences) seq.SortByTime();
+  return sequences;
+}
+
+Result<std::vector<PositioningSequence>> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string ToCsv(const std::vector<PositioningSequence>& sequences) {
+  std::string out = "device_id,x,y,floor,timestamp\n";
+  char buf[160];
+  for (const PositioningSequence& seq : sequences) {
+    for (const RawRecord& r : seq.records) {
+      std::snprintf(buf, sizeof(buf), "%s,%.4f,%.4f,%d,%lld\n", seq.device_id.c_str(),
+                    r.location.xy.x, r.location.xy.y, r.location.floor,
+                    static_cast<long long>(r.timestamp));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::vector<PositioningSequence>& sequences,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << ToCsv(sequences);
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace trips::positioning

@@ -1,0 +1,31 @@
+// CSV import/export of positioning data — one of the Data Selector's
+// multi-source inputs ("text files, database tables, and streams APIs", §2).
+//
+// File format (header optional):
+//   device_id,x,y,floor,timestamp
+// where timestamp is either epoch milliseconds or "YYYY-MM-DD hh:mm:ss[.mmm]".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "positioning/record.h"
+#include "util/result.h"
+
+namespace trips::positioning {
+
+/// Parses CSV text into per-device sequences (sorted by time within each
+/// device; devices ordered by first appearance).
+Result<std::vector<PositioningSequence>> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<std::vector<PositioningSequence>> ReadCsvFile(const std::string& path);
+
+/// Serializes sequences to CSV text (epoch-millisecond timestamps, header row).
+std::string ToCsv(const std::vector<PositioningSequence>& sequences);
+
+/// Writes sequences to a CSV file.
+Status WriteCsvFile(const std::vector<PositioningSequence>& sequences,
+                    const std::string& path);
+
+}  // namespace trips::positioning

@@ -1,0 +1,103 @@
+#include "positioning/error_model.h"
+
+#include <cmath>
+#include <map>
+
+namespace trips::positioning {
+
+PositioningSequence ApplyErrorModel(const PositioningSequence& truth,
+                                    const ErrorModelOptions& options, Rng* rng) {
+  PositioningSequence out;
+  out.device_id = truth.device_id;
+  if (truth.records.empty()) return out;
+
+  // Pre-draw long gaps over the sequence's time span.
+  TimeRange span = truth.Span();
+  double hours = static_cast<double>(span.Duration()) / kMillisPerHour;
+  int gap_count = 0;
+  if (options.gaps_per_hour > 0 && hours > 0) {
+    double expected = options.gaps_per_hour * hours;
+    gap_count = static_cast<int>(expected);
+    if (rng->Chance(expected - gap_count)) ++gap_count;
+  }
+  std::vector<TimeRange> gaps;
+  for (int i = 0; i < gap_count; ++i) {
+    DurationMs len = rng->UniformInt(options.gap_min, options.gap_max);
+    if (span.Duration() <= len) continue;
+    TimestampMs start = rng->UniformInt(span.begin, span.end - len);
+    gaps.push_back({start, start + len});
+  }
+
+  out.records.reserve(truth.records.size());
+  for (const RawRecord& r : truth.records) {
+    bool in_gap = false;
+    for (const TimeRange& g : gaps) {
+      if (g.Contains(r.timestamp)) {
+        in_gap = true;
+        break;
+      }
+    }
+    if (in_gap || rng->Chance(options.dropout_rate)) continue;
+
+    RawRecord noisy = r;
+    noisy.location.xy.x += rng->Gaussian(0, options.xy_noise_sigma);
+    noisy.location.xy.y += rng->Gaussian(0, options.xy_noise_sigma);
+
+    if (rng->Chance(options.outlier_rate)) {
+      double angle = rng->Uniform(0, 2 * 3.14159265358979323846);
+      double dist = rng->Uniform(options.outlier_range * 0.3, options.outlier_range);
+      noisy.location.xy.x += dist * std::cos(angle);
+      noisy.location.xy.y += dist * std::sin(angle);
+    }
+
+    if (options.floor_count > 1 && rng->Chance(options.floor_error_rate)) {
+      geo::FloorId f = noisy.location.floor;
+      if (rng->Chance(options.floor_error_adjacent_bias)) {
+        // Adjacent-floor confusion, clamped to the building.
+        geo::FloorId delta = rng->Chance(0.5) ? 1 : -1;
+        geo::FloorId nf = f + delta;
+        if (nf < 0) nf = f + 1;
+        if (nf >= options.floor_count) nf = f - 1;
+        noisy.location.floor = nf;
+      } else {
+        geo::FloorId nf = f;
+        while (nf == f) {
+          nf = static_cast<geo::FloorId>(rng->UniformInt(0, options.floor_count - 1));
+        }
+        noisy.location.floor = nf;
+      }
+    }
+    out.records.push_back(noisy);
+  }
+  return out;
+}
+
+ErrorStats CompareToTruth(const PositioningSequence& truth,
+                          const PositioningSequence& observed) {
+  ErrorStats stats;
+  std::map<TimestampMs, const RawRecord*> by_time;
+  for (const RawRecord& r : observed.records) by_time[r.timestamp] = &r;
+
+  double sq_sum = 0;
+  double abs_sum = 0;
+  for (const RawRecord& t : truth.records) {
+    auto it = by_time.find(t.timestamp);
+    if (it == by_time.end()) {
+      ++stats.dropped;
+      continue;
+    }
+    ++stats.matched;
+    const RawRecord& o = *it->second;
+    if (o.location.floor != t.location.floor) ++stats.floor_errors;
+    double d = o.location.PlanarDistanceTo(t.location);
+    sq_sum += d * d;
+    abs_sum += d;
+  }
+  if (stats.matched > 0) {
+    stats.planar_rmse = std::sqrt(sq_sum / static_cast<double>(stats.matched));
+    stats.mean_planar_error = abs_sum / static_cast<double>(stats.matched);
+  }
+  return stats;
+}
+
+}  // namespace trips::positioning

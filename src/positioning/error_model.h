@@ -1,0 +1,65 @@
+// Wi-Fi-like positioning error model.
+//
+// SUBSTITUTION (see DESIGN.md §1): the paper demonstrates on a proprietary
+// Wi-Fi positioning dataset from a 7-floor Hangzhou mall. We reproduce the
+// error characteristics that dataset exhibits — and that the paper's Cleaning
+// layer explicitly targets (§3): noisy planar locations, wrong floor values,
+// outlier jumps, discrete/irregular sampling, and dropout gaps — by degrading
+// ground-truth trajectories with a parameterized stochastic model. Unlike the
+// proprietary data, this keeps ground truth available for quantitative
+// evaluation.
+#pragma once
+
+#include <vector>
+
+#include "positioning/record.h"
+#include "util/rng.h"
+
+namespace trips::positioning {
+
+/// Parameters of the synthetic positioning error model. Defaults approximate
+/// a mid-quality indoor Wi-Fi deployment.
+struct ErrorModelOptions {
+  /// Standard deviation of isotropic Gaussian planar noise, metres.
+  double xy_noise_sigma = 1.5;
+  /// Probability that a record's floor value is wrong.
+  double floor_error_rate = 0.05;
+  /// When a floor error occurs, probability it is an adjacent floor (else a
+  /// uniformly random other floor).
+  double floor_error_adjacent_bias = 0.8;
+  /// Probability of a gross outlier (uniform jump up to outlier_range metres).
+  double outlier_rate = 0.01;
+  /// Maximum planar displacement of an outlier, metres.
+  double outlier_range = 30.0;
+  /// Probability that an individual record is dropped (sensing miss).
+  double dropout_rate = 0.05;
+  /// Expected number of long gaps per hour of data (device unseen; models
+  /// leaving Wi-Fi coverage). Gap lengths are uniform in the range below.
+  double gaps_per_hour = 0.5;
+  DurationMs gap_min = 2 * kMillisPerMinute;
+  DurationMs gap_max = 10 * kMillisPerMinute;
+  /// Number of floors in the building (floor ids 0..floor_count-1).
+  int floor_count = 7;
+};
+
+/// Degrades a ground-truth sequence into a raw positioning sequence by
+/// applying the configured error processes. Record order is preserved;
+/// timestamps are untouched (sampling discreteness is the generator's job).
+PositioningSequence ApplyErrorModel(const PositioningSequence& truth,
+                                    const ErrorModelOptions& options, Rng* rng);
+
+/// Summary statistics comparing a degraded sequence against its ground truth
+/// (matched by timestamp). Used by the cleaning benchmarks.
+struct ErrorStats {
+  size_t matched = 0;          ///< records present in both sequences
+  size_t floor_errors = 0;     ///< matched records with a wrong floor
+  double planar_rmse = 0;      ///< RMSE of planar distance over matched records
+  double mean_planar_error = 0;
+  size_t dropped = 0;          ///< truth records missing from the degraded data
+};
+
+/// Computes ErrorStats between `truth` and `observed` (both time-sorted).
+ErrorStats CompareToTruth(const PositioningSequence& truth,
+                          const PositioningSequence& observed);
+
+}  // namespace trips::positioning

@@ -1,0 +1,43 @@
+#include "positioning/record.h"
+
+#include <algorithm>
+
+namespace trips::positioning {
+
+void PositioningSequence::SortByTime() {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const RawRecord& a, const RawRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+DurationMs PositioningSequence::MeanInterval() const {
+  if (records.size() < 2) return 0;
+  return (records.back().timestamp - records.front().timestamp) /
+         static_cast<DurationMs>(records.size() - 1);
+}
+
+double PositioningSequence::FrequencyHz() const {
+  DurationMs interval = MeanInterval();
+  return interval > 0 ? 1000.0 / static_cast<double>(interval) : 0.0;
+}
+
+double PositioningSequence::PlanarPathLength() const {
+  double total = 0;
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i - 1].location.floor == records[i].location.floor) {
+      total += records[i - 1].location.PlanarDistanceTo(records[i].location);
+    }
+  }
+  return total;
+}
+
+std::vector<RawRecord> PositioningSequence::RecordsIn(const TimeRange& range) const {
+  std::vector<RawRecord> out;
+  for (const RawRecord& r : records) {
+    if (range.Contains(r.timestamp)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace trips::positioning

@@ -1,0 +1,58 @@
+// Raw indoor positioning records and per-device sequences — the left-hand
+// side of the paper's Table 1: "oi, (5.1, 12.7, 3F), 1:02:05pm".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "util/time_util.h"
+
+namespace trips::positioning {
+
+/// One raw positioning record: a geometric point at a timestamp. The device
+/// id lives on the enclosing sequence.
+struct RawRecord {
+  geo::IndoorPoint location;
+  TimestampMs timestamp = 0;
+
+  RawRecord() = default;
+  RawRecord(geo::IndoorPoint loc, TimestampMs t) : location(loc), timestamp(t) {}
+  RawRecord(double x, double y, geo::FloorId f, TimestampMs t)
+      : location(x, y, f), timestamp(t) {}
+
+  bool operator==(const RawRecord& other) const = default;
+};
+
+/// The positioning records of one device, ordered by timestamp.
+struct PositioningSequence {
+  /// Device identifier (e.g. an anonymized MAC such as "3a.6f.14").
+  std::string device_id;
+  std::vector<RawRecord> records;
+
+  bool Empty() const { return records.empty(); }
+  size_t Size() const { return records.size(); }
+
+  /// Time span covered by the sequence ([0,0] when empty).
+  TimeRange Span() const {
+    if (records.empty()) return {};
+    return {records.front().timestamp, records.back().timestamp};
+  }
+
+  /// Sorts records by timestamp (stable; keeps equal-time order).
+  void SortByTime();
+
+  /// Mean sampling interval in ms (0 when fewer than 2 records).
+  DurationMs MeanInterval() const;
+
+  /// Average positioning frequency in Hz (0 when fewer than 2 records).
+  double FrequencyHz() const;
+
+  /// Sum of planar distances between consecutive same-floor records.
+  double PlanarPathLength() const;
+
+  /// Returns the records whose timestamps fall within [range.begin, range.end].
+  std::vector<RawRecord> RecordsIn(const TimeRange& range) const;
+};
+
+}  // namespace trips::positioning

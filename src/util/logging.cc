@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace trips {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+}  // namespace internal
+
+}  // namespace trips

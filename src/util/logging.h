@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr. Off by default above kWarn so tests and
+// benchmarks stay quiet; callers can raise verbosity via SetLogLevel.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace trips {
+
+/// Log severity, ordered by increasing importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default kWarn).
+void SetLogLevel(LogLevel level);
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Streams one log record and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TRIPS_LOG(level)                                                     \
+  ::trips::internal::LogMessage(::trips::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace trips

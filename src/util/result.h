@@ -1,0 +1,75 @@
+// Result<T>: a value-or-Status union, the Arrow idiom for fallible functions
+// that produce a value.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace trips {
+
+/// Holds either a successfully produced value of type T or an error Status.
+///
+///     trips::Result<Dsm> r = Dsm::FromJsonFile(path);
+///     if (!r.ok()) return r.status();
+///     Dsm dsm = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the value out; must only be called when ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Returns the value or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Pointer-style access to the value; must only be called when ok().
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  /// Dereference access to the value; must only be called when ok().
+  const T& operator*() const& { return ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+#define TRIPS_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define TRIPS_INTERNAL_CONCAT(a, b) TRIPS_INTERNAL_CONCAT_IMPL(a, b)
+
+#define TRIPS_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define TRIPS_ASSIGN_OR_RETURN(lhs, expr) \
+  TRIPS_INTERNAL_ASSIGN_OR_RETURN(TRIPS_INTERNAL_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace trips

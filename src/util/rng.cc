@@ -1,0 +1,20 @@
+#include "util/rng.h"
+
+namespace trips {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w > 0) total += w;
+  }
+  if (total <= 0 || weights.empty()) return 0;
+  double r = Uniform(0, total);
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace trips

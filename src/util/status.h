@@ -1,0 +1,107 @@
+// Status: lightweight error propagation without exceptions, following the
+// RocksDB/Arrow idiom. Fallible TRIPS APIs return Status (or Result<T>,
+// see result.h) instead of throwing across library boundaries.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace trips {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kIOError,
+  kInternal,
+  kNotSupported,
+};
+
+/// Returns a short human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// Usage follows the RocksDB pattern:
+///
+///     trips::Status s = dsm.AddEntity(entity);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists status with the given message.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns a ParseError status with the given message.
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// Returns an IOError status with the given message.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a NotSupported status with the given message.
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// Renders the status as "<Code>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TRIPS_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::trips::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace trips

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trips {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True iff `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-sensitive glob match supporting '*' (any run) and '?' (any one char).
+/// Used by the Data Selector's device-ID pattern rule, e.g. "3a.*.14".
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace trips

@@ -1,0 +1,78 @@
+#include "util/time_util.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "util/string_util.h"
+
+namespace trips {
+
+namespace {
+
+// Converts epoch milliseconds to a UTC calendar time plus leftover millis.
+void SplitEpochMs(TimestampMs t, std::tm* tm_out, int* millis_out) {
+  // Floor-divide so negative timestamps land in the previous second.
+  int64_t secs = t / 1000;
+  int64_t ms = t % 1000;
+  if (ms < 0) {
+    ms += 1000;
+    secs -= 1;
+  }
+  std::time_t tt = static_cast<std::time_t>(secs);
+  gmtime_r(&tt, tm_out);
+  *millis_out = static_cast<int>(ms);
+}
+
+}  // namespace
+
+std::string FormatTimestamp(TimestampMs t) {
+  std::tm tm{};
+  int ms = 0;
+  SplitEpochMs(t, &tm, &ms);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                tm.tm_sec, ms);
+  return buf;
+}
+
+std::string FormatClock(TimestampMs t) {
+  std::tm tm{};
+  int ms = 0;
+  SplitEpochMs(t, &tm, &ms);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", tm.tm_hour, tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+Result<TimestampMs> ParseTimestamp(const std::string& text) {
+  std::tm tm{};
+  int millis = 0;
+  int consumed = 0;
+  int n = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%n", &tm.tm_year, &tm.tm_mon,
+                      &tm.tm_mday, &tm.tm_hour, &tm.tm_min, &tm.tm_sec, &consumed);
+  if (n != 6) {
+    return Status::ParseError("bad timestamp: '" + text + "'");
+  }
+  if (tm.tm_mon < 1 || tm.tm_mon > 12 || tm.tm_mday < 1 || tm.tm_mday > 31 ||
+      tm.tm_hour > 23 || tm.tm_min > 59 || tm.tm_sec > 60) {
+    return Status::ParseError("timestamp field out of range: '" + text + "'");
+  }
+  const char* rest = text.c_str() + consumed;
+  if (*rest == '.') {
+    int frac = 0;
+    if (std::sscanf(rest + 1, "%3d", &frac) == 1) millis = frac;
+  }
+  tm.tm_year -= 1900;
+  tm.tm_mon -= 1;
+  std::time_t secs = timegm(&tm);
+  return static_cast<TimestampMs>(secs) * 1000 + millis;
+}
+
+DurationMs MillisOfDay(TimestampMs t) {
+  DurationMs m = t % kMillisPerDay;
+  if (m < 0) m += kMillisPerDay;
+  return m;
+}
+
+}  // namespace trips

@@ -1,0 +1,54 @@
+// Time helpers. TRIPS timestamps are milliseconds since the Unix epoch
+// (int64), matching the discrete timestamps of raw positioning records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace trips {
+
+/// Milliseconds since the Unix epoch.
+using TimestampMs = int64_t;
+/// A duration in milliseconds.
+using DurationMs = int64_t;
+
+constexpr DurationMs kMillisPerSecond = 1000;
+constexpr DurationMs kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr DurationMs kMillisPerHour = 60 * kMillisPerMinute;
+constexpr DurationMs kMillisPerDay = 24 * kMillisPerHour;
+
+/// A closed time interval [begin, end] in epoch milliseconds.
+struct TimeRange {
+  TimestampMs begin = 0;
+  TimestampMs end = 0;
+
+  /// Length of the range in milliseconds (0 for a degenerate instant).
+  DurationMs Duration() const { return end - begin; }
+  /// True iff `t` lies within [begin, end].
+  bool Contains(TimestampMs t) const { return t >= begin && t <= end; }
+  /// True iff the two ranges share at least one instant.
+  bool Overlaps(const TimeRange& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+  /// True iff the range is well-formed (begin <= end).
+  bool Valid() const { return begin <= end; }
+
+  bool operator==(const TimeRange& other) const = default;
+};
+
+/// Formats an epoch-millisecond timestamp as "YYYY-MM-DD hh:mm:ss.mmm" (UTC).
+std::string FormatTimestamp(TimestampMs t);
+
+/// Formats only the clock part, "hh:mm:ss" (UTC) — the form used in the
+/// paper's Table 1.
+std::string FormatClock(TimestampMs t);
+
+/// Parses "YYYY-MM-DD hh:mm:ss" (UTC, optional ".mmm") to epoch milliseconds.
+Result<TimestampMs> ParseTimestamp(const std::string& text);
+
+/// Seconds-of-day helper: milliseconds elapsed since the UTC midnight of t's day.
+DurationMs MillisOfDay(TimestampMs t);
+
+}  // namespace trips

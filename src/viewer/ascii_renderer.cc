@@ -1,0 +1,85 @@
+#include "viewer/ascii_renderer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace trips::viewer {
+
+std::string RenderFloorAscii(const dsm::Dsm& dsm, geo::FloorId floor,
+                             const std::vector<Timeline>& timelines,
+                             const AsciiOptions& options) {
+  geo::BoundingBox bounds = dsm.FloorBounds(floor);
+  if (bounds.Empty() || options.width < 2 || options.height < 2) return "";
+
+  int w = options.width;
+  int h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto world_at = [&](int col, int row) {
+    double x = bounds.min.x + (col + 0.5) / w * bounds.Width();
+    double y = bounds.max.y - (row + 0.5) / h * bounds.Height();
+    return geo::Point2{x, y};
+  };
+  auto cell_of = [&](const geo::Point2& p, int* col, int* row) {
+    *col = static_cast<int>((p.x - bounds.min.x) / bounds.Width() * w);
+    *row = static_cast<int>((bounds.max.y - p.y) / bounds.Height() * h);
+    *col = std::clamp(*col, 0, w - 1);
+    *row = std::clamp(*row, 0, h - 1);
+  };
+
+  // Rasterize the space: sample each cell's centre.
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      geo::Point2 p = world_at(col, row);
+      geo::IndoorPoint ip{p, floor};
+      char c = ' ';
+      dsm::EntityId part = dsm.PartitionAt(ip);
+      if (part != dsm::kInvalidEntity) {
+        const dsm::Entity* e = dsm.GetEntity(part);
+        c = dsm::IsVerticalKind(e->kind) ? '=' : '.';
+      }
+      for (const dsm::Entity& e : dsm.entities()) {
+        if (e.floor != floor) continue;
+        if (e.kind == dsm::EntityKind::kDoor && e.shape.Contains(p)) c = '+';
+        if ((e.kind == dsm::EntityKind::kWall ||
+             e.kind == dsm::EntityKind::kObstacle) &&
+            e.shape.Contains(p)) {
+          c = '#';
+        }
+      }
+      grid[row][col] = c;
+    }
+  }
+
+  // Overlay timelines.
+  for (const Timeline& tl : timelines) {
+    char mark = tl.source.empty() ? 'o' : tl.source[0];
+    for (const TimelineEntry& e : tl.entries) {
+      if (e.display_point.floor != floor) continue;
+      int col, row;
+      cell_of(e.display_point.xy, &col, &row);
+      grid[row][col] = e.label.empty() ? mark : '*';
+    }
+  }
+
+  std::string out;
+  out.reserve(static_cast<size_t>(h) * (w + 1));
+  for (const std::string& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderTimelineText(const core::MobilitySemanticsSequence& seq) {
+  std::string out = "timeline of " + seq.device_id + ":\n";
+  for (const core::MobilitySemantic& s : seq.semantics) {
+    out += s.inferred ? "  ~ " : "  | ";
+    out += FormatClock(s.range.begin) + "-" + FormatClock(s.range.end);
+    out += "  " + s.event;
+    out += "  @ " + s.region_name + "\n";
+  }
+  return out;
+}
+
+}  // namespace trips::viewer

@@ -1,0 +1,30 @@
+// ASCII map view: renders one floor plus timeline points into a character
+// grid for terminals — handy in examples and debugging sessions where no
+// SVG viewer is at hand.
+#pragma once
+
+#include <string>
+
+#include "dsm/dsm.h"
+#include "viewer/timeline.h"
+
+namespace trips::viewer {
+
+/// Options of the ASCII rendering.
+struct AsciiOptions {
+  int width = 100;   ///< grid columns
+  int height = 30;   ///< grid rows
+};
+
+/// Renders `floor` of the DSM as characters: '#' walls/edges, '.' walkable,
+/// '+' doors, '=' stairs/elevators, letters for timeline sources (first
+/// letter of the source name), '*' semantics display points.
+std::string RenderFloorAscii(const dsm::Dsm& dsm, geo::FloorId floor,
+                             const std::vector<Timeline>& timelines,
+                             const AsciiOptions& options = {});
+
+/// Renders a semantics sequence as a textual timeline (one line per entry,
+/// inferred entries marked with '~').
+std::string RenderTimelineText(const core::MobilitySemanticsSequence& seq);
+
+}  // namespace trips::viewer

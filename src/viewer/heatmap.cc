@@ -1,0 +1,103 @@
+#include "viewer/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "viewer/svg.h"
+
+namespace trips::viewer {
+
+namespace {
+
+double MetricOf(const core::RegionStats& stats, HeatmapMetric metric) {
+  switch (metric) {
+    case HeatmapMetric::kVisits:
+      return static_cast<double>(stats.visits);
+    case HeatmapMetric::kTotalTime:
+      return static_cast<double>(stats.total_time);
+    case HeatmapMetric::kConversion:
+      return stats.conversion_rate;
+  }
+  return 0;
+}
+
+// White (0) to saturated red (1).
+std::string Ramp(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  int g = static_cast<int>(255 * (1 - 0.8 * t));
+  int b = static_cast<int>(255 * (1 - 0.9 * t));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#ff%02x%02x", g, b);
+  return buf;
+}
+
+std::string MetricLabel(const core::RegionStats& stats, HeatmapMetric metric) {
+  char buf[48];
+  switch (metric) {
+    case HeatmapMetric::kVisits:
+      std::snprintf(buf, sizeof(buf), "%zu", stats.visits);
+      break;
+    case HeatmapMetric::kTotalTime:
+      std::snprintf(buf, sizeof(buf), "%.0fm",
+                    static_cast<double>(stats.total_time) / kMillisPerMinute);
+      break;
+    case HeatmapMetric::kConversion:
+      std::snprintf(buf, sizeof(buf), "%.0f%%", stats.conversion_rate * 100);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderRegionHeatmapSvg(const dsm::Dsm& dsm,
+                                   const core::MobilityAnalytics& analytics,
+                                   geo::FloorId floor,
+                                   const HeatmapOptions& options) {
+  std::map<dsm::RegionId, core::RegionStats> by_region;
+  double max_metric = 0;
+  for (const core::RegionStats& stats : analytics.RegionReport()) {
+    by_region[stats.region] = stats;
+    max_metric = std::max(max_metric, MetricOf(stats, options.metric));
+  }
+
+  SvgBuilder svg(dsm.FloorBounds(floor), options.scale);
+  if (const dsm::Floor* f = dsm.GetFloor(floor)) {
+    if (f->outline.vertices.size() >= 3) {
+      svg.AddPolygon(f->outline, "#fcfcfc", "#999", 1.5);
+    }
+  }
+  for (const dsm::Entity& e : dsm.entities()) {
+    if (e.floor != floor || !dsm::IsWalkableKind(e.kind)) continue;
+    svg.AddPolygon(e.shape, "#f4f4f4", "#bbb", 0.6);
+  }
+  for (const dsm::SemanticRegion& r : dsm.regions()) {
+    if (r.floor != floor) continue;
+    auto it = by_region.find(r.id);
+    double value = it != by_region.end() ? MetricOf(it->second, options.metric) : 0;
+    double t = max_metric > 0 ? value / max_metric : 0;
+    svg.AddPolygon(r.shape, Ramp(t), "#a33", 0.8, 0.8);
+    svg.AddText(r.Center() + geo::Point2{0, 1.0}, r.name, 9, "#222");
+    if (options.label_values && it != by_region.end()) {
+      svg.AddText(r.Center() - geo::Point2{0, 1.5},
+                  MetricLabel(it->second, options.metric), 9, "#444");
+    }
+  }
+  return svg.Finish();
+}
+
+Status WriteRegionHeatmapSvg(const dsm::Dsm& dsm,
+                             const core::MobilityAnalytics& analytics,
+                             geo::FloorId floor, const std::string& path,
+                             const HeatmapOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << RenderRegionHeatmapSvg(dsm, analytics, floor, options);
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace trips::viewer

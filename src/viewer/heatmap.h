@@ -1,0 +1,37 @@
+// Region heatmap: shades each semantic region of a floor by an analytics
+// metric (visits, dwell time, conversion) — the "popular indoor location
+// discovery" view on top of the Viewer's map rendering.
+#pragma once
+
+#include <string>
+
+#include "core/analytics.h"
+#include "dsm/dsm.h"
+#include "util/result.h"
+
+namespace trips::viewer {
+
+/// Which RegionStats field drives the shading.
+enum class HeatmapMetric { kVisits, kTotalTime, kConversion };
+
+/// Heatmap rendering options.
+struct HeatmapOptions {
+  HeatmapMetric metric = HeatmapMetric::kVisits;
+  double scale = 8.0;  ///< pixels per metre
+  bool label_values = true;
+};
+
+/// Renders `floor` with regions filled on a white-to-red ramp normalized to
+/// the hottest region across the whole corpus (so floors are comparable).
+std::string RenderRegionHeatmapSvg(const dsm::Dsm& dsm,
+                                   const core::MobilityAnalytics& analytics,
+                                   geo::FloorId floor,
+                                   const HeatmapOptions& options = {});
+
+/// Writes RenderRegionHeatmapSvg output to a file.
+Status WriteRegionHeatmapSvg(const dsm::Dsm& dsm,
+                             const core::MobilityAnalytics& analytics,
+                             geo::FloorId floor, const std::string& path,
+                             const HeatmapOptions& options = {});
+
+}  // namespace trips::viewer

@@ -1,0 +1,53 @@
+#include "viewer/html_export.h"
+
+#include <fstream>
+
+#include "viewer/svg.h"
+
+namespace trips::viewer {
+
+std::string RenderHtml(const dsm::Dsm& dsm, const MapRenderer& renderer,
+                       const HtmlExportOptions& options) {
+  std::string out = "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  out += "<title>" + XmlEscape(options.title) + "</title>\n";
+  out +=
+      "<style>body{font-family:sans-serif;margin:1.5em;}h2{margin-top:1.2em;}"
+      ".tl{border-left:3px solid #3182bd;padding-left:1em;margin:0.5em 0;}"
+      ".tl .inferred{color:#999;font-style:italic;}"
+      ".floor{margin-bottom:2em;}</style></head><body>\n";
+  out += "<h1>" + XmlEscape(options.title) + "</h1>\n";
+
+  // Timeline listings (semantics as primary navigator).
+  for (const Timeline& tl : renderer.timelines()) {
+    bool has_labels = false;
+    for (const TimelineEntry& e : tl.entries) has_labels |= !e.label.empty();
+    if (!has_labels) continue;
+    out += "<h2>Timeline: " + XmlEscape(tl.source) + "</h2>\n<div class=\"tl\">\n";
+    for (const TimelineEntry& e : tl.entries) {
+      if (e.label.empty()) continue;
+      out += std::string("<div") + (e.inferred ? " class=\"inferred\"" : "") + ">" +
+             XmlEscape(e.label) + "</div>\n";
+    }
+    out += "</div>\n";
+  }
+
+  // Per-floor maps.
+  for (const dsm::Floor& f : dsm.floors()) {
+    out += "<div class=\"floor\"><h2>Floor " + XmlEscape(f.name) + "</h2>\n";
+    out += renderer.RenderFloorSvg(f.id, options.map);
+    out += "</div>\n";
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+Status WriteHtml(const dsm::Dsm& dsm, const MapRenderer& renderer,
+                 const std::string& path, const HtmlExportOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << RenderHtml(dsm, renderer, options);
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace trips::viewer

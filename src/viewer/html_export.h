@@ -1,0 +1,29 @@
+// Standalone HTML export of a translation session: per-floor map views plus
+// the interactive-ish timeline (semantics as the primary navigator, per §3
+// "Map View and Timeline Control"). Substitutes the paper's web frontend
+// with a self-contained file (DESIGN.md §1).
+#pragma once
+
+#include <string>
+
+#include "util/result.h"
+#include "viewer/map_renderer.h"
+
+namespace trips::viewer {
+
+/// Options of the HTML export.
+struct HtmlExportOptions {
+  MapViewOptions map;
+  std::string title = "TRIPS translation view";
+};
+
+/// Builds a single HTML document containing every floor's SVG map and, for
+/// each timeline whose entries carry labels (semantics), a timeline listing.
+std::string RenderHtml(const dsm::Dsm& dsm, const MapRenderer& renderer,
+                       const HtmlExportOptions& options = {});
+
+/// Writes RenderHtml output to a file.
+Status WriteHtml(const dsm::Dsm& dsm, const MapRenderer& renderer,
+                 const std::string& path, const HtmlExportOptions& options = {});
+
+}  // namespace trips::viewer

@@ -1,0 +1,138 @@
+#include "viewer/map_renderer.h"
+
+#include <fstream>
+
+#include "viewer/svg.h"
+
+namespace trips::viewer {
+
+namespace {
+
+const char* kDefaultColors[] = {"#e6550d", "#3182bd", "#31a354",
+                                "#756bb1", "#d62728", "#8c564b"};
+
+// Fill colors per entity kind.
+std::string KindFill(dsm::EntityKind kind) {
+  switch (kind) {
+    case dsm::EntityKind::kRoom:
+      return "#f7f3e9";
+    case dsm::EntityKind::kHallway:
+      return "#eef3f7";
+    case dsm::EntityKind::kDoor:
+      return "#c49a6c";
+    case dsm::EntityKind::kWall:
+      return "#555555";
+    case dsm::EntityKind::kStaircase:
+      return "#d9e7d0";
+    case dsm::EntityKind::kElevator:
+      return "#d0d9e7";
+    case dsm::EntityKind::kObstacle:
+      return "#cccccc";
+  }
+  return "#ffffff";
+}
+
+}  // namespace
+
+void MapRenderer::AddTimeline(Timeline timeline) {
+  timelines_.push_back(std::move(timeline));
+}
+
+bool MapRenderer::IsVisible(const MapViewOptions& options,
+                            const std::string& source) const {
+  auto it = options.visible.find(source);
+  return it == options.visible.end() || it->second;
+}
+
+std::string MapRenderer::ColorFor(const MapViewOptions& options,
+                                  const std::string& source, size_t index) const {
+  auto it = options.colors.find(source);
+  if (it != options.colors.end()) return it->second;
+  return kDefaultColors[index % (sizeof(kDefaultColors) / sizeof(kDefaultColors[0]))];
+}
+
+std::string MapRenderer::RenderFloorSvg(geo::FloorId floor,
+                                        const MapViewOptions& options) const {
+  geo::BoundingBox bounds = dsm_->FloorBounds(floor);
+  SvgBuilder svg(bounds, options.scale);
+
+  // Floor outline.
+  if (const dsm::Floor* f = dsm_->GetFloor(floor)) {
+    if (f->outline.vertices.size() >= 3) {
+      svg.AddPolygon(f->outline, "#fcfcfc", "#999", 1.5);
+    }
+  }
+  // Entities (walkable first so doors/walls draw on top).
+  for (const dsm::Entity& e : dsm_->entities()) {
+    if (e.floor != floor || !dsm::IsWalkableKind(e.kind)) continue;
+    svg.AddPolygon(e.shape, KindFill(e.kind), "#aaa", 0.8, 0.9);
+  }
+  for (const dsm::Entity& e : dsm_->entities()) {
+    if (e.floor != floor || dsm::IsWalkableKind(e.kind)) continue;
+    svg.AddPolygon(e.shape, KindFill(e.kind), "#888", 0.5, 1.0);
+  }
+  // Region outlines + labels.
+  for (const dsm::SemanticRegion& r : dsm_->regions()) {
+    if (r.floor != floor) continue;
+    svg.AddPolygon(r.shape, "none", "#4a90d9", 1.0, 0.0);
+    if (options.label_regions) {
+      svg.AddText(r.Center(), r.name, 10, "#3a6ea5");
+    }
+  }
+
+  // Timelines: polyline through visible same-floor display points plus dots;
+  // semantics entries get labels.
+  bool windowed = options.window.Valid();
+  size_t index = 0;
+  for (const Timeline& tl : timelines_) {
+    if (!IsVisible(options, tl.source)) {
+      ++index;
+      continue;
+    }
+    std::string color = ColorFor(options, tl.source, index);
+    std::vector<geo::Point2> chain;
+    for (const TimelineEntry& e : tl.entries) {
+      if (e.display_point.floor != floor) continue;
+      if (windowed && !e.range.Overlaps(options.window)) continue;
+      chain.push_back(e.display_point.xy);
+    }
+    if (chain.size() > 1) {
+      svg.AddPolyline(chain, color, 1.2, 0.55);
+    }
+    for (const TimelineEntry& e : tl.entries) {
+      if (e.display_point.floor != floor) continue;
+      if (windowed && !e.range.Overlaps(options.window)) continue;
+      bool is_semantic = !e.label.empty();
+      svg.AddCircle(e.display_point.xy, is_semantic ? 5.0 : 2.0, color,
+                    e.inferred ? 0.45 : 0.9);
+      if (is_semantic) {
+        svg.AddText(e.display_point.xy + geo::Point2{0, 1.2}, e.label, 9, color);
+      }
+    }
+    ++index;
+  }
+
+  // Legend.
+  double ly = bounds.max.y - 1;
+  index = 0;
+  for (const Timeline& tl : timelines_) {
+    std::string color = ColorFor(options, tl.source, index);
+    std::string state = IsVisible(options, tl.source) ? "" : " (hidden)";
+    svg.AddText({bounds.min.x + 8, ly}, tl.source + state, 10, color);
+    ly -= 2.2;
+    ++index;
+  }
+
+  return svg.Finish();
+}
+
+Status MapRenderer::WriteFloorSvg(geo::FloorId floor, const std::string& path,
+                                  const MapViewOptions& options) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << RenderFloorSvg(floor, options);
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace trips::viewer

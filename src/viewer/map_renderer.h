@@ -1,0 +1,59 @@
+// Indoor Map Visualizer + Mobility Data Visualizer (§2, §3): renders one
+// floor of the DSM and any number of timelines on top of it, with per-source
+// visibility control (the legend panel) and floor switching. The browser
+// canvas of the paper becomes standalone SVG output (see DESIGN.md §1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "util/result.h"
+#include "viewer/timeline.h"
+
+namespace trips::viewer {
+
+/// Rendering options, including the visibility-control legend.
+struct MapViewOptions {
+  /// Pixels per metre.
+  double scale = 8.0;
+  /// Label semantic regions with their names.
+  bool label_regions = true;
+  /// Per-source visibility toggles; sources absent from the map are visible.
+  std::map<std::string, bool> visible;
+  /// Per-source stroke/fill colors; sources absent get defaults.
+  std::map<std::string, std::string> colors;
+  /// Restrict rendered entries to this window (invalid range = everything).
+  TimeRange window{1, 0};
+};
+
+/// Renders floors of a DSM with overlaid mobility data.
+class MapRenderer {
+ public:
+  /// `dsm` must outlive the renderer.
+  explicit MapRenderer(const dsm::Dsm* dsm) : dsm_(dsm) {}
+
+  /// Adds a data timeline to render (raw/cleaned/semantics/truth).
+  void AddTimeline(Timeline timeline);
+  /// Removes all timelines.
+  void ClearTimelines() { timelines_.clear(); }
+  const std::vector<Timeline>& timelines() const { return timelines_; }
+
+  /// Renders `floor` as an SVG document (the "map view" for that floor).
+  std::string RenderFloorSvg(geo::FloorId floor, const MapViewOptions& options = {}) const;
+
+  /// Writes RenderFloorSvg output to a file.
+  Status WriteFloorSvg(geo::FloorId floor, const std::string& path,
+                       const MapViewOptions& options = {}) const;
+
+ private:
+  bool IsVisible(const MapViewOptions& options, const std::string& source) const;
+  std::string ColorFor(const MapViewOptions& options, const std::string& source,
+                       size_t index) const;
+
+  const dsm::Dsm* dsm_;
+  std::vector<Timeline> timelines_;
+};
+
+}  // namespace trips::viewer

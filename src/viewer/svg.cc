@@ -1,0 +1,117 @@
+#include "viewer/svg.h"
+
+#include <cstdio>
+
+namespace trips::viewer {
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+}  // namespace
+
+SvgBuilder::SvgBuilder(geo::BoundingBox world, double scale, double margin)
+    : world_(world), scale_(scale), margin_(margin) {
+  if (world_.Empty()) {
+    world_.Extend({0, 0});
+    world_.Extend({1, 1});
+  }
+}
+
+geo::Point2 SvgBuilder::ToPixel(const geo::Point2& world) const {
+  double x = margin_ + (world.x - world_.min.x) * scale_;
+  double y = margin_ + (world_.max.y - world.y) * scale_;  // flip y
+  return {x, y};
+}
+
+double SvgBuilder::WidthPx() const { return world_.Width() * scale_ + 2 * margin_; }
+double SvgBuilder::HeightPx() const { return world_.Height() * scale_ + 2 * margin_; }
+
+void SvgBuilder::AddPolygon(const geo::Polygon& poly, const std::string& fill,
+                            const std::string& stroke, double stroke_width,
+                            double fill_opacity) {
+  std::string points;
+  for (const geo::Point2& v : poly.vertices) {
+    geo::Point2 p = ToPixel(v);
+    points += Num(p.x) + "," + Num(p.y) + " ";
+  }
+  elements_.push_back("<polygon points=\"" + points + "\" fill=\"" + fill +
+                      "\" fill-opacity=\"" + Num(fill_opacity) + "\" stroke=\"" +
+                      stroke + "\" stroke-width=\"" + Num(stroke_width) + "\"/>");
+}
+
+void SvgBuilder::AddPolyline(const std::vector<geo::Point2>& points,
+                             const std::string& stroke, double stroke_width,
+                             double opacity, bool dashed) {
+  std::string pts;
+  for (const geo::Point2& v : points) {
+    geo::Point2 p = ToPixel(v);
+    pts += Num(p.x) + "," + Num(p.y) + " ";
+  }
+  std::string dash = dashed ? " stroke-dasharray=\"6 4\"" : "";
+  elements_.push_back("<polyline points=\"" + pts + "\" fill=\"none\" stroke=\"" +
+                      stroke + "\" stroke-width=\"" + Num(stroke_width) +
+                      "\" stroke-opacity=\"" + Num(opacity) + "\"" + dash + "/>");
+}
+
+void SvgBuilder::AddCircle(const geo::Point2& center, double radius_px,
+                           const std::string& fill, double opacity) {
+  geo::Point2 p = ToPixel(center);
+  elements_.push_back("<circle cx=\"" + Num(p.x) + "\" cy=\"" + Num(p.y) + "\" r=\"" +
+                      Num(radius_px) + "\" fill=\"" + fill + "\" fill-opacity=\"" +
+                      Num(opacity) + "\"/>");
+}
+
+void SvgBuilder::AddText(const geo::Point2& anchor, const std::string& text,
+                         double size_px, const std::string& fill) {
+  geo::Point2 p = ToPixel(anchor);
+  elements_.push_back("<text x=\"" + Num(p.x) + "\" y=\"" + Num(p.y) +
+                      "\" font-size=\"" + Num(size_px) +
+                      "\" font-family=\"sans-serif\" text-anchor=\"middle\" fill=\"" +
+                      fill + "\">" + XmlEscape(text) + "</text>");
+}
+
+void SvgBuilder::AddRaw(const std::string& fragment) { elements_.push_back(fragment); }
+
+std::string SvgBuilder::Finish() const {
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    Num(WidthPx()) + "\" height=\"" + Num(HeightPx()) + "\">\n";
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const std::string& e : elements_) {
+    out += e;
+    out += "\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace trips::viewer

@@ -1,0 +1,51 @@
+// Tiny SVG document builder used by the map renderer. No external deps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/shapes.h"
+
+namespace trips::viewer {
+
+/// Builds an SVG document incrementally; Finish() returns the markup.
+class SvgBuilder {
+ public:
+  /// Document in user units; `scale` maps metres to pixels, `margin` pixels
+  /// of padding. The y axis is flipped so building coordinates (y up) render
+  /// naturally.
+  SvgBuilder(geo::BoundingBox world, double scale = 8.0, double margin = 20.0);
+
+  void AddPolygon(const geo::Polygon& poly, const std::string& fill,
+                  const std::string& stroke, double stroke_width = 1.0,
+                  double fill_opacity = 1.0);
+  void AddPolyline(const std::vector<geo::Point2>& points, const std::string& stroke,
+                   double stroke_width = 1.5, double opacity = 1.0,
+                   bool dashed = false);
+  void AddCircle(const geo::Point2& center, double radius_px, const std::string& fill,
+                 double opacity = 1.0);
+  void AddText(const geo::Point2& anchor, const std::string& text, double size_px,
+               const std::string& fill = "#333");
+  /// Raw SVG fragment escape hatch (already-transformed coordinates).
+  void AddRaw(const std::string& fragment);
+
+  /// Transforms a world point to pixel coordinates.
+  geo::Point2 ToPixel(const geo::Point2& world) const;
+
+  double WidthPx() const;
+  double HeightPx() const;
+
+  /// Completes the document and returns the SVG markup.
+  std::string Finish() const;
+
+ private:
+  geo::BoundingBox world_;
+  double scale_;
+  double margin_;
+  std::vector<std::string> elements_;
+};
+
+/// Escapes &, <, > and quotes for XML attribute/text contexts.
+std::string XmlEscape(const std::string& text);
+
+}  // namespace trips::viewer

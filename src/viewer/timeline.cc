@@ -1,0 +1,87 @@
+#include "viewer/timeline.h"
+
+#include <cmath>
+
+namespace trips::viewer {
+
+TimeRange Timeline::Span() const {
+  if (entries.empty()) return {};
+  TimeRange span = entries.front().range;
+  for (const TimelineEntry& e : entries) {
+    span.begin = std::min(span.begin, e.range.begin);
+    span.end = std::max(span.end, e.range.end);
+  }
+  return span;
+}
+
+std::vector<const TimelineEntry*> Timeline::EntriesIn(const TimeRange& range) const {
+  std::vector<const TimelineEntry*> out;
+  for (const TimelineEntry& e : entries) {
+    if (e.range.Overlaps(range)) out.push_back(&e);
+  }
+  return out;
+}
+
+Timeline Timeline::FromPositioning(const positioning::PositioningSequence& seq,
+                                   std::string source) {
+  Timeline tl;
+  tl.source = std::move(source);
+  tl.entries.reserve(seq.records.size());
+  for (const positioning::RawRecord& r : seq.records) {
+    TimelineEntry e;
+    e.display_point = r.location;
+    e.range = {r.timestamp, r.timestamp};
+    tl.entries.push_back(std::move(e));
+  }
+  return tl;
+}
+
+Timeline Timeline::FromSemantics(const core::MobilitySemanticsSequence& seq,
+                                 const positioning::PositioningSequence& backing,
+                                 DisplayPointPolicy policy, std::string source) {
+  Timeline tl;
+  tl.source = std::move(source);
+  tl.entries.reserve(seq.semantics.size());
+  for (const core::MobilitySemantic& s : seq.semantics) {
+    TimelineEntry e;
+    e.range = s.range;
+    e.label = s.ToString();
+    e.inferred = s.inferred;
+
+    std::vector<positioning::RawRecord> covered = backing.RecordsIn(s.range);
+    if (!covered.empty()) {
+      if (policy == DisplayPointPolicy::kTemporalMiddle) {
+        TimestampMs mid = (s.range.begin + s.range.end) / 2;
+        const positioning::RawRecord* best = &covered.front();
+        for (const positioning::RawRecord& r : covered) {
+          if (std::llabs(r.timestamp - mid) < std::llabs(best->timestamp - mid)) {
+            best = &r;
+          }
+        }
+        e.display_point = best->location;
+      } else {
+        geo::Point2 centroid;
+        for (const positioning::RawRecord& r : covered) {
+          centroid = centroid + r.location.xy;
+        }
+        centroid = centroid / static_cast<double>(covered.size());
+        const positioning::RawRecord* best = &covered.front();
+        double best_dist = best->location.xy.DistanceTo(centroid);
+        for (const positioning::RawRecord& r : covered) {
+          double d = r.location.xy.DistanceTo(centroid);
+          if (d < best_dist) {
+            best_dist = d;
+            best = &r;
+          }
+        }
+        e.display_point = best->location;
+      }
+    } else if (!backing.records.empty()) {
+      e.display_point = backing.records[backing.records.size() / 2].location;
+    }
+    tl.entries.push_back(std::move(e));
+  }
+  return tl;
+}
+
+}  // namespace trips::viewer

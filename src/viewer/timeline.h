@@ -1,0 +1,66 @@
+// Timeline abstraction of mobility data sequences (§3, "Abstraction of
+// Different Mobility Data"): every sequence — raw or cleaned positioning,
+// ground truth, mobility semantics — becomes "a timeline of entries, each
+// consists of a display point and a time range", so the Viewer can render
+// all of them generically. For a semantics entry, the display point is
+// "selected from the positioning location(s) in the mobility semantics's
+// corresponding raw record(s)" — the temporally middle or spatially central
+// one according to configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/semantics.h"
+#include "positioning/record.h"
+
+namespace trips::viewer {
+
+/// One renderable entry.
+struct TimelineEntry {
+  geo::IndoorPoint display_point;
+  TimeRange range;
+  /// Optional label (the semantics triplet text; empty for raw records).
+  std::string label;
+  /// True when the entry came from an inferred (complemented) triplet.
+  bool inferred = false;
+};
+
+/// Display-point selection policy for semantics entries.
+enum class DisplayPointPolicy {
+  kTemporalMiddle,  ///< the record closest to the middle of the time range
+  kSpatialCenter,   ///< the record closest to the centroid of covered records
+};
+
+/// A named, colored sequence of timeline entries.
+struct Timeline {
+  /// Source name shown in the legend ("raw", "cleaned", "semantics", "truth").
+  std::string source;
+  std::vector<TimelineEntry> entries;
+
+  bool Empty() const { return entries.empty(); }
+
+  /// Overall covered span.
+  TimeRange Span() const;
+
+  /// Entries whose range overlaps `range` — the synchronous map-view lookup
+  /// driven by clicking a semantics entry on the timeline.
+  std::vector<const TimelineEntry*> EntriesIn(const TimeRange& range) const;
+
+  /// Abstracts a positioning sequence: one entry per record, instantaneous
+  /// time range.
+  static Timeline FromPositioning(const positioning::PositioningSequence& seq,
+                                  std::string source);
+
+  /// Abstracts a mobility semantics sequence. `backing` supplies the
+  /// positioning locations the display points are selected from (pass the
+  /// cleaned or raw sequence); when a triplet covers no backing record, the
+  /// region centroid would be unknown here, so the entry falls back to the
+  /// midpoint-in-time record of the whole backing sequence or (0,0) when
+  /// backing is empty.
+  static Timeline FromSemantics(const core::MobilitySemanticsSequence& seq,
+                                const positioning::PositioningSequence& backing,
+                                DisplayPointPolicy policy, std::string source);
+};
+
+}  // namespace trips::viewer

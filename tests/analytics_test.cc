@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/analytics.h"
+#include "dsm/sample_spaces.h"
+#include "mobility/generator.h"
+#include "viewer/heatmap.h"
+
+namespace trips::core {
+namespace {
+
+MobilitySemantic Triplet(const std::string& event, dsm::RegionId region,
+                         const std::string& name, TimestampMs begin,
+                         TimestampMs end) {
+  return {event, region, name, {begin, end}, false};
+}
+
+MobilitySemanticsSequence Shopper(const std::string& id) {
+  MobilitySemanticsSequence seq;
+  seq.device_id = id;
+  seq.semantics.push_back(Triplet(kEventPassBy, 0, "Corridor", 0, 60'000));
+  seq.semantics.push_back(Triplet(kEventStay, 1, "Adidas", 61'000, 600'000));
+  seq.semantics.push_back(Triplet(kEventPassBy, 0, "Corridor", 601'000, 660'000));
+  seq.semantics.push_back(Triplet(kEventPassBy, 2, "Nike", 661'000, 700'000));
+  return seq;
+}
+
+TEST(AnalyticsTest, RegionReportCountsAndTimes) {
+  MobilityAnalytics analytics;
+  analytics.AddSequence(Shopper("a"));
+  analytics.AddSequence(Shopper("b"));
+  EXPECT_EQ(analytics.SequenceCount(), 2u);
+
+  std::vector<RegionStats> report = analytics.RegionReport();
+  ASSERT_EQ(report.size(), 3u);
+  const RegionStats* adidas = nullptr;
+  const RegionStats* corridor = nullptr;
+  const RegionStats* nike = nullptr;
+  for (const RegionStats& s : report) {
+    if (s.region == 1) adidas = &s;
+    if (s.region == 0) corridor = &s;
+    if (s.region == 2) nike = &s;
+  }
+  ASSERT_NE(adidas, nullptr);
+  ASSERT_NE(corridor, nullptr);
+  ASSERT_NE(nike, nullptr);
+
+  EXPECT_EQ(adidas->visits, 2u);
+  EXPECT_EQ(adidas->stays, 2u);
+  EXPECT_EQ(adidas->pass_bys, 0u);
+  EXPECT_EQ(adidas->unique_devices, 2u);
+  EXPECT_EQ(adidas->total_time, 2 * 539'000);
+  EXPECT_EQ(adidas->mean_visit, 539'000);
+  EXPECT_DOUBLE_EQ(adidas->conversion_rate, 1.0);  // everyone stayed
+
+  EXPECT_EQ(corridor->visits, 4u);  // two pass-bys per device
+  EXPECT_EQ(corridor->stays, 0u);
+  EXPECT_DOUBLE_EQ(corridor->conversion_rate, 0.0);
+
+  EXPECT_EQ(nike->pass_bys, 2u);
+  EXPECT_DOUBLE_EQ(nike->conversion_rate, 0.0);  // passed by, never stayed
+}
+
+TEST(AnalyticsTest, ConversionMixesStayAndPassBy) {
+  MobilityAnalytics analytics;
+  MobilitySemanticsSequence stayer;
+  stayer.device_id = "stayer";
+  stayer.semantics.push_back(Triplet(kEventStay, 7, "Shop", 0, 100'000));
+  MobilitySemanticsSequence passer;
+  passer.device_id = "passer";
+  passer.semantics.push_back(Triplet(kEventPassBy, 7, "Shop", 0, 10'000));
+  analytics.AddSequence(stayer);
+  analytics.AddSequence(passer);
+  std::vector<RegionStats> report = analytics.RegionReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].unique_devices, 2u);
+  EXPECT_DOUBLE_EQ(report[0].conversion_rate, 0.5);
+}
+
+TEST(AnalyticsTest, TopRegionsOrdering) {
+  MobilityAnalytics analytics;
+  analytics.AddSequence(Shopper("a"));
+  std::vector<RegionStats> by_visits = analytics.TopRegionsByVisits(2);
+  ASSERT_EQ(by_visits.size(), 2u);
+  EXPECT_EQ(by_visits[0].region_name, "Corridor");  // 2 visits
+  std::vector<RegionStats> by_time = analytics.TopRegionsByTime(1);
+  ASSERT_EQ(by_time.size(), 1u);
+  EXPECT_EQ(by_time[0].region_name, "Adidas");  // longest dwell
+  // k larger than population returns everything.
+  EXPECT_EQ(analytics.TopRegionsByVisits(99).size(), 3u);
+}
+
+TEST(AnalyticsTest, FlowMatrix) {
+  MobilityAnalytics analytics;
+  analytics.AddSequence(Shopper("a"));
+  analytics.AddSequence(Shopper("b"));
+  auto flow = analytics.FlowMatrix();
+  EXPECT_EQ(flow[0][1], 2u);  // Corridor -> Adidas twice
+  EXPECT_EQ(flow[1][0], 2u);  // Adidas -> Corridor twice
+  EXPECT_EQ(flow[0][2], 2u);  // Corridor -> Nike twice
+  EXPECT_EQ(flow[2].count(0), 0u);
+}
+
+TEST(AnalyticsTest, HourlyOccupancySplitsAcrossHours) {
+  MobilityAnalytics analytics;
+  MobilitySemanticsSequence seq;
+  seq.device_id = "d";
+  // 30 minutes before midnight-hour boundary to 30 minutes after: hour 0 and
+  // hour 1 each get 30 minutes.
+  seq.semantics.push_back(
+      Triplet(kEventStay, 4, "Shop", 30 * kMillisPerMinute, 90 * kMillisPerMinute));
+  analytics.AddSequence(seq);
+  std::vector<DurationMs> hours = analytics.HourlyOccupancy(4);
+  ASSERT_EQ(hours.size(), 24u);
+  EXPECT_EQ(hours[0], 30 * kMillisPerMinute);
+  EXPECT_EQ(hours[1], 30 * kMillisPerMinute);
+  for (size_t h = 2; h < 24; ++h) EXPECT_EQ(hours[h], 0);
+  // Unknown region: all zero.
+  for (DurationMs v : analytics.HourlyOccupancy(999)) EXPECT_EQ(v, 0);
+}
+
+TEST(AnalyticsTest, FormatReportContainsColumns) {
+  MobilityAnalytics analytics;
+  analytics.AddSequence(Shopper("a"));
+  std::string report = analytics.FormatReport(5);
+  EXPECT_NE(report.find("region"), std::string::npos);
+  EXPECT_NE(report.find("Adidas"), std::string::npos);
+  EXPECT_NE(report.find("conv%"), std::string::npos);
+}
+
+TEST(AnalyticsTest, IgnoresUnmatchedRegions) {
+  MobilityAnalytics analytics;
+  MobilitySemanticsSequence seq;
+  seq.semantics.push_back(
+      Triplet(kEventStay, dsm::kInvalidRegion, "", 0, 10'000));
+  analytics.AddSequence(seq);
+  EXPECT_TRUE(analytics.RegionReport().empty());
+}
+
+TEST(AnalyticsTest, NameFallbackFromDsm) {
+  auto office = dsm::BuildOfficeDsm();
+  ASSERT_TRUE(office.ok());
+  MobilityAnalytics analytics(&office.ValueOrDie());
+  MobilitySemanticsSequence seq;
+  seq.device_id = "d";
+  MobilitySemantic s = Triplet(kEventStay, 0, "", 0, 10'000);  // empty name
+  seq.semantics.push_back(s);
+  analytics.AddSequence(seq);
+  std::vector<RegionStats> report = analytics.RegionReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].region_name, office->GetRegion(0)->name);
+}
+
+TEST(HeatmapTest, RendersShadedRegions) {
+  auto mall = dsm::BuildMallDsm({.floors = 1, .shops_per_arm = 2});
+  ASSERT_TRUE(mall.ok());
+  MobilityAnalytics analytics(&mall.ValueOrDie());
+  const dsm::SemanticRegion* adidas = mall->FindRegionByName("Adidas");
+  ASSERT_NE(adidas, nullptr);
+  MobilitySemanticsSequence seq;
+  seq.device_id = "d";
+  seq.semantics.push_back(Triplet(kEventStay, adidas->id, "Adidas", 0, 600'000));
+  analytics.AddSequence(seq);
+
+  for (viewer::HeatmapMetric metric :
+       {viewer::HeatmapMetric::kVisits, viewer::HeatmapMetric::kTotalTime,
+        viewer::HeatmapMetric::kConversion}) {
+    std::string svg = viewer::RenderRegionHeatmapSvg(mall.ValueOrDie(), analytics, 0,
+                                                     {.metric = metric});
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("Adidas"), std::string::npos);
+    // The hottest region is fully saturated red (g ~ 0x32, b ~ 0x19).
+    EXPECT_NE(svg.find("fill=\"#ff3"), std::string::npos) << svg.substr(0, 200);
+  }
+}
+
+TEST(HeatmapTest, EndToEndWithGeneratedTraffic) {
+  auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+  ASSERT_TRUE(mall.ok());
+  auto planner = dsm::RoutePlanner::Build(&mall.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  mobility::MobilityGenerator gen(&mall.ValueOrDie(), &planner.ValueOrDie());
+  Rng rng(12);
+  MobilityAnalytics analytics(&mall.ValueOrDie());
+  for (int d = 0; d < 6; ++d) {
+    auto dev = gen.GenerateDevice("d" + std::to_string(d), 0, &rng);
+    ASSERT_TRUE(dev.ok());
+    analytics.AddSequence(dev->semantics);
+  }
+  EXPECT_FALSE(analytics.RegionReport().empty());
+  std::string path = testing::TempDir() + "/trips_heatmap.svg";
+  ASSERT_TRUE(
+      viewer::WriteRegionHeatmapSvg(mall.ValueOrDie(), analytics, 0, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trips::core

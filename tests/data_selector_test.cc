@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "config/data_selector.h"
+#include "positioning/csv_io.h"
+
+namespace trips::config {
+namespace {
+
+using positioning::PositioningSequence;
+
+PositioningSequence MakeSeq(const std::string& id, TimestampMs start, int n,
+                            DurationMs step, double x0 = 0, geo::FloorId floor = 0) {
+  PositioningSequence seq;
+  seq.device_id = id;
+  for (int i = 0; i < n; ++i) {
+    seq.records.emplace_back(x0 + i, 5.0, floor, start + i * step);
+  }
+  return seq;
+}
+
+TEST(RuleTest, DeviceIdPattern) {
+  RulePtr rule = DeviceIdPattern("3a.*.14");
+  EXPECT_TRUE(rule->Matches(MakeSeq("3a.6f.14", 0, 1, 1000)));
+  EXPECT_FALSE(rule->Matches(MakeSeq("3b.6f.14", 0, 1, 1000)));
+  EXPECT_NE(rule->Describe().find("3a.*.14"), std::string::npos);
+}
+
+TEST(RuleTest, SpatialRange) {
+  geo::BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({10, 10});
+  // Sequence at x=0..9, y=5, floor 0 — fully inside.
+  EXPECT_TRUE(SpatialRange(box, 0, 1.0)->Matches(MakeSeq("d", 0, 10, 1000)));
+  // Wrong floor.
+  EXPECT_FALSE(SpatialRange(box, 1, 1e-9)->Matches(MakeSeq("d", 0, 10, 1000)));
+  // Any floor.
+  EXPECT_TRUE(SpatialRange(box, -1, 1e-9)->Matches(MakeSeq("d", 0, 10, 1000, 0, 3)));
+  // Partial coverage: sequence from x=5..14, half inside; require 80% fails.
+  EXPECT_FALSE(SpatialRange(box, 0, 0.8)->Matches(MakeSeq("d", 0, 10, 1000, 5)));
+  EXPECT_TRUE(SpatialRange(box, 0, 0.5)->Matches(MakeSeq("d", 0, 10, 1000, 5)));
+}
+
+TEST(RuleTest, TemporalRange) {
+  PositioningSequence seq = MakeSeq("d", 10'000, 10, 1000);  // spans 10s..19s
+  EXPECT_TRUE(TemporalRange({0, 15'000})->Matches(seq));
+  EXPECT_FALSE(TemporalRange({0, 9'000})->Matches(seq));
+  EXPECT_TRUE(TemporalRange({0, 30'000}, /*require_within=*/true)->Matches(seq));
+  EXPECT_FALSE(TemporalRange({0, 15'000}, /*require_within=*/true)->Matches(seq));
+  EXPECT_FALSE(TemporalRange({0, 15'000})->Matches(PositioningSequence{}));
+}
+
+TEST(RuleTest, FrequencyRange) {
+  // 1 record per second = 1 Hz.
+  EXPECT_TRUE(FrequencyRange(0.5, 2.0)->Matches(MakeSeq("d", 0, 10, 1000)));
+  EXPECT_FALSE(FrequencyRange(2.0, 10.0)->Matches(MakeSeq("d", 0, 10, 1000)));
+}
+
+TEST(RuleTest, MinDurationAndRecords) {
+  PositioningSequence seq = MakeSeq("d", 0, 61, kMillisPerMinute);  // one hour
+  EXPECT_TRUE(MinDuration(kMillisPerHour)->Matches(seq));
+  EXPECT_FALSE(MinDuration(2 * kMillisPerHour)->Matches(seq));
+  EXPECT_TRUE(MinRecords(61)->Matches(seq));
+  EXPECT_FALSE(MinRecords(62)->Matches(seq));
+}
+
+TEST(RuleTest, PeriodicPattern) {
+  // Records at 10:00-10:09 UTC.
+  auto start = ParseTimestamp("2017-01-01 10:00:00");
+  ASSERT_TRUE(start.ok());
+  PositioningSequence seq = MakeSeq("d", start.ValueOrDie(), 10, kMillisPerMinute);
+  EXPECT_TRUE(PeriodicPattern(10 * kMillisPerHour, 22 * kMillisPerHour)->Matches(seq));
+  EXPECT_FALSE(PeriodicPattern(11 * kMillisPerHour, 22 * kMillisPerHour)->Matches(seq));
+  // Window wrapping midnight: 22:00-02:00 does not include 10:00.
+  EXPECT_FALSE(
+      PeriodicPattern(22 * kMillisPerHour, 2 * kMillisPerHour)->Matches(seq));
+  // 09:00-11:00 includes it.
+  EXPECT_TRUE(
+      PeriodicPattern(9 * kMillisPerHour, 11 * kMillisPerHour)->Matches(seq));
+}
+
+TEST(RuleTest, Combinators) {
+  PositioningSequence seq = MakeSeq("shop-1", 0, 10, 1000);
+  RulePtr match = DeviceIdPattern("shop-*");
+  RulePtr miss = DeviceIdPattern("office-*");
+  EXPECT_TRUE(And({match, MinRecords(5)})->Matches(seq));
+  EXPECT_FALSE(And({match, miss})->Matches(seq));
+  EXPECT_TRUE(Or({miss, match})->Matches(seq));
+  EXPECT_FALSE(Or({miss, miss})->Matches(seq));
+  EXPECT_TRUE(Not(miss)->Matches(seq));
+  EXPECT_FALSE(Not(match)->Matches(seq));
+  EXPECT_TRUE(And({})->Matches(seq));   // vacuous truth
+  EXPECT_TRUE(Or({})->Matches(seq));    // empty OR selects all
+  // Nested tree.
+  RulePtr tree = And({Or({miss, match}), Not(miss), MinDuration(5000)});
+  EXPECT_TRUE(tree->Matches(seq));
+  EXPECT_FALSE(tree->Describe().empty());
+}
+
+TEST(DataSelectorTest, NoRuleSelectsEverything) {
+  DataSelector selector;
+  selector.AddSequences({MakeSeq("a", 0, 3, 1000), MakeSeq("b", 0, 3, 1000)});
+  auto selected = selector.Select();
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+  EXPECT_EQ(selector.SourceCount(), 1u);
+}
+
+TEST(DataSelectorTest, RuleFilters) {
+  DataSelector selector;
+  selector.AddSequences({MakeSeq("keep-1", 0, 10, 1000), MakeSeq("drop-1", 0, 10, 1000),
+                         MakeSeq("keep-2", 0, 2, 1000)});
+  selector.SetRule(And({DeviceIdPattern("keep-*"), MinRecords(5)}));
+  auto selected = selector.Select();
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_EQ((*selected)[0].device_id, "keep-1");
+}
+
+TEST(DataSelectorTest, MergesSameDeviceAcrossSources) {
+  DataSelector selector;
+  selector.AddSequences({MakeSeq("d", 0, 5, 1000)});
+  selector.AddSequences({MakeSeq("d", 10'000, 5, 1000)});
+  auto selected = selector.Select();
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_EQ((*selected)[0].records.size(), 10u);
+  // Merged and sorted.
+  for (size_t i = 1; i < (*selected)[0].records.size(); ++i) {
+    EXPECT_LE((*selected)[0].records[i - 1].timestamp,
+              (*selected)[0].records[i].timestamp);
+  }
+}
+
+TEST(DataSelectorTest, CsvFileSource) {
+  std::string path = testing::TempDir() + "/trips_selector_test.csv";
+  {
+    std::ofstream out(path);
+    out << "device_id,x,y,floor,timestamp\n";
+    out << "file-dev,1,2,0,1000\n";
+    out << "file-dev,2,2,0,2000\n";
+  }
+  DataSelector selector;
+  selector.AddCsvFile(path);
+  auto selected = selector.Select();
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_EQ((*selected)[0].device_id, "file-dev");
+  std::remove(path.c_str());
+}
+
+TEST(DataSelectorTest, MissingCsvFails) {
+  DataSelector selector;
+  selector.AddCsvFile("/nonexistent/file.csv");
+  EXPECT_FALSE(selector.Select().ok());
+}
+
+}  // namespace
+}  // namespace trips::config

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dsm/dsm_json.h"
+#include "dsm/sample_spaces.h"
+
+namespace trips::dsm {
+namespace {
+
+TEST(DsmJsonTest, RoundTripPreservesStructure) {
+  auto built = BuildOfficeDsm();
+  ASSERT_TRUE(built.ok());
+  const Dsm& original = built.ValueOrDie();
+
+  json::Value doc = ToJson(original);
+  auto restored = FromJson(doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Dsm& back = restored.ValueOrDie();
+
+  EXPECT_EQ(back.name(), original.name());
+  ASSERT_EQ(back.entities().size(), original.entities().size());
+  ASSERT_EQ(back.regions().size(), original.regions().size());
+  ASSERT_EQ(back.floors().size(), original.floors().size());
+  for (size_t i = 0; i < original.entities().size(); ++i) {
+    const Entity& a = original.entities()[i];
+    const Entity& b = back.entities()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.floor, b.floor);
+    EXPECT_EQ(a.semantic_tag, b.semantic_tag);
+    ASSERT_EQ(a.shape.vertices.size(), b.shape.vertices.size());
+    for (size_t v = 0; v < a.shape.vertices.size(); ++v) {
+      EXPECT_DOUBLE_EQ(a.shape.vertices[v].x, b.shape.vertices[v].x);
+      EXPECT_DOUBLE_EQ(a.shape.vertices[v].y, b.shape.vertices[v].y);
+    }
+  }
+  for (size_t i = 0; i < original.regions().size(); ++i) {
+    EXPECT_EQ(back.regions()[i].name, original.regions()[i].name);
+    EXPECT_EQ(back.regions()[i].category, original.regions()[i].category);
+    EXPECT_EQ(back.regions()[i].member_entities, original.regions()[i].member_entities);
+  }
+  // Topology is recomputed on load.
+  EXPECT_TRUE(back.topology_computed());
+  EXPECT_EQ(back.topology().door_partitions.size(),
+            original.topology().door_partitions.size());
+}
+
+TEST(DsmJsonTest, FileRoundTrip) {
+  auto built = BuildOfficeDsm();
+  ASSERT_TRUE(built.ok());
+  std::string path = testing::TempDir() + "/trips_dsm_test.json";
+  ASSERT_TRUE(SaveToFile(built.ValueOrDie(), path).ok());
+  auto loaded = LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->entities().size(), built->entities().size());
+  std::remove(path.c_str());
+}
+
+TEST(DsmJsonTest, HandWrittenSchema) {
+  const char* text = R"({
+    "name": "tiny",
+    "floors": [{"id": 0, "name": "G", "outline": [[0,0],[20,0],[20,10],[0,10]]}],
+    "entities": [
+      {"kind": "room", "name": "R1", "floor": 0, "tag": "shop",
+       "shape": [[0,0],[10,0],[10,10],[0,10]]},
+      {"kind": "room", "name": "R2", "floor": 0,
+       "shape": [[10,0],[20,0],[20,10],[10,10]]},
+      {"kind": "door", "name": "d", "floor": 0,
+       "shape": [[9.6,4],[10.4,4],[10.4,6],[9.6,6]]}
+    ],
+    "regions": [
+      {"name": "Left", "category": "shop", "floor": 0,
+       "shape": [[0,0],[10,0],[10,10],[0,10]], "members": [0]}
+    ]
+  })";
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  auto dsm = FromJson(doc.ValueOrDie());
+  ASSERT_TRUE(dsm.ok()) << dsm.status().ToString();
+  EXPECT_EQ(dsm->entities().size(), 3u);
+  EXPECT_EQ(dsm->entities()[0].semantic_tag, "shop");
+  EXPECT_EQ(dsm->RegionAt({5, 5, 0}), 0);
+  // The door connects both rooms.
+  EXPECT_EQ(dsm->PartitionsOfDoor(2).size(), 2u);
+}
+
+TEST(DsmJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(FromJson(json::Value(3.0)).ok());
+
+  auto bad_kind = json::Parse(
+      R"({"entities":[{"kind":"spaceship","name":"x","floor":0,
+          "shape":[[0,0],[1,0],[1,1]]}]})");
+  ASSERT_TRUE(bad_kind.ok());
+  EXPECT_FALSE(FromJson(bad_kind.ValueOrDie()).ok());
+
+  auto bad_vertex = json::Parse(
+      R"({"entities":[{"kind":"room","name":"x","floor":0,"shape":[[0],[1,0],[1,1]]}]})");
+  ASSERT_TRUE(bad_vertex.ok());
+  EXPECT_FALSE(FromJson(bad_vertex.ValueOrDie()).ok());
+
+  EXPECT_FALSE(LoadFromFile("/nonexistent/x.json").ok());
+}
+
+}  // namespace
+}  // namespace trips::dsm

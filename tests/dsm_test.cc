@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "dsm/dsm.h"
+
+namespace trips::dsm {
+namespace {
+
+Entity MakeRect(EntityKind kind, const std::string& name, geo::FloorId floor,
+                double x0, double y0, double x1, double y1) {
+  Entity e;
+  e.kind = kind;
+  e.name = name;
+  e.floor = floor;
+  e.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+  return e;
+}
+
+// Two rooms separated by a corridor; doors connect each room to the corridor;
+// a staircase links two floors.
+class DsmFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Floor f0;
+    f0.id = 0;
+    f0.name = "1F";
+    f0.outline = geo::Polygon::Rectangle(0, 0, 30, 20);
+    ASSERT_TRUE(dsm_.AddFloor(f0).ok());
+    Floor f1 = f0;
+    f1.id = 1;
+    f1.name = "2F";
+    ASSERT_TRUE(dsm_.AddFloor(f1).ok());
+
+    room_a_ = Add(MakeRect(EntityKind::kRoom, "A", 0, 0, 0, 10, 20));
+    room_b_ = Add(MakeRect(EntityKind::kRoom, "B", 0, 20, 0, 30, 20));
+    corridor_ = Add(MakeRect(EntityKind::kHallway, "mid", 0, 10, 0, 20, 20));
+    door_a_ = Add(MakeRect(EntityKind::kDoor, "door-a", 0, 9.5, 9, 10.5, 11));
+    door_b_ = Add(MakeRect(EntityKind::kDoor, "door-b", 0, 19.5, 9, 20.5, 11));
+    stair_0_ = Add(MakeRect(EntityKind::kStaircase, "stair", 0, 14, 0, 16, 3));
+    // Same-named staircase upstairs plus a room.
+    stair_1_ = Add(MakeRect(EntityKind::kStaircase, "stair", 1, 14, 0, 16, 3));
+    room_up_ = Add(MakeRect(EntityKind::kRoom, "Up", 1, 10, 0, 20, 20));
+    door_up_ = Add(MakeRect(EntityKind::kDoor, "door-up", 1, 14.5, 2.5, 15.5, 3.5));
+
+    region_a_ = AddRegion("Alpha", "shop", 0, 0, 0, 10, 20);
+    region_mid_ = AddRegion("Mid", "hall", 0, 10, 0, 20, 20);
+    region_b_ = AddRegion("Beta", "shop", 0, 20, 0, 30, 20);
+    region_up_ = AddRegion("Upper", "shop", 1, 10, 0, 20, 20);
+
+    ASSERT_TRUE(dsm_.ComputeTopology().ok());
+  }
+
+  EntityId Add(Entity e) {
+    auto r = dsm_.AddEntity(std::move(e));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ValueOrDie();
+  }
+
+  RegionId AddRegion(const std::string& name, const std::string& cat,
+                     geo::FloorId floor, double x0, double y0, double x1, double y1) {
+    SemanticRegion r;
+    r.name = name;
+    r.category = cat;
+    r.floor = floor;
+    r.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+    auto added = dsm_.AddRegion(std::move(r));
+    EXPECT_TRUE(added.ok());
+    return added.ValueOrDie();
+  }
+
+  Dsm dsm_;
+  EntityId room_a_{}, room_b_{}, corridor_{}, door_a_{}, door_b_{}, stair_0_{},
+      stair_1_{}, room_up_{}, door_up_{};
+  RegionId region_a_{}, region_mid_{}, region_b_{}, region_up_{};
+};
+
+TEST(EntityKindTest, NamesRoundTrip) {
+  for (EntityKind kind :
+       {EntityKind::kRoom, EntityKind::kHallway, EntityKind::kDoor, EntityKind::kWall,
+        EntityKind::kStaircase, EntityKind::kElevator, EntityKind::kObstacle}) {
+    EntityKind back;
+    ASSERT_TRUE(ParseEntityKind(EntityKindName(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  EntityKind dummy;
+  EXPECT_FALSE(ParseEntityKind("spaceship", &dummy));
+}
+
+TEST(EntityKindTest, WalkableAndVertical) {
+  EXPECT_TRUE(IsWalkableKind(EntityKind::kRoom));
+  EXPECT_TRUE(IsWalkableKind(EntityKind::kHallway));
+  EXPECT_TRUE(IsWalkableKind(EntityKind::kStaircase));
+  EXPECT_TRUE(IsWalkableKind(EntityKind::kElevator));
+  EXPECT_FALSE(IsWalkableKind(EntityKind::kDoor));
+  EXPECT_FALSE(IsWalkableKind(EntityKind::kWall));
+  EXPECT_TRUE(IsVerticalKind(EntityKind::kStaircase));
+  EXPECT_FALSE(IsVerticalKind(EntityKind::kRoom));
+}
+
+TEST(DsmValidationTest, RejectsBadInput) {
+  Dsm dsm;
+  Entity degenerate;
+  degenerate.name = "bad";
+  EXPECT_FALSE(dsm.AddEntity(degenerate).ok());
+
+  SemanticRegion unnamed;
+  unnamed.shape = geo::Polygon::Rectangle(0, 0, 1, 1);
+  EXPECT_FALSE(dsm.AddRegion(unnamed).ok());
+
+  SemanticRegion flat;
+  flat.name = "flat";
+  EXPECT_FALSE(dsm.AddRegion(flat).ok());
+
+  Floor f;
+  f.id = 3;
+  EXPECT_TRUE(dsm.AddFloor(f).ok());
+  EXPECT_EQ(dsm.AddFloor(f).code(), StatusCode::kAlreadyExists);
+
+  EXPECT_EQ(dsm.MapEntityToRegion(99, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DsmFixture, LookupsById) {
+  EXPECT_EQ(dsm_.GetEntity(room_a_)->name, "A");
+  EXPECT_EQ(dsm_.GetEntity(9999), nullptr);
+  EXPECT_EQ(dsm_.GetEntity(-1), nullptr);
+  EXPECT_EQ(dsm_.GetRegion(region_b_)->name, "Beta");
+  EXPECT_EQ(dsm_.GetRegion(-5), nullptr);
+  EXPECT_EQ(dsm_.FindRegionByName("Alpha")->id, region_a_);
+  EXPECT_EQ(dsm_.FindRegionByName("Ghost"), nullptr);
+  EXPECT_EQ(dsm_.GetFloor(0)->name, "1F");
+  EXPECT_EQ(dsm_.GetFloor(7), nullptr);
+}
+
+TEST_F(DsmFixture, DoorsAttachToBothSides) {
+  std::vector<EntityId> parts = dsm_.PartitionsOfDoor(door_a_);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_TRUE((parts[0] == room_a_ && parts[1] == corridor_) ||
+              (parts[0] == corridor_ && parts[1] == room_a_));
+
+  std::vector<EntityId> doors = dsm_.DoorsOfPartition(corridor_);
+  EXPECT_EQ(doors.size(), 2u);  // door-a and door-b
+}
+
+TEST_F(DsmFixture, StaircaseOverlapsCorridorAndLinksFloors) {
+  // stair is inside the corridor: overlap link expected.
+  bool overlap_found = false;
+  for (const auto& ov : dsm_.topology().partition_overlaps) {
+    if ((ov.a == corridor_ && ov.b == stair_0_) ||
+        (ov.a == stair_0_ && ov.b == corridor_)) {
+      overlap_found = true;
+    }
+  }
+  EXPECT_TRUE(overlap_found);
+
+  // Same-named staircases on adjacent floors link vertically.
+  bool vertical_found = false;
+  for (const auto& [a, b] : dsm_.topology().vertical_links) {
+    if ((a == stair_0_ && b == stair_1_) || (a == stair_1_ && b == stair_0_)) {
+      vertical_found = true;
+    }
+  }
+  EXPECT_TRUE(vertical_found);
+}
+
+TEST_F(DsmFixture, PartitionAtPrefersSmallestArea) {
+  // A point inside the staircase footprint is in both corridor and stair;
+  // the smaller stair wins.
+  EXPECT_EQ(dsm_.PartitionAt({15, 1, 0}), stair_0_);
+  EXPECT_EQ(dsm_.PartitionAt({5, 5, 0}), room_a_);
+  EXPECT_EQ(dsm_.PartitionAt({15, 15, 0}), corridor_);
+  EXPECT_EQ(dsm_.PartitionAt({-5, 5, 0}), kInvalidEntity);
+  EXPECT_EQ(dsm_.PartitionAt({5, 5, 1}), kInvalidEntity);  // no room there upstairs
+}
+
+TEST_F(DsmFixture, IsWalkableAndSnap) {
+  EXPECT_TRUE(dsm_.IsWalkable({5, 5, 0}));
+  EXPECT_FALSE(dsm_.IsWalkable({-3, 5, 0}));
+  geo::IndoorPoint snapped = dsm_.SnapToWalkable({-3, 5, 0});
+  EXPECT_TRUE(dsm_.IsWalkable(snapped));
+  EXPECT_NEAR(snapped.xy.x, 0, 1e-3);
+  EXPECT_NEAR(snapped.xy.y, 5, 1e-3);
+  // Walkable points snap to themselves.
+  geo::IndoorPoint inside{5, 5, 0};
+  EXPECT_EQ(dsm_.SnapToWalkable(inside), inside);
+}
+
+TEST_F(DsmFixture, RegionAtAndAdjacency) {
+  EXPECT_EQ(dsm_.RegionAt({5, 5, 0}), region_a_);
+  EXPECT_EQ(dsm_.RegionAt({25, 5, 0}), region_b_);
+  EXPECT_EQ(dsm_.RegionAt({15, 5, 1}), region_up_);
+  EXPECT_EQ(dsm_.RegionAt({-1, -1, 0}), kInvalidRegion);
+
+  // Alpha <-> Mid via door-a; Mid <-> Beta via door-b; no direct Alpha<->Beta.
+  std::vector<RegionId> adj_a = dsm_.AdjacentRegions(region_a_);
+  EXPECT_EQ(adj_a, std::vector<RegionId>{region_mid_});
+  std::vector<RegionId> adj_mid = dsm_.AdjacentRegions(region_mid_);
+  EXPECT_EQ(adj_mid.size(), 3u);  // Alpha, Beta, Upper(via stairs)
+  // Upper connects to Mid through the staircase chain.
+  std::vector<RegionId> adj_up = dsm_.AdjacentRegions(region_up_);
+  EXPECT_TRUE(std::find(adj_up.begin(), adj_up.end(), region_mid_) != adj_up.end());
+}
+
+TEST_F(DsmFixture, FloorBoundsCoverEntities) {
+  geo::BoundingBox b = dsm_.FloorBounds(0);
+  EXPECT_LE(b.min.x, 0);
+  EXPECT_GE(b.max.x, 30);
+  EXPECT_GE(b.max.y, 20);
+  EXPECT_EQ(dsm_.FloorCount(), 2u);
+}
+
+TEST_F(DsmFixture, ExplicitMappingSurvivesTopology) {
+  // Map room B's entity to region Mid explicitly as well.
+  ASSERT_TRUE(dsm_.MapEntityToRegion(room_b_, region_mid_).ok());
+  ASSERT_TRUE(dsm_.ComputeTopology().ok());
+  const auto& pr = dsm_.topology().partition_regions;
+  auto it = pr.find(room_b_);
+  ASSERT_NE(it, pr.end());
+  EXPECT_TRUE(std::find(it->second.begin(), it->second.end(), region_mid_) !=
+              it->second.end());
+}
+
+TEST_F(DsmFixture, TopologyFlagTracksEdits) {
+  EXPECT_TRUE(dsm_.topology_computed());
+  Add(MakeRect(EntityKind::kRoom, "new", 0, 0, 0, 1, 1));
+  EXPECT_FALSE(dsm_.topology_computed());
+  ASSERT_TRUE(dsm_.ComputeTopology().ok());
+  EXPECT_TRUE(dsm_.topology_computed());
+}
+
+}  // namespace
+}  // namespace trips::dsm

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "config/event_editor.h"
+
+namespace trips::config {
+namespace {
+
+positioning::PositioningSequence MakeSeq(int n, TimestampMs start = 0) {
+  positioning::PositioningSequence seq;
+  seq.device_id = "dev";
+  for (int i = 0; i < n; ++i) {
+    seq.records.emplace_back(i * 1.0, 0.0, 0, start + i * 1000);
+  }
+  return seq;
+}
+
+TEST(EventEditorTest, DefinePatterns) {
+  EventEditor editor;
+  EXPECT_TRUE(editor.DefinePattern("stay", "dwell in a region").ok());
+  EXPECT_TRUE(editor.DefinePattern("pass-by").ok());
+  EXPECT_EQ(editor.DefinePattern("stay").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(editor.DefinePattern("").code(), StatusCode::kInvalidArgument);
+  ASSERT_EQ(editor.patterns().size(), 2u);
+  EXPECT_EQ(editor.patterns()[0].name, "stay");
+  EXPECT_EQ(editor.patterns()[0].description, "dwell in a region");
+  EXPECT_TRUE(editor.HasPattern("pass-by"));
+  EXPECT_FALSE(editor.HasPattern("queue"));
+}
+
+TEST(EventEditorTest, DesignateSegments) {
+  EventEditor editor;
+  ASSERT_TRUE(editor.DefinePattern("stay").ok());
+  EXPECT_TRUE(editor.DesignateSegment("stay", MakeSeq(5)).ok());
+  EXPECT_EQ(editor.DesignateSegment("undefined", MakeSeq(5)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(editor.DesignateSegment("stay", MakeSeq(1)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_EQ(editor.training_data().size(), 1u);
+  EXPECT_EQ(editor.training_data()[0].event, "stay");
+  EXPECT_EQ(editor.training_data()[0].segment.records.size(), 5u);
+}
+
+TEST(EventEditorTest, DesignateRangeCutsSubSegment) {
+  EventEditor editor;
+  ASSERT_TRUE(editor.DefinePattern("pass-by").ok());
+  positioning::PositioningSequence seq = MakeSeq(20);
+  ASSERT_TRUE(editor.DesignateRange("pass-by", seq, {5000, 9000}).ok());
+  ASSERT_EQ(editor.training_data().size(), 1u);
+  EXPECT_EQ(editor.training_data()[0].segment.records.size(), 5u);
+  EXPECT_EQ(editor.training_data()[0].segment.records.front().timestamp, 5000);
+  // Empty range fails (fewer than 2 records).
+  EXPECT_FALSE(editor.DesignateRange("pass-by", seq, {100'000, 200'000}).ok());
+}
+
+TEST(EventEditorTest, SegmentCounts) {
+  EventEditor editor;
+  ASSERT_TRUE(editor.DefinePattern("stay").ok());
+  ASSERT_TRUE(editor.DefinePattern("pass-by").ok());
+  ASSERT_TRUE(editor.DesignateSegment("stay", MakeSeq(4)).ok());
+  ASSERT_TRUE(editor.DesignateSegment("stay", MakeSeq(4, 5000)).ok());
+  ASSERT_TRUE(editor.DesignateSegment("pass-by", MakeSeq(4)).ok());
+  auto counts = editor.SegmentCounts();
+  EXPECT_EQ(counts.at("stay"), 2u);
+  EXPECT_EQ(counts.at("pass-by"), 1u);
+}
+
+TEST(EventEditorTest, RemovePatternDropsItsSegments) {
+  EventEditor editor;
+  ASSERT_TRUE(editor.DefinePattern("stay").ok());
+  ASSERT_TRUE(editor.DefinePattern("wander").ok());
+  ASSERT_TRUE(editor.DesignateSegment("stay", MakeSeq(4)).ok());
+  ASSERT_TRUE(editor.DesignateSegment("wander", MakeSeq(4)).ok());
+  ASSERT_TRUE(editor.RemovePattern("stay").ok());
+  EXPECT_FALSE(editor.HasPattern("stay"));
+  ASSERT_EQ(editor.training_data().size(), 1u);
+  EXPECT_EQ(editor.training_data()[0].event, "wander");
+  EXPECT_EQ(editor.RemovePattern("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(EventEditorTest, SegmentsSortedByTime) {
+  EventEditor editor;
+  ASSERT_TRUE(editor.DefinePattern("stay").ok());
+  positioning::PositioningSequence unsorted;
+  unsorted.records.emplace_back(0, 0, 0, 9000);
+  unsorted.records.emplace_back(0, 0, 0, 1000);
+  ASSERT_TRUE(editor.DesignateSegment("stay", unsorted).ok());
+  EXPECT_EQ(editor.training_data()[0].segment.records.front().timestamp, 1000);
+}
+
+}  // namespace
+}  // namespace trips::config

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "geometry/point.h"
+#include "geometry/shapes.h"
+
+namespace trips::geo {
+namespace {
+
+TEST(Point2Test, Arithmetic) {
+  Point2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Point2{4, 1}));
+  EXPECT_EQ(a - b, (Point2{-2, 3}));
+  EXPECT_EQ(a * 2, (Point2{2, 4}));
+  EXPECT_EQ(b / 2, (Point2{1.5, -0.5}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7);
+}
+
+TEST(Point2Test, NormAndDistance) {
+  Point2 p{3, 4};
+  EXPECT_DOUBLE_EQ(p.Norm(), 5);
+  EXPECT_DOUBLE_EQ(p.NormSq(), 25);
+  EXPECT_DOUBLE_EQ(p.DistanceTo({0, 0}), 5);
+  Point2 unit = p.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_EQ((Point2{0, 0}).Normalized(), (Point2{0, 0}));
+}
+
+TEST(IndoorPointTest, PlanarDistanceIgnoresFloor) {
+  IndoorPoint a{0, 0, 0}, b{3, 4, 5};
+  EXPECT_DOUBLE_EQ(a.PlanarDistanceTo(b), 5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, (IndoorPoint{0, 0, 0}));
+}
+
+TEST(BoundingBoxTest, ExtendAndQueries) {
+  BoundingBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend({1, 2});
+  box.Extend({-1, 5});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_DOUBLE_EQ(box.Width(), 2);
+  EXPECT_DOUBLE_EQ(box.Height(), 3);
+  EXPECT_TRUE(box.Contains({0, 3}));
+  EXPECT_FALSE(box.Contains({2, 3}));
+  EXPECT_EQ(box.Center(), (Point2{0, 3.5}));
+
+  BoundingBox other;
+  other.Extend({0.5, 0});
+  other.Extend({3, 3});
+  EXPECT_TRUE(box.Intersects(other));
+  BoundingBox far_box;
+  far_box.Extend({10, 10});
+  EXPECT_FALSE(box.Intersects(far_box));
+}
+
+TEST(SegmentTest, LengthAtMidpoint) {
+  Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.Length(), 10);
+  EXPECT_EQ(s.At(0.25), (Point2{2.5, 0}));
+  EXPECT_EQ(s.Midpoint(), (Point2{5, 0}));
+}
+
+TEST(SegmentTest, DistanceAndClosestPoint) {
+  Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5, 3}), 3);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({-4, 3}), 5);  // clamps to endpoint a
+  EXPECT_DOUBLE_EQ(s.DistanceTo({13, 4}), 5);  // clamps to endpoint b
+  EXPECT_EQ(s.ClosestPoint({5, 3}), (Point2{5, 0}));
+  // Degenerate segment.
+  Segment pt({2, 2}, {2, 2});
+  EXPECT_DOUBLE_EQ(pt.DistanceTo({5, 6}), 5);
+}
+
+TEST(SegmentTest, Intersections) {
+  EXPECT_TRUE(Segment({0, 0}, {10, 10}).Intersects(Segment({0, 10}, {10, 0})));
+  EXPECT_FALSE(Segment({0, 0}, {1, 1}).Intersects(Segment({2, 2}, {3, 3})));
+  // Collinear overlap.
+  EXPECT_TRUE(Segment({0, 0}, {5, 0}).Intersects(Segment({3, 0}, {8, 0})));
+  // Touching at an endpoint counts.
+  EXPECT_TRUE(Segment({0, 0}, {5, 0}).Intersects(Segment({5, 0}, {5, 5})));
+  // Parallel, offset.
+  EXPECT_FALSE(Segment({0, 0}, {5, 0}).Intersects(Segment({0, 1}, {5, 1})));
+}
+
+TEST(OrientationTest, Signs) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, 1}), 1);   // ccw
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, -1}), -1); // cw
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(PolylineTest, LengthDistanceAt) {
+  Polyline pl{{{0, 0}, {10, 0}, {10, 10}}};
+  EXPECT_DOUBLE_EQ(pl.Length(), 20);
+  EXPECT_DOUBLE_EQ(pl.DistanceTo({5, 2}), 2);
+  EXPECT_EQ(pl.At(0.0), (Point2{0, 0}));
+  EXPECT_EQ(pl.At(0.5), (Point2{10, 0}));
+  EXPECT_EQ(pl.At(1.0), (Point2{10, 10}));
+  EXPECT_EQ(pl.At(0.75), (Point2{10, 5}));
+
+  Polyline empty;
+  EXPECT_DOUBLE_EQ(empty.Length(), 0);
+  Polyline single{{{3, 3}}};
+  EXPECT_DOUBLE_EQ(single.DistanceTo({0, 3}), 3);
+}
+
+TEST(PolygonTest, RectangleBasics) {
+  Polygon r = Polygon::Rectangle(0, 0, 10, 5);
+  EXPECT_DOUBLE_EQ(r.AbsArea(), 50);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 30);
+  EXPECT_EQ(r.Centroid(), (Point2{5, 2.5}));
+  EXPECT_EQ(r.Edges().size(), 4u);
+  // Swapped corners normalize.
+  Polygon r2 = Polygon::Rectangle(10, 5, 0, 0);
+  EXPECT_DOUBLE_EQ(r2.AbsArea(), 50);
+}
+
+TEST(PolygonTest, SignedAreaWinding) {
+  Polygon ccw({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  Polygon cw({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  EXPECT_DOUBLE_EQ(ccw.Area(), 16);
+  EXPECT_DOUBLE_EQ(cw.Area(), -16);
+  EXPECT_DOUBLE_EQ(cw.AbsArea(), 16);
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  Polygon r = Polygon::Rectangle(0, 0, 10, 10);
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_TRUE(r.Contains({0, 5}));    // boundary
+  EXPECT_TRUE(r.Contains({10, 10}));  // corner
+  EXPECT_FALSE(r.Contains({10.01, 5}));
+  EXPECT_FALSE(r.Contains({-0.01, 5}));
+}
+
+TEST(PolygonTest, ContainsNonConvex) {
+  // L-shape.
+  Polygon l({{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10}});
+  EXPECT_TRUE(l.Contains({2, 8}));
+  EXPECT_TRUE(l.Contains({8, 2}));
+  EXPECT_FALSE(l.Contains({8, 8}));
+  EXPECT_DOUBLE_EQ(l.AbsArea(), 10 * 4 + 4 * 6);
+}
+
+TEST(PolygonTest, BoundaryDistance) {
+  Polygon r = Polygon::Rectangle(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(r.BoundaryDistanceTo({5, 5}), 5);
+  EXPECT_DOUBLE_EQ(r.BoundaryDistanceTo({5, 12}), 2);
+  EXPECT_DOUBLE_EQ(r.BoundaryDistanceTo({0, 0}), 0);
+}
+
+TEST(PolygonTest, BoundaryIntersects) {
+  Polygon r = Polygon::Rectangle(0, 0, 10, 10);
+  EXPECT_TRUE(r.BoundaryIntersects(Segment({5, 5}, {15, 5})));   // exits
+  EXPECT_FALSE(r.BoundaryIntersects(Segment({2, 2}, {8, 8})));   // interior
+  EXPECT_FALSE(r.BoundaryIntersects(Segment({20, 20}, {30, 30})));
+}
+
+TEST(PolygonTest, DegenerateCentroid) {
+  Polygon line({{0, 0}, {2, 0}, {4, 0}});  // zero area
+  Point2 c = line.Centroid();
+  EXPECT_DOUBLE_EQ(c.x, 2);
+  EXPECT_DOUBLE_EQ(c.y, 0);
+  EXPECT_DOUBLE_EQ(Polygon().Area(), 0);
+  EXPECT_FALSE(Polygon().Contains({0, 0}));
+}
+
+TEST(CircleTest, ContainsAndPolygonization) {
+  Circle c({5, 5}, 2);
+  EXPECT_TRUE(c.Contains({6, 5}));
+  EXPECT_TRUE(c.Contains({7, 5}));   // on boundary
+  EXPECT_FALSE(c.Contains({7.1, 5}));
+  EXPECT_NEAR(c.Area(), 12.566, 1e-3);
+
+  Polygon poly = c.ToPolygon(64);
+  EXPECT_EQ(poly.vertices.size(), 64u);
+  EXPECT_NEAR(poly.AbsArea(), c.Area(), 0.1);
+  EXPECT_NEAR(poly.Centroid().x, 5, 1e-9);
+  // Minimum tessellation clamps to a triangle.
+  EXPECT_EQ(c.ToPolygon(1).vertices.size(), 3u);
+}
+
+TEST(PolygonTest, BoundsCoverAllVertices) {
+  Polygon p({{1, 1}, {5, -2}, {3, 7}});
+  BoundingBox b = p.Bounds();
+  EXPECT_DOUBLE_EQ(b.min.x, 1);
+  EXPECT_DOUBLE_EQ(b.min.y, -2);
+  EXPECT_DOUBLE_EQ(b.max.x, 5);
+  EXPECT_DOUBLE_EQ(b.max.y, 7);
+}
+
+}  // namespace
+}  // namespace trips::geo

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "json/json.h"
+
+namespace trips::json {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value(7).is_number());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  Object o;
+  o["zeta"] = 1;
+  o["alpha"] = 2;
+  o["mid"] = 3;
+  Value v(o);
+  EXPECT_EQ(v.Dump(), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(JsonValueTest, GettersWithFallbacks) {
+  Object o;
+  o["n"] = 4.5;
+  o["s"] = "text";
+  o["b"] = true;
+  Value v(o);
+  EXPECT_DOUBLE_EQ(v.GetDouble("n"), 4.5);
+  EXPECT_EQ(v.GetInt("n"), 4);
+  EXPECT_EQ(v.GetString("s"), "text");
+  EXPECT_TRUE(v.GetBool("b"));
+  EXPECT_DOUBLE_EQ(v.GetDouble("missing", -1), -1);
+  EXPECT_EQ(v.GetString("n", "fallback"), "fallback");  // wrong type
+  EXPECT_EQ(Value(3).GetString("x", "f"), "f");          // not an object
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("-12.5e2")->AsDouble(), -1250);
+  EXPECT_EQ(Parse("\"abc\"")->AsString(), "abc");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto r = Parse(R"({"a": [1, 2, {"b": null}], "c": {"d": "e"}})");
+  ASSERT_TRUE(r.ok());
+  const Value& v = r.ValueOrDie();
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.AsObject().Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_TRUE(a->AsArray()[2].AsObject().Find("b")->is_null());
+  EXPECT_EQ(v.AsObject().Find("c")->GetString("d"), "e");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto r = Parse(R"("line\n\ttab \"quoted\" back\\slash")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "line\n\ttab \"quoted\" back\\slash");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto r = Parse(R"("é中")");  // é + 中
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "\xc3\xa9\xe4\xb8\xad");
+  // Surrogate pair: U+1F600
+  auto emoji = Parse(R"("😀")");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, Whitespace) {
+  auto r = Parse(" \n\t { \"a\" : [ 1 , 2 ] } \r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsObject().Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("1 2").ok());  // trailing token
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("\"bad\\escape\"").ok() &&
+               Parse("\"bad\\escape\"")->is_string());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("\"\\uZZZZ\"").ok());
+}
+
+TEST(JsonParseTest, DeepNestingIsBounded) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonRoundTripTest, DumpParseIdentity) {
+  Object o;
+  o["name"] = "TRIPS";
+  o["floors"] = 7;
+  o["pi"] = 3.14159;
+  o["neg"] = -0.001;
+  Array shops;
+  shops.push_back("Adidas");
+  shops.push_back("Nike");
+  o["shops"] = std::move(shops);
+  o["flag"] = false;
+  o["nothing"] = nullptr;
+  Value original(o);
+
+  auto reparsed = Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.ValueOrDie(), original);
+
+  auto reparsed_pretty = Parse(original.Pretty());
+  ASSERT_TRUE(reparsed_pretty.ok());
+  EXPECT_EQ(reparsed_pretty.ValueOrDie(), original);
+}
+
+TEST(JsonRoundTripTest, NumbersSurviveRoundTrip) {
+  for (double d : {0.0, 1.0, -1.0, 0.1, 1e-9, 1.5e300, 123456789.123456,
+                   -2.2250738585072014e-308}) {
+    Value v(d);
+    auto back = Parse(v.Dump());
+    ASSERT_TRUE(back.ok()) << v.Dump();
+    EXPECT_DOUBLE_EQ(back->AsDouble(), d) << v.Dump();
+  }
+}
+
+TEST(JsonRoundTripTest, ControlCharactersEscaped) {
+  Value v(std::string("a\x01" "b"));
+  EXPECT_EQ(v.Dump(), "\"a\\u0001b\"");
+  auto back = Parse(v.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), "a\x01" "b");
+}
+
+TEST(JsonFileTest, WriteAndReadBack) {
+  std::string path = testing::TempDir() + "/trips_json_test.json";
+  Object o;
+  o["k"] = "v";
+  ASSERT_TRUE(WriteFile(Value(o), path).ok());
+  auto back = ParseFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetString("k"), "v");
+  std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, MissingFileFails) {
+  EXPECT_FALSE(ParseFile("/nonexistent/dir/file.json").ok());
+  EXPECT_FALSE(WriteFile(Value(1), "/nonexistent/dir/file.json").ok());
+}
+
+TEST(JsonEscapeTest, EscapeString) {
+  EXPECT_EQ(EscapeString("plain"), "\"plain\"");
+  EXPECT_EQ(EscapeString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(EscapeString("tab\there"), "\"tab\\there\"");
+}
+
+}  // namespace
+}  // namespace trips::json

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "dsm/sample_spaces.h"
+#include "mobility/generator.h"
+
+namespace trips::mobility {
+namespace {
+
+class GeneratorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+    ASSERT_TRUE(mall.ok());
+    dsm_ = std::make_unique<dsm::Dsm>(std::move(mall).ValueOrDie());
+    auto planner = dsm::RoutePlanner::Build(dsm_.get());
+    ASSERT_TRUE(planner.ok());
+    planner_ = std::make_unique<dsm::RoutePlanner>(std::move(planner).ValueOrDie());
+  }
+
+  std::unique_ptr<dsm::Dsm> dsm_;
+  std::unique_ptr<dsm::RoutePlanner> planner_;
+};
+
+TEST_F(GeneratorFixture, GeneratesNonEmptyDevice) {
+  MobilityGenerator gen(dsm_.get(), planner_.get());
+  Rng rng(1);
+  auto dev = gen.GenerateDevice("shopper-1", 1'000'000, &rng);
+  ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+  EXPECT_EQ(dev->truth.device_id, "shopper-1");
+  EXPECT_EQ(dev->semantics.device_id, "shopper-1");
+  EXPECT_GT(dev->truth.records.size(), 20u);
+  EXPECT_FALSE(dev->semantics.Empty());
+}
+
+TEST_F(GeneratorFixture, SamplesAreTimeSortedAndWalkable) {
+  MobilityGenerator gen(dsm_.get(), planner_.get());
+  Rng rng(2);
+  auto dev = gen.GenerateDevice("d", 0, &rng);
+  ASSERT_TRUE(dev.ok());
+  size_t walkable = 0;
+  for (size_t i = 0; i < dev->truth.records.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(dev->truth.records[i].timestamp,
+                dev->truth.records[i - 1].timestamp);
+    }
+    if (dsm_->IsWalkable(dev->truth.records[i].location)) ++walkable;
+  }
+  // Nearly all samples should be inside walkable space (vertical transitions
+  // may briefly jump between connector footprints).
+  EXPECT_GT(static_cast<double>(walkable) / dev->truth.records.size(), 0.95);
+}
+
+TEST_F(GeneratorFixture, SamplingIntervalRespected) {
+  GeneratorOptions opt;
+  opt.sample_interval = 2000;
+  MobilityGenerator gen(dsm_.get(), planner_.get(), opt);
+  Rng rng(3);
+  auto dev = gen.GenerateDevice("d", 0, &rng);
+  ASSERT_TRUE(dev.ok());
+  for (size_t i = 1; i < dev->truth.records.size(); ++i) {
+    DurationMs dt = dev->truth.records[i].timestamp -
+                    dev->truth.records[i - 1].timestamp;
+    EXPECT_LE(dt, 2000);
+  }
+}
+
+TEST_F(GeneratorFixture, GroundTruthSemanticsAreConsistent) {
+  MobilityGenerator gen(dsm_.get(), planner_.get());
+  Rng rng(4);
+  auto dev = gen.GenerateDevice("d", 500'000, &rng);
+  ASSERT_TRUE(dev.ok());
+  TimeRange span = dev->truth.Span();
+  for (const core::MobilitySemantic& s : dev->semantics.semantics) {
+    EXPECT_TRUE(s.range.Valid());
+    EXPECT_GE(s.range.begin, span.begin);
+    EXPECT_LE(s.range.end, span.end);
+    EXPECT_NE(s.region, dsm::kInvalidRegion);
+    EXPECT_FALSE(s.region_name.empty());
+    EXPECT_TRUE(s.event == core::kEventStay || s.event == core::kEventPassBy ||
+                s.event == core::kEventWander)
+        << s.event;
+    EXPECT_FALSE(s.inferred);
+  }
+  // Sorted by begin time.
+  for (size_t i = 1; i < dev->semantics.semantics.size(); ++i) {
+    EXPECT_GE(dev->semantics.semantics[i].range.begin,
+              dev->semantics.semantics[i - 1].range.begin);
+  }
+}
+
+TEST_F(GeneratorFixture, StayLabelsMatchPositions) {
+  GeneratorOptions opt;
+  opt.pass_by_prob = 0;  // all target episodes are stays
+  opt.wander_prob = 0;
+  MobilityGenerator gen(dsm_.get(), planner_.get(), opt);
+  Rng rng(5);
+  auto dev = gen.GenerateDevice("d", 0, &rng);
+  ASSERT_TRUE(dev.ok());
+  // During every stay triplet, the truth samples must lie in that region.
+  for (const core::MobilitySemantic& s : dev->semantics.semantics) {
+    if (s.event != core::kEventStay) continue;
+    const dsm::SemanticRegion* region = dsm_->GetRegion(s.region);
+    ASSERT_NE(region, nullptr);
+    auto covered = dev->truth.RecordsIn(s.range);
+    ASSERT_FALSE(covered.empty());
+    size_t inside = 0;
+    for (const auto& r : covered) {
+      if (region->floor == r.location.floor && region->shape.Contains(r.location.xy)) {
+        ++inside;
+      }
+    }
+    EXPECT_GT(static_cast<double>(inside) / covered.size(), 0.9)
+        << "stay at " << s.region_name;
+  }
+}
+
+TEST_F(GeneratorFixture, EpisodeCountScalesWithOptions) {
+  GeneratorOptions opt;
+  opt.episodes_min = 2;
+  opt.episodes_max = 2;
+  opt.wander_prob = 0;
+  opt.pass_by_prob = 0;
+  MobilityGenerator gen(dsm_.get(), planner_.get(), opt);
+  Rng rng(6);
+  auto dev = gen.GenerateDevice("d", 0, &rng);
+  ASSERT_TRUE(dev.ok());
+  size_t stays = 0;
+  for (const auto& s : dev->semantics.semantics) {
+    if (s.event == core::kEventStay) ++stays;
+  }
+  EXPECT_EQ(stays, 2u);
+}
+
+TEST_F(GeneratorFixture, FleetGeneration) {
+  MobilityGenerator gen(dsm_.get(), planner_.get());
+  Rng rng(7);
+  TimeRange window{0, kMillisPerHour};
+  auto fleet = gen.GenerateFleet(5, window, &rng, "shopper-");
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_EQ(fleet->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*fleet)[i].truth.device_id, "shopper-" + std::to_string(i));
+    EXPECT_GE((*fleet)[i].truth.records.front().timestamp, window.begin);
+    EXPECT_LE((*fleet)[i].truth.records.front().timestamp, window.end);
+  }
+  EXPECT_FALSE(gen.GenerateFleet(0, window, &rng).ok());
+  EXPECT_FALSE(gen.GenerateFleet(2, {5, 1}, &rng).ok());
+}
+
+TEST_F(GeneratorFixture, DeterministicGivenSeed) {
+  MobilityGenerator gen(dsm_.get(), planner_.get());
+  Rng rng1(11), rng2(11);
+  auto a = gen.GenerateDevice("d", 0, &rng1);
+  auto b = gen.GenerateDevice("d", 0, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->truth.records.size(), b->truth.records.size());
+  for (size_t i = 0; i < a->truth.records.size(); ++i) {
+    EXPECT_EQ(a->truth.records[i], b->truth.records[i]);
+  }
+  EXPECT_EQ(a->semantics.semantics.size(), b->semantics.semantics.size());
+}
+
+TEST(GeneratorErrorsTest, FailsWithoutRegions) {
+  dsm::Dsm empty;
+  ASSERT_TRUE(empty.ComputeTopology().ok());
+  auto planner = dsm::RoutePlanner::Build(&empty);
+  ASSERT_TRUE(planner.ok());
+  MobilityGenerator gen(&empty, &planner.ValueOrDie());
+  Rng rng(1);
+  EXPECT_FALSE(gen.GenerateDevice("d", 0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace trips::mobility

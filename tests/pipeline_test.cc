@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "core/result_io.h"
+#include "dsm/dsm_json.h"
+#include "dsm/sample_spaces.h"
+#include "mobility/generator.h"
+
+namespace trips::core {
+namespace {
+
+// End-to-end workflow test mirroring the paper's five steps (§4).
+class PipelineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+    ASSERT_TRUE(mall.ok());
+    mall_ = std::make_unique<dsm::Dsm>(std::move(mall).ValueOrDie());
+    auto planner = dsm::RoutePlanner::Build(mall_.get());
+    ASSERT_TRUE(planner.ok());
+    planner_ = std::make_unique<dsm::RoutePlanner>(std::move(planner).ValueOrDie());
+  }
+
+  std::vector<positioning::PositioningSequence> GenerateFleet(int n, uint64_t seed) {
+    mobility::MobilityGenerator gen(mall_.get(), planner_.get());
+    Rng rng(seed);
+    auto fleet = gen.GenerateFleet(n, {0, kMillisPerHour}, &rng);
+    EXPECT_TRUE(fleet.ok());
+    std::vector<positioning::PositioningSequence> out;
+    for (auto& dev : fleet.ValueOrDie()) out.push_back(std::move(dev.truth));
+    return out;
+  }
+
+  std::unique_ptr<dsm::Dsm> mall_;
+  std::unique_ptr<dsm::RoutePlanner> planner_;
+};
+
+TEST_F(PipelineFixture, RunRequiresDsm) {
+  Pipeline pipeline;
+  EXPECT_EQ(pipeline.Run().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pipeline.dsm(), nullptr);
+  EXPECT_EQ(pipeline.translator(), nullptr);
+}
+
+TEST_F(PipelineFixture, FiveStepWorkflow) {
+  Pipeline pipeline;
+
+  // Step (1): positioning data + selection rule (operating hours etc.).
+  pipeline.selector().AddSequences(GenerateFleet(4, 7));
+  pipeline.selector().SetRule(config::MinRecords(10));
+
+  // Step (2): install the DSM.
+  ASSERT_TRUE(pipeline.SetDsm(*mall_).ok());
+  ASSERT_NE(pipeline.dsm(), nullptr);
+
+  // Step (3): define event patterns (training left to the rule-based model).
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern("stay").ok());
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern("pass-by").ok());
+
+  // Step (4): translate.
+  auto results = pipeline.Run();
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 4u);
+  for (const TranslationResult& r : *results) {
+    EXPECT_FALSE(r.semantics.Empty());
+  }
+
+  // Step (5): export result files.
+  std::string dir = testing::TempDir() + "/trips_pipeline_out";
+  std::filesystem::create_directories(dir);
+  auto written = pipeline.ExportResults(*results, dir);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written.ValueOrDie(), 4u);
+  // Files parse back.
+  auto back = ReadResultFile(dir + "/" + (*results)[0].semantics.device_id +
+                             ".result.json");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Size(), (*results)[0].semantics.Size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PipelineFixture, LoadDsmFromFile) {
+  std::string path = testing::TempDir() + "/trips_pipeline_dsm.json";
+  ASSERT_TRUE(dsm::SaveToFile(*mall_, path).ok());
+  Pipeline pipeline;
+  ASSERT_TRUE(pipeline.LoadDsm(path).ok());
+  EXPECT_EQ(pipeline.dsm()->entities().size(), mall_->entities().size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(pipeline.LoadDsm("/nonexistent/dsm.json").ok());
+}
+
+TEST_F(PipelineFixture, TrainingDataFlowsIntoTranslator) {
+  Pipeline pipeline;
+  pipeline.selector().AddSequences(GenerateFleet(2, 9));
+  ASSERT_TRUE(pipeline.SetDsm(*mall_).ok());
+
+  // Designate labeled segments from generated ground truth.
+  mobility::MobilityGenerator gen(mall_.get(), planner_.get());
+  Rng rng(10);
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern(kEventStay).ok());
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern(kEventPassBy).ok());
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern(kEventWander).ok());
+  for (int d = 0; d < 6; ++d) {
+    auto dev = gen.GenerateDevice("t" + std::to_string(d), 0, &rng);
+    ASSERT_TRUE(dev.ok());
+    for (const MobilitySemantic& s : dev->semantics.semantics) {
+      if (!pipeline.event_editor().HasPattern(s.event)) continue;
+      // Ignore failures from too-short segments.
+      pipeline.event_editor().DesignateRange(s.event, dev->truth, s.range);
+    }
+  }
+  ASSERT_GT(pipeline.event_editor().training_data().size(), 10u);
+
+  auto results = pipeline.Run();
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_TRUE(pipeline.translator()->classifier().trained());
+}
+
+TEST(ResultIoTest, JsonRoundTrip) {
+  MobilitySemanticsSequence seq;
+  seq.device_id = "3a.*.14";
+  seq.semantics.push_back({kEventPassBy, 5, "Center Hall", {100'000, 200'000}, false});
+  seq.semantics.push_back({kEventStay, 2, "Nike", {250'000, 500'000}, true});
+
+  json::Value doc = SemanticsToJson(seq);
+  auto back = SemanticsFromJson(doc);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->device_id, "3a.*.14");
+  ASSERT_EQ(back->Size(), 2u);
+  EXPECT_EQ(back->semantics[0], seq.semantics[0]);
+  EXPECT_EQ(back->semantics[1], seq.semantics[1]);
+}
+
+TEST(ResultIoTest, FileRoundTrip) {
+  MobilitySemanticsSequence seq;
+  seq.device_id = "dev";
+  seq.semantics.push_back({kEventStay, 0, "A", {0, 1000}, false});
+  std::string path = testing::TempDir() + "/trips_result.json";
+  ASSERT_TRUE(WriteResultFile(seq, path).ok());
+  auto back = ReadResultFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->semantics[0].region_name, "A");
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(SemanticsFromJson(json::Value(1.0)).ok());
+  auto no_array = json::Parse(R"({"device":"d"})");
+  ASSERT_TRUE(no_array.ok());
+  EXPECT_FALSE(SemanticsFromJson(no_array.ValueOrDie()).ok());
+  auto bad_range = json::Parse(
+      R"({"device":"d","semantics":[{"event":"stay","begin":500,"end":100}]})");
+  ASSERT_TRUE(bad_range.ok());
+  EXPECT_FALSE(SemanticsFromJson(bad_range.ValueOrDie()).ok());
+}
+
+TEST(ResultIoTest, RenderTable1SideBySide) {
+  positioning::PositioningSequence raw;
+  raw.device_id = "oi";
+  for (int i = 0; i < 12; ++i) {
+    raw.records.emplace_back(5.0 + i, 12.0, 2, static_cast<TimestampMs>(i) * 7000);
+  }
+  MobilitySemanticsSequence sem;
+  sem.device_id = "oi";
+  sem.semantics.push_back({kEventStay, 0, "Adidas", {0, 50'000}, false});
+  sem.semantics.push_back({kEventPassBy, 1, "Nike", {51'000, 77'000}, false});
+
+  std::string table = RenderTable1(raw, sem, 8);
+  EXPECT_NE(table.find("Raw Positioning Records"), std::string::npos);
+  EXPECT_NE(table.find("Mobility Semantics"), std::string::npos);
+  EXPECT_NE(table.find("oi, (5.0, 12.0, 3F)"), std::string::npos);
+  EXPECT_NE(table.find("(stay, Adidas"), std::string::npos);
+  EXPECT_NE(table.find("more records"), std::string::npos);  // elision row
+}
+
+}  // namespace
+}  // namespace trips::core

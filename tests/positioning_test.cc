@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "positioning/csv_io.h"
+#include "positioning/error_model.h"
+#include "positioning/record.h"
+
+namespace trips::positioning {
+namespace {
+
+PositioningSequence MakeWalk(const std::string& id, int n, DurationMs step_ms,
+                             double step_m, geo::FloorId floor = 0) {
+  PositioningSequence seq;
+  seq.device_id = id;
+  for (int i = 0; i < n; ++i) {
+    seq.records.emplace_back(i * step_m, 0.0, floor,
+                             static_cast<TimestampMs>(i) * step_ms);
+  }
+  return seq;
+}
+
+TEST(SequenceTest, SpanAndSorting) {
+  PositioningSequence seq;
+  seq.device_id = "d";
+  seq.records.emplace_back(0, 0, 0, 5000);
+  seq.records.emplace_back(0, 0, 0, 1000);
+  seq.records.emplace_back(0, 0, 0, 3000);
+  seq.SortByTime();
+  EXPECT_EQ(seq.records.front().timestamp, 1000);
+  EXPECT_EQ(seq.records.back().timestamp, 5000);
+  EXPECT_EQ(seq.Span().Duration(), 4000);
+  EXPECT_EQ(seq.Size(), 3u);
+  EXPECT_FALSE(seq.Empty());
+}
+
+TEST(SequenceTest, IntervalAndFrequency) {
+  PositioningSequence seq = MakeWalk("d", 11, 2000, 1.0);
+  EXPECT_EQ(seq.MeanInterval(), 2000);
+  EXPECT_DOUBLE_EQ(seq.FrequencyHz(), 0.5);
+  EXPECT_DOUBLE_EQ(seq.PlanarPathLength(), 10.0);
+
+  PositioningSequence empty;
+  EXPECT_EQ(empty.MeanInterval(), 0);
+  EXPECT_DOUBLE_EQ(empty.FrequencyHz(), 0);
+  EXPECT_EQ(empty.Span().Duration(), 0);
+}
+
+TEST(SequenceTest, PathLengthSkipsFloorJumps) {
+  PositioningSequence seq;
+  seq.records.emplace_back(0, 0, 0, 0);
+  seq.records.emplace_back(3, 4, 0, 1000);
+  seq.records.emplace_back(3, 4, 1, 2000);   // floor change: not counted
+  seq.records.emplace_back(6, 8, 1, 3000);
+  EXPECT_DOUBLE_EQ(seq.PlanarPathLength(), 10.0);
+}
+
+TEST(SequenceTest, RecordsIn) {
+  PositioningSequence seq = MakeWalk("d", 10, 1000, 1.0);
+  auto some = seq.RecordsIn({2000, 4000});
+  ASSERT_EQ(some.size(), 3u);
+  EXPECT_EQ(some.front().timestamp, 2000);
+  EXPECT_EQ(some.back().timestamp, 4000);
+  EXPECT_TRUE(seq.RecordsIn({100000, 200000}).empty());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<PositioningSequence> seqs;
+  seqs.push_back(MakeWalk("3a.6f.14", 5, 3000, 2.0, 2));
+  seqs.push_back(MakeWalk("dev-1", 3, 1000, 0.5, 0));
+  std::string csv = ToCsv(seqs);
+  auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].device_id, "3a.6f.14");
+  EXPECT_EQ((*parsed)[0].records.size(), 5u);
+  EXPECT_EQ((*parsed)[0].records[2].location.floor, 2);
+  EXPECT_NEAR((*parsed)[0].records[2].location.xy.x, 4.0, 1e-4);
+}
+
+TEST(CsvTest, ParsesHumanReadableTimestamps) {
+  auto parsed = ParseCsv(
+      "device_id,x,y,floor,timestamp\n"
+      "d1,1.5,2.5,0,2017-01-01 10:00:00\n"
+      "d1,2.5,2.5,0,2017-01-01 10:00:03\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].records[1].timestamp - (*parsed)[0].records[0].timestamp,
+            3000);
+}
+
+TEST(CsvTest, SkipsCommentsAndSortsPerDevice) {
+  auto parsed = ParseCsv(
+      "# comment line\n"
+      "d1,0,0,0,5000\n"
+      "d2,0,0,0,1000\n"
+      "d1,1,0,0,2000\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].device_id, "d1");  // first appearance order
+  EXPECT_EQ((*parsed)[0].records[0].timestamp, 2000);  // sorted
+}
+
+TEST(CsvTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseCsv("d1,1,2,0\n").ok());            // 4 fields
+  EXPECT_FALSE(ParseCsv("d1,x,2,0,1000\n").ok());       // bad number
+  EXPECT_FALSE(ParseCsv("d1,1,2,0,not-a-time\n").ok()); // bad timestamp
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/trips_pos_test.csv";
+  std::vector<PositioningSequence> seqs = {MakeWalk("w", 4, 1000, 1.0)};
+  ASSERT_TRUE(WriteCsvFile(seqs, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].records.size(), 4u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/x.csv").ok());
+}
+
+TEST(ErrorModelTest, NoErrorsWhenDisabled) {
+  PositioningSequence truth = MakeWalk("d", 100, 1000, 1.0);
+  ErrorModelOptions opt;
+  opt.xy_noise_sigma = 0;
+  opt.floor_error_rate = 0;
+  opt.outlier_rate = 0;
+  opt.dropout_rate = 0;
+  opt.gaps_per_hour = 0;
+  Rng rng(1);
+  PositioningSequence noisy = ApplyErrorModel(truth, opt, &rng);
+  ASSERT_EQ(noisy.records.size(), truth.records.size());
+  for (size_t i = 0; i < truth.records.size(); ++i) {
+    EXPECT_EQ(noisy.records[i], truth.records[i]);
+  }
+}
+
+TEST(ErrorModelTest, GaussianNoiseMatchesSigma) {
+  PositioningSequence truth = MakeWalk("d", 5000, 1000, 0.5);
+  ErrorModelOptions opt;
+  opt.xy_noise_sigma = 2.0;
+  opt.floor_error_rate = 0;
+  opt.outlier_rate = 0;
+  opt.dropout_rate = 0;
+  opt.gaps_per_hour = 0;
+  Rng rng(2);
+  PositioningSequence noisy = ApplyErrorModel(truth, opt, &rng);
+  ErrorStats stats = CompareToTruth(truth, noisy);
+  EXPECT_EQ(stats.matched, truth.records.size());
+  // RMSE of 2-D isotropic Gaussian = sigma * sqrt(2).
+  EXPECT_NEAR(stats.planar_rmse, 2.0 * std::sqrt(2.0), 0.15);
+  EXPECT_EQ(stats.floor_errors, 0u);
+}
+
+TEST(ErrorModelTest, FloorErrorRateApproximatelyHonored) {
+  PositioningSequence truth = MakeWalk("d", 4000, 1000, 0.5, 3);
+  ErrorModelOptions opt;
+  opt.xy_noise_sigma = 0;
+  opt.floor_error_rate = 0.2;
+  opt.outlier_rate = 0;
+  opt.dropout_rate = 0;
+  opt.gaps_per_hour = 0;
+  opt.floor_count = 7;
+  Rng rng(3);
+  PositioningSequence noisy = ApplyErrorModel(truth, opt, &rng);
+  ErrorStats stats = CompareToTruth(truth, noisy);
+  double rate = static_cast<double>(stats.floor_errors) /
+                static_cast<double>(stats.matched);
+  EXPECT_NEAR(rate, 0.2, 0.03);
+  // Wrong floors stay within the building.
+  for (const RawRecord& r : noisy.records) {
+    EXPECT_GE(r.location.floor, 0);
+    EXPECT_LT(r.location.floor, 7);
+  }
+}
+
+TEST(ErrorModelTest, DropoutRemovesRecords) {
+  PositioningSequence truth = MakeWalk("d", 2000, 1000, 0.5);
+  ErrorModelOptions opt;
+  opt.xy_noise_sigma = 0;
+  opt.floor_error_rate = 0;
+  opt.outlier_rate = 0;
+  opt.dropout_rate = 0.3;
+  opt.gaps_per_hour = 0;
+  Rng rng(4);
+  PositioningSequence noisy = ApplyErrorModel(truth, opt, &rng);
+  double kept = static_cast<double>(noisy.records.size()) /
+                static_cast<double>(truth.records.size());
+  EXPECT_NEAR(kept, 0.7, 0.05);
+  ErrorStats stats = CompareToTruth(truth, noisy);
+  EXPECT_EQ(stats.dropped, truth.records.size() - noisy.records.size());
+}
+
+TEST(ErrorModelTest, GapsCreateLongHoles) {
+  // 2 hours of data at 1 Hz; 2 gaps/hour of 2-10 minutes each.
+  PositioningSequence truth = MakeWalk("d", 7200, 1000, 0.2);
+  ErrorModelOptions opt;
+  opt.xy_noise_sigma = 0;
+  opt.floor_error_rate = 0;
+  opt.outlier_rate = 0;
+  opt.dropout_rate = 0;
+  opt.gaps_per_hour = 2.0;
+  Rng rng(5);
+  PositioningSequence noisy = ApplyErrorModel(truth, opt, &rng);
+  DurationMs max_gap = 0;
+  for (size_t i = 1; i < noisy.records.size(); ++i) {
+    max_gap = std::max(max_gap,
+                       noisy.records[i].timestamp - noisy.records[i - 1].timestamp);
+  }
+  EXPECT_GE(max_gap, opt.gap_min);
+}
+
+TEST(ErrorModelTest, OutliersProduceLargeJumps) {
+  PositioningSequence truth = MakeWalk("d", 3000, 1000, 0.0);  // stationary
+  ErrorModelOptions opt;
+  opt.xy_noise_sigma = 0;
+  opt.floor_error_rate = 0;
+  opt.outlier_rate = 0.05;
+  opt.outlier_range = 30;
+  opt.dropout_rate = 0;
+  opt.gaps_per_hour = 0;
+  Rng rng(6);
+  PositioningSequence noisy = ApplyErrorModel(truth, opt, &rng);
+  size_t big = 0;
+  for (size_t i = 0; i < noisy.records.size(); ++i) {
+    if (noisy.records[i].location.PlanarDistanceTo(truth.records[i].location) > 5) {
+      ++big;
+    }
+  }
+  double rate = static_cast<double>(big) / static_cast<double>(noisy.records.size());
+  EXPECT_NEAR(rate, 0.05, 0.02);
+}
+
+TEST(ErrorModelTest, DeterministicGivenSeed) {
+  PositioningSequence truth = MakeWalk("d", 500, 1000, 1.0);
+  ErrorModelOptions opt;
+  Rng rng1(42), rng2(42);
+  PositioningSequence a = ApplyErrorModel(truth, opt, &rng1);
+  PositioningSequence b = ApplyErrorModel(truth, opt, &rng2);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) EXPECT_EQ(a.records[i], b.records[i]);
+}
+
+TEST(ErrorModelTest, EmptyInput) {
+  PositioningSequence empty;
+  ErrorModelOptions opt;
+  Rng rng(1);
+  EXPECT_TRUE(ApplyErrorModel(empty, opt, &rng).records.empty());
+  ErrorStats stats = CompareToTruth(empty, empty);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_DOUBLE_EQ(stats.planar_rmse, 0);
+}
+
+}  // namespace
+}  // namespace trips::positioning

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "dsm/routing.h"
+#include "dsm/sample_spaces.h"
+
+namespace trips::dsm {
+namespace {
+
+class RoutingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto mall = BuildMallDsm({.floors = 3, .shops_per_arm = 2});
+    ASSERT_TRUE(mall.ok()) << mall.status().ToString();
+    dsm_ = std::make_unique<Dsm>(std::move(mall).ValueOrDie());
+    auto planner = RoutePlanner::Build(dsm_.get());
+    ASSERT_TRUE(planner.ok()) << planner.status().ToString();
+    planner_ = std::make_unique<RoutePlanner>(std::move(planner).ValueOrDie());
+  }
+
+  std::unique_ptr<Dsm> dsm_;
+  std::unique_ptr<RoutePlanner> planner_;
+};
+
+TEST(RoutePlannerBuildTest, RequiresTopology) {
+  Dsm empty;
+  EXPECT_EQ(RoutePlanner::Build(&empty).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(RoutePlanner::Build(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RoutingFixture, GraphHasNodes) { EXPECT_GT(planner_->NodeCount(), 0u); }
+
+TEST_F(RoutingFixture, SamePartitionIsStraightLine) {
+  geo::IndoorPoint a{46, 10, 0}, b{50, 18, 0};  // both in corridor-v only
+  auto route = planner_->FindRoute(a, b);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->waypoints.size(), 2u);
+  EXPECT_NEAR(route->distance, a.PlanarDistanceTo(b), 1e-9);
+}
+
+TEST_F(RoutingFixture, ShopToShopGoesThroughDoors) {
+  // Shop at x in [2,12] top (y 36..56) to shop x in [60,70] bottom (y 4..24).
+  geo::IndoorPoint a{5, 45, 0}, b{65, 10, 0};
+  auto route = planner_->FindRoute(a, b);
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  EXPECT_GE(route->waypoints.size(), 4u);  // start, >=2 doors, end
+  // Route must be at least the straight-line distance.
+  EXPECT_GE(route->distance, a.PlanarDistanceTo(b) - 1e-9);
+  // All waypoints on the same floor here.
+  for (const geo::IndoorPoint& w : route->waypoints) EXPECT_EQ(w.floor, 0);
+}
+
+TEST_F(RoutingFixture, CrossFloorUsesVerticalConnector) {
+  geo::IndoorPoint a{5, 45, 0}, b{5, 45, 2};
+  auto route = planner_->FindRoute(a, b);
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  // Some waypoint must be on floor 1 (passing through).
+  bool via_mid_floor = false;
+  for (const geo::IndoorPoint& w : route->waypoints) {
+    if (w.floor == 1) via_mid_floor = true;
+  }
+  EXPECT_TRUE(via_mid_floor);
+  // Vertical cost charged: 2 floors at 15 m each at minimum.
+  EXPECT_GE(route->distance, 30.0);
+}
+
+TEST_F(RoutingFixture, OutsidePointsFail) {
+  geo::IndoorPoint outside{-10, -10, 0}, inside{50, 30, 0};
+  EXPECT_FALSE(planner_->FindRoute(outside, inside).ok());
+  EXPECT_FALSE(planner_->FindRoute(inside, outside).ok());
+  EXPECT_FALSE(planner_->Reachable(outside, inside));
+  EXPECT_TRUE(std::isinf(planner_->IndoorDistance(outside, inside)));
+}
+
+TEST_F(RoutingFixture, ReachableWithinMall) {
+  geo::IndoorPoint a{5, 45, 0}, b{65, 10, 2};
+  EXPECT_TRUE(planner_->Reachable(a, b));
+  double d = planner_->IndoorDistance(a, b);
+  EXPECT_GT(d, 0);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST_F(RoutingFixture, RouteDistanceSymmetry) {
+  geo::IndoorPoint a{5, 45, 0}, b{65, 10, 0};
+  double ab = planner_->IndoorDistance(a, b);
+  double ba = planner_->IndoorDistance(b, a);
+  EXPECT_NEAR(ab, ba, 1e-6);
+}
+
+TEST_F(RoutingFixture, PointAtDistanceWalksTheRoute) {
+  geo::IndoorPoint a{5, 45, 0}, b{65, 10, 0};
+  auto route = planner_->FindRoute(a, b);
+  ASSERT_TRUE(route.ok());
+  geo::IndoorPoint start = route->PointAtDistance(0);
+  EXPECT_EQ(start.xy, a.xy);
+  geo::IndoorPoint end = route->PointAtDistance(route->distance + 100);
+  EXPECT_EQ(end.xy, b.xy);
+  // Midpoint lies inside the mall bounds.
+  geo::IndoorPoint mid = route->PointAtDistance(route->distance / 2);
+  EXPECT_GE(mid.xy.x, 0);
+  EXPECT_LE(mid.xy.x, 100);
+  EXPECT_GE(mid.xy.y, 0);
+  EXPECT_LE(mid.xy.y, 60);
+  // Monotone progress: consecutive sample points are close to each other.
+  geo::IndoorPoint prev = start;
+  for (double d = 0; d <= route->distance; d += 2.0) {
+    geo::IndoorPoint p = route->PointAtDistance(d);
+    if (p.floor == prev.floor) {
+      EXPECT_LE(prev.PlanarDistanceTo(p), 2.0 + 1e-6);
+    }
+    prev = p;
+  }
+}
+
+TEST(RouteTest, EmptyRoute) {
+  Route route;
+  EXPECT_TRUE(route.Empty());
+  EXPECT_EQ(route.PointAtDistance(5).xy, (geo::Point2{0, 0}));
+}
+
+}  // namespace
+}  // namespace trips::dsm

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/routing.h"
+#include "dsm/sample_spaces.h"
+
+namespace trips::dsm {
+namespace {
+
+TEST(MallDsmTest, DefaultSevenFloors) {
+  auto mall = BuildMallDsm();
+  ASSERT_TRUE(mall.ok());
+  EXPECT_EQ(mall->FloorCount(), 7u);
+  EXPECT_EQ(mall->name(), "synthetic-mall");
+  // 12 shops per floor (3 per arm * 2 wings * 2 sides).
+  size_t shops = 0, doors = 0, hallways = 0, stairs = 0, elevators = 0;
+  for (const Entity& e : mall->entities()) {
+    switch (e.kind) {
+      case EntityKind::kRoom:
+        ++shops;
+        break;
+      case EntityKind::kDoor:
+        ++doors;
+        break;
+      case EntityKind::kHallway:
+        ++hallways;
+        break;
+      case EntityKind::kStaircase:
+        ++stairs;
+        break;
+      case EntityKind::kElevator:
+        ++elevators;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(shops, 7u * 12u);
+  EXPECT_EQ(doors, 7u * 12u);
+  EXPECT_EQ(hallways, 7u * 3u);  // two corridors + the center hall
+  EXPECT_EQ(stairs, 7u);
+  EXPECT_EQ(elevators, 7u);
+}
+
+TEST(MallDsmTest, RegionInventory) {
+  auto mall = BuildMallDsm({.floors = 2, .shops_per_arm = 3});
+  ASSERT_TRUE(mall.ok());
+  // 12 shop regions + 5 corridor/hall regions per floor.
+  EXPECT_EQ(mall->regions().size(), 2u * (12u + 5u));
+  EXPECT_NE(mall->FindRegionByName("Adidas"), nullptr);
+  EXPECT_NE(mall->FindRegionByName("Center Hall@1F"), nullptr);
+  // Brand names unique.
+  std::set<std::string> names;
+  for (const SemanticRegion& r : mall->regions()) {
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate region " << r.name;
+  }
+}
+
+TEST(MallDsmTest, EveryDoorConnectsTwoPartitions) {
+  auto mall = BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+  ASSERT_TRUE(mall.ok());
+  for (const Entity& e : mall->entities()) {
+    if (e.kind != EntityKind::kDoor) continue;
+    EXPECT_GE(mall->PartitionsOfDoor(e.id).size(), 2u) << "door " << e.name;
+  }
+}
+
+TEST(MallDsmTest, AllShopsReachableFromEverywhere) {
+  auto mall = BuildMallDsm({.floors = 3, .shops_per_arm = 3});
+  ASSERT_TRUE(mall.ok());
+  auto planner = RoutePlanner::Build(&mall.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  geo::IndoorPoint origin{50, 30, 0};  // center hall, ground floor
+  for (const SemanticRegion& r : mall->regions()) {
+    geo::IndoorPoint target{r.Center(), r.floor};
+    EXPECT_TRUE(planner->Reachable(origin, target))
+        << "unreachable region " << r.name;
+  }
+}
+
+TEST(MallDsmTest, RegionAdjacencyConnectsShopsToCorridors) {
+  auto mall = BuildMallDsm({.floors = 1, .shops_per_arm = 2});
+  ASSERT_TRUE(mall.ok());
+  const SemanticRegion* adidas = mall->FindRegionByName("Adidas");
+  ASSERT_NE(adidas, nullptr);
+  std::vector<RegionId> adj = mall->AdjacentRegions(adidas->id);
+  EXPECT_FALSE(adj.empty());
+  // Every shop region should reach a corridor region directly.
+  bool has_corridor = false;
+  for (RegionId rid : adj) {
+    if (mall->GetRegion(rid)->category == "corridor" ||
+        mall->GetRegion(rid)->category == "hall") {
+      has_corridor = true;
+    }
+  }
+  EXPECT_TRUE(has_corridor);
+}
+
+TEST(MallDsmTest, OptionValidation) {
+  EXPECT_FALSE(BuildMallDsm({.floors = 0}).ok());
+  EXPECT_FALSE(BuildMallDsm({.floors = 1, .shops_per_arm = 9}).ok());
+  auto no_corridor_regions =
+      BuildMallDsm({.floors = 1, .shops_per_arm = 1, .corridor_regions = false});
+  ASSERT_TRUE(no_corridor_regions.ok());
+  EXPECT_EQ(no_corridor_regions->regions().size(), 4u);  // shops only
+}
+
+TEST(OfficeDsmTest, StructureAndRouting) {
+  auto office = BuildOfficeDsm();
+  ASSERT_TRUE(office.ok());
+  EXPECT_EQ(office->FloorCount(), 2u);
+  EXPECT_NE(office->FindRegionByName("Office-101"), nullptr);
+  EXPECT_NE(office->FindRegionByName("Office-104-2F"), nullptr);
+
+  auto planner = RoutePlanner::Build(&office.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  // Office on floor 0 to office on floor 1.
+  geo::IndoorPoint a{10, 18, 0}, b{10, 18, 1};
+  EXPECT_TRUE(planner->Reachable(a, b));
+}
+
+TEST(OfficeDsmTest, MeetingRoomsTagged) {
+  auto office = BuildOfficeDsm();
+  ASSERT_TRUE(office.ok());
+  size_t meetings = 0;
+  for (const SemanticRegion& r : office->regions()) {
+    if (r.category == "meeting") ++meetings;
+  }
+  EXPECT_EQ(meetings, 2u);  // one per floor
+}
+
+}  // namespace
+}  // namespace trips::dsm

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "config/space_modeler.h"
+#include "dsm/routing.h"
+
+namespace trips::config {
+namespace {
+
+TEST(SpaceModelerTest, ImportFloorplanValidation) {
+  SpaceModeler modeler;
+  EXPECT_TRUE(modeler.ImportFloorplan(0, "G", 50, 30).ok());
+  EXPECT_EQ(modeler.ImportFloorplan(0, "dup", 50, 30).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(modeler.ImportFloorplan(1, "bad", -5, 30).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(modeler.FloorCount(), 1u);
+}
+
+TEST(SpaceModelerTest, DrawingRequiresImportedFloor) {
+  SpaceModeler modeler;
+  auto r = modeler.DrawRectangle(dsm::EntityKind::kRoom, "r", 0, 0, 0, 5, 5);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SpaceModelerTest, DrawShapes) {
+  SpaceModeler modeler;
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 50, 30).ok());
+
+  auto rect = modeler.DrawRectangle(dsm::EntityKind::kRoom, "room", 0, 0, 0, 10, 10);
+  ASSERT_TRUE(rect.ok());
+  auto poly = modeler.DrawPolygon(dsm::EntityKind::kHallway, "hall", 0,
+                                  {{10, 0}, {20, 0}, {20, 10}, {10, 10}});
+  ASSERT_TRUE(poly.ok());
+  auto circle =
+      modeler.DrawCircle(dsm::EntityKind::kObstacle, "pillar", 0, {25, 5}, 1.5);
+  ASSERT_TRUE(circle.ok());
+  auto wall = modeler.DrawPolyline(dsm::EntityKind::kWall, "wall", 0,
+                                   {{0, 15}, {30, 15}});
+  ASSERT_TRUE(wall.ok());
+  EXPECT_EQ(modeler.shapes().size(), 4u);
+
+  const DrawnShape* pillar = modeler.GetShape(circle.ValueOrDie());
+  ASSERT_NE(pillar, nullptr);
+  EXPECT_EQ(pillar->shape.vertices.size(), 24u);
+
+  const DrawnShape* wall_shape = modeler.GetShape(wall.ValueOrDie());
+  ASSERT_NE(wall_shape, nullptr);
+  EXPECT_EQ(wall_shape->shape.vertices.size(), 4u);  // thin rectangle
+  EXPECT_NEAR(wall_shape->shape.AbsArea(), 30 * 0.3, 1e-6);
+
+  EXPECT_FALSE(
+      modeler.DrawCircle(dsm::EntityKind::kObstacle, "bad", 0, {0, 0}, -1).ok());
+  EXPECT_FALSE(
+      modeler.DrawPolyline(dsm::EntityKind::kWall, "bad", 0, {{0, 0}}).ok());
+  EXPECT_FALSE(modeler.DrawPolygon(dsm::EntityKind::kRoom, "bad", 0, {{0, 0}}).ok());
+}
+
+TEST(SpaceModelerTest, AutoAdjustSnapsToExistingVertices) {
+  SpaceModelerOptions opt;
+  opt.snap_distance = 0.5;
+  SpaceModeler modeler(opt);
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 50, 30).ok());
+  ASSERT_TRUE(
+      modeler.DrawRectangle(dsm::EntityKind::kRoom, "a", 0, 0, 0, 10, 10).ok());
+  // Vertex (10.3, 0.2) is within 0.5 of existing (10, 0): snapped.
+  auto b = modeler.DrawPolygon(dsm::EntityKind::kRoom, "b", 0,
+                               {{10.3, 0.2}, {20, 0}, {20, 10}, {10, 10}});
+  ASSERT_TRUE(b.ok());
+  const DrawnShape* shape = modeler.GetShape(b.ValueOrDie());
+  EXPECT_EQ(shape->shape.vertices[0], (geo::Point2{10, 0}));
+}
+
+TEST(SpaceModelerTest, EditOperations) {
+  SpaceModeler modeler;
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 50, 30).ok());
+  auto id = modeler.DrawRectangle(dsm::EntityKind::kRoom, "r", 0, 0, 0, 10, 10);
+  ASSERT_TRUE(id.ok());
+
+  ASSERT_TRUE(modeler.MoveShape(id.ValueOrDie(), 5, 3).ok());
+  EXPECT_EQ(modeler.GetShape(id.ValueOrDie())->shape.Centroid(),
+            (geo::Point2{10, 8}));
+
+  ASSERT_TRUE(modeler.ResizeShape(id.ValueOrDie(), 2.0).ok());
+  EXPECT_NEAR(modeler.GetShape(id.ValueOrDie())->shape.AbsArea(), 400, 1e-6);
+  EXPECT_FALSE(modeler.ResizeShape(id.ValueOrDie(), 0).ok());
+
+  ASSERT_TRUE(modeler.TransformShape(id.ValueOrDie(),
+                                     {{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+                  .ok());
+  EXPECT_NEAR(modeler.GetShape(id.ValueOrDie())->shape.AbsArea(), 16, 1e-6);
+
+  ASSERT_TRUE(modeler.SetLayer(id.ValueOrDie(), 3).ok());
+  EXPECT_EQ(modeler.GetShape(id.ValueOrDie())->layer, 3);
+
+  ASSERT_TRUE(modeler.EraseShape(id.ValueOrDie()).ok());
+  EXPECT_EQ(modeler.GetShape(id.ValueOrDie()), nullptr);
+  EXPECT_EQ(modeler.EraseShape(id.ValueOrDie()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(modeler.MoveShape(999, 1, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(SpaceModelerTest, UndoRedo) {
+  SpaceModeler modeler;
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 50, 30).ok());
+  EXPECT_EQ(modeler.Undo().code(), StatusCode::kFailedPrecondition);
+
+  auto a = modeler.DrawRectangle(dsm::EntityKind::kRoom, "a", 0, 0, 0, 5, 5);
+  ASSERT_TRUE(a.ok());
+  auto b = modeler.DrawRectangle(dsm::EntityKind::kRoom, "b", 0, 5, 0, 10, 5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(modeler.shapes().size(), 2u);
+
+  ASSERT_TRUE(modeler.Undo().ok());  // undraw b
+  EXPECT_EQ(modeler.shapes().size(), 1u);
+  ASSERT_TRUE(modeler.Undo().ok());  // undraw a
+  EXPECT_EQ(modeler.shapes().size(), 0u);
+  ASSERT_TRUE(modeler.Redo().ok());  // redraw a
+  EXPECT_EQ(modeler.shapes().size(), 1u);
+  EXPECT_EQ(modeler.shapes()[0].name, "a");
+  ASSERT_TRUE(modeler.Redo().ok());  // redraw b
+  EXPECT_EQ(modeler.shapes().size(), 2u);
+  EXPECT_EQ(modeler.Redo().code(), StatusCode::kFailedPrecondition);
+
+  // A new drawing clears the redo stack.
+  ASSERT_TRUE(modeler.Undo().ok());
+  ASSERT_TRUE(
+      modeler.DrawRectangle(dsm::EntityKind::kRoom, "c", 0, 0, 6, 5, 9).ok());
+  EXPECT_EQ(modeler.Redo().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SpaceModelerTest, TagsStylesAndRegions) {
+  SpaceModeler modeler;
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 50, 30).ok());
+  auto shop = modeler.DrawRectangle(dsm::EntityKind::kRoom, "Nike", 0, 0, 0, 10, 10);
+  ASSERT_TRUE(shop.ok());
+  ASSERT_TRUE(modeler.AssignTag(shop.ValueOrDie(), "shop").ok());
+  EXPECT_EQ(modeler.GetShape(shop.ValueOrDie())->semantic_tag, "shop");
+  ASSERT_TRUE(modeler.MarkAsRegion(shop.ValueOrDie(), "shop").ok());
+  modeler.SetTagStyle("shop", "#ff0000");
+  EXPECT_EQ(modeler.tag_styles().at("shop"), "#ff0000");
+  EXPECT_EQ(modeler.AssignTag(424242, "x").code(), StatusCode::kNotFound);
+}
+
+TEST(SpaceModelerTest, BuildDsmEndToEnd) {
+  // Trace a two-room floor with a connecting door, then build and route.
+  SpaceModeler modeler;
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 40, 20).ok());
+  auto left = modeler.DrawRectangle(dsm::EntityKind::kRoom, "Left", 0, 0, 0, 20, 20);
+  auto right =
+      modeler.DrawRectangle(dsm::EntityKind::kRoom, "Right", 0, 20, 0, 40, 20);
+  auto door =
+      modeler.DrawRectangle(dsm::EntityKind::kDoor, "door", 0, 19.5, 8, 20.5, 12);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  ASSERT_TRUE(door.ok());
+  ASSERT_TRUE(modeler.AssignTag(left.ValueOrDie(), "shop").ok());
+  ASSERT_TRUE(modeler.MarkAsRegion(left.ValueOrDie(), "shop").ok());
+  ASSERT_TRUE(modeler.MarkAsRegion(right.ValueOrDie(), "shop").ok());
+
+  auto dsm = modeler.BuildDsm("traced");
+  ASSERT_TRUE(dsm.ok()) << dsm.status().ToString();
+  EXPECT_EQ(dsm->name(), "traced");
+  EXPECT_EQ(dsm->entities().size(), 3u);
+  EXPECT_EQ(dsm->regions().size(), 2u);
+  EXPECT_TRUE(dsm->topology_computed());
+  EXPECT_EQ(dsm->regions()[0].member_entities.size(), 1u);
+
+  // The traced door connects the rooms: routing works.
+  auto planner = dsm::RoutePlanner::Build(&dsm.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  EXPECT_TRUE(planner->Reachable({5, 10, 0}, {35, 10, 0}));
+
+  // Region adjacency established through the door.
+  const dsm::SemanticRegion* left_region = dsm->FindRegionByName("Left");
+  ASSERT_NE(left_region, nullptr);
+  EXPECT_EQ(dsm->AdjacentRegions(left_region->id).size(), 1u);
+
+  // The modeler remains editable after building.
+  EXPECT_TRUE(
+      modeler.DrawRectangle(dsm::EntityKind::kRoom, "more", 0, 0, 0, 1, 1).ok());
+}
+
+TEST(SpaceModelerTest, RegionWithoutNameFailsAtMark) {
+  SpaceModeler modeler;
+  ASSERT_TRUE(modeler.ImportFloorplan(0, "G", 10, 10).ok());
+  auto anon = modeler.DrawRectangle(dsm::EntityKind::kRoom, "", 0, 0, 0, 5, 5);
+  ASSERT_TRUE(anon.ok());
+  EXPECT_EQ(modeler.MarkAsRegion(anon.ValueOrDie(), "shop").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace trips::config

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "annotation/splitter.h"
+#include "util/rng.h"
+
+namespace trips::annotation {
+namespace {
+
+using positioning::PositioningSequence;
+
+// Builds: walk (n_walk steps of 3 m/3 s) -> dwell (n_dwell samples jittering
+// around a point) -> walk again.
+PositioningSequence WalkDwellWalk(int n_walk, int n_dwell, uint64_t seed = 1) {
+  PositioningSequence seq;
+  seq.device_id = "d";
+  Rng rng(seed);
+  TimestampMs t = 0;
+  double x = 0;
+  for (int i = 0; i < n_walk; ++i, t += 3000, x += 3.0) {
+    seq.records.emplace_back(x, 0.0, 0, t);
+  }
+  for (int i = 0; i < n_dwell; ++i, t += 3000) {
+    seq.records.emplace_back(x + rng.Gaussian(0, 0.4), rng.Gaussian(0, 0.4), 0, t);
+  }
+  for (int i = 0; i < n_walk; ++i, t += 3000, x += 3.0) {
+    seq.records.emplace_back(x, 0.0, 0, t);
+  }
+  return seq;
+}
+
+TEST(SplitterTest, EmptyAndTinySequences) {
+  PositioningSequence empty;
+  EXPECT_TRUE(SplitSequence(empty).empty());
+  PositioningSequence one;
+  one.records.emplace_back(0, 0, 0, 0);
+  EXPECT_TRUE(SplitSequence(one).empty());
+}
+
+TEST(SplitterTest, SnippetsPartitionTheSequence) {
+  PositioningSequence seq = WalkDwellWalk(15, 30);
+  std::vector<Snippet> snippets = SplitSequence(seq);
+  ASSERT_FALSE(snippets.empty());
+  EXPECT_EQ(snippets.front().begin, 0u);
+  EXPECT_EQ(snippets.back().end, seq.records.size());
+  for (size_t i = 1; i < snippets.size(); ++i) {
+    EXPECT_EQ(snippets[i].begin, snippets[i - 1].end);
+  }
+}
+
+TEST(SplitterTest, DwellBecomesDenseSnippet) {
+  PositioningSequence seq = WalkDwellWalk(15, 40);
+  std::vector<Snippet> snippets = SplitSequence(seq);
+  // Expect at least one dense snippet covering most of the dwell.
+  bool found_dense = false;
+  for (const Snippet& s : snippets) {
+    if (s.dense && s.Size() >= 25) found_dense = true;
+  }
+  EXPECT_TRUE(found_dense);
+  // And non-dense walking snippets on at least one side.
+  bool found_move = false;
+  for (const Snippet& s : snippets) {
+    if (!s.dense && s.Size() >= 5) found_move = true;
+  }
+  EXPECT_TRUE(found_move);
+}
+
+TEST(SplitterTest, PureWalkYieldsNoDenseCluster) {
+  PositioningSequence seq;
+  for (int i = 0; i < 60; ++i) {
+    seq.records.emplace_back(i * 3.0, 0.0, 0, static_cast<TimestampMs>(i) * 3000);
+  }
+  std::vector<Snippet> snippets =
+      SplitSequence(seq, {.eps_space = 3.0,
+                          .eps_time = 90 * kMillisPerSecond,
+                          .min_pts = 4,
+                          .min_snippet = 0});
+  for (const Snippet& s : snippets) {
+    EXPECT_FALSE(s.dense && s.Size() > 10) << "unexpected dense run of " << s.Size();
+  }
+}
+
+TEST(SplitterTest, PureDwellYieldsOneDenseCluster) {
+  PositioningSequence seq = WalkDwellWalk(0, 50);
+  std::vector<Snippet> snippets = SplitSequence(seq);
+  ASSERT_EQ(snippets.size(), 1u);
+  EXPECT_TRUE(snippets[0].dense);
+  EXPECT_EQ(snippets[0].Size(), 50u);
+}
+
+TEST(SplitterTest, TwoSeparatedDwellsSplit) {
+  // dwell A -> walk -> dwell B (far away).
+  PositioningSequence seq;
+  Rng rng(3);
+  TimestampMs t = 0;
+  for (int i = 0; i < 30; ++i, t += 3000) {
+    seq.records.emplace_back(rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3), 0, t);
+  }
+  double x = 0;
+  for (int i = 0; i < 20; ++i, t += 3000) {
+    x += 3.0;
+    seq.records.emplace_back(x, 0.0, 0, t);
+  }
+  for (int i = 0; i < 30; ++i, t += 3000) {
+    seq.records.emplace_back(x + rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3), 0, t);
+  }
+  std::vector<Snippet> snippets = SplitSequence(seq);
+  int dense_count = 0;
+  for (const Snippet& s : snippets) {
+    if (s.dense && s.Size() >= 20) ++dense_count;
+  }
+  EXPECT_EQ(dense_count, 2);
+}
+
+TEST(SplitterTest, FloorSeparatesNeighbourhoods) {
+  // Same planar dwell on two floors back-to-back: clusters must not merge.
+  PositioningSequence seq;
+  Rng rng(4);
+  TimestampMs t = 0;
+  for (int i = 0; i < 25; ++i, t += 3000) {
+    seq.records.emplace_back(rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3), 0, t);
+  }
+  for (int i = 0; i < 25; ++i, t += 3000) {
+    seq.records.emplace_back(rng.Gaussian(0, 0.3), rng.Gaussian(0, 0.3), 1, t);
+  }
+  std::vector<Snippet> snippets = SplitSequence(seq);
+  // The floor boundary must coincide with a snippet boundary.
+  bool boundary_at_25 = false;
+  for (const Snippet& s : snippets) {
+    if (s.begin == 25u || s.end == 25u) boundary_at_25 = true;
+  }
+  EXPECT_TRUE(boundary_at_25);
+}
+
+TEST(SplitterTest, MinSnippetMergesFragments) {
+  PositioningSequence seq = WalkDwellWalk(15, 40, 5);
+  SplitterOptions no_merge;
+  no_merge.min_snippet = 0;
+  SplitterOptions merge;
+  merge.min_snippet = 60 * kMillisPerSecond;
+  size_t with = SplitSequence(seq, merge).size();
+  size_t without = SplitSequence(seq, no_merge).size();
+  EXPECT_LE(with, without);
+}
+
+// Parameterized sweep: splitting must partition the record range exactly for
+// any eps/min_pts combination.
+class SplitterSweep
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(SplitterSweep, AlwaysPartitions) {
+  auto [eps, min_pts] = GetParam();
+  PositioningSequence seq = WalkDwellWalk(20, 30, 7);
+  SplitterOptions opt;
+  opt.eps_space = eps;
+  opt.min_pts = min_pts;
+  opt.min_snippet = 0;
+  std::vector<Snippet> snippets = SplitSequence(seq, opt);
+  ASSERT_FALSE(snippets.empty());
+  EXPECT_EQ(snippets.front().begin, 0u);
+  EXPECT_EQ(snippets.back().end, seq.records.size());
+  size_t covered = 0;
+  for (const Snippet& s : snippets) {
+    EXPECT_LT(s.begin, s.end);
+    covered += s.Size();
+  }
+  EXPECT_EQ(covered, seq.records.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsAndDensity, SplitterSweep,
+                         ::testing::Combine(::testing::Values(1.0, 2.0, 3.0, 5.0,
+                                                              8.0),
+                                            ::testing::Values(2u, 4u, 6u, 10u)));
+
+}  // namespace
+}  // namespace trips::annotation

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "dsm/sample_spaces.h"
+#include "dsm/validation.h"
+
+namespace trips::dsm {
+namespace {
+
+Entity MakeRect(EntityKind kind, const std::string& name, geo::FloorId floor,
+                double x0, double y0, double x1, double y1) {
+  Entity e;
+  e.kind = kind;
+  e.name = name;
+  e.floor = floor;
+  e.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+  return e;
+}
+
+bool HasIssue(const std::vector<ValidationIssue>& issues, const std::string& code) {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.code == code) return true;
+  }
+  return false;
+}
+
+TEST(ValidationTest, RequiresTopology) {
+  Dsm dsm;
+  Entity e = MakeRect(EntityKind::kRoom, "r", 0, 0, 0, 5, 5);
+  ASSERT_TRUE(dsm.AddEntity(e).ok());
+  EXPECT_EQ(ValidateDsm(dsm).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidationTest, SampleSpacesAreClean) {
+  for (auto builder : {+[] { return BuildMallDsm({.floors = 2, .shops_per_arm = 2}); },
+                       +[] { return BuildOfficeDsm(); }}) {
+    auto dsm = builder();
+    ASSERT_TRUE(dsm.ok());
+    auto issues = ValidateDsm(dsm.ValueOrDie());
+    ASSERT_TRUE(issues.ok());
+    for (const ValidationIssue& issue : *issues) {
+      EXPECT_NE(issue.severity, IssueSeverity::kError) << FormatIssues(*issues);
+    }
+    // No island partitions or unattached doors in the shipped models.
+    EXPECT_FALSE(HasIssue(*issues, "door-unattached")) << FormatIssues(*issues);
+    EXPECT_FALSE(HasIssue(*issues, "island-partition")) << FormatIssues(*issues);
+    EXPECT_FALSE(HasIssue(*issues, "region-not-walkable")) << FormatIssues(*issues);
+  }
+}
+
+TEST(ValidationTest, DetectsUnattachedDoor) {
+  Dsm dsm;
+  ASSERT_TRUE(dsm.AddEntity(MakeRect(EntityKind::kRoom, "a", 0, 0, 0, 10, 10)).ok());
+  // A door floating in the void, touching nothing.
+  ASSERT_TRUE(
+      dsm.AddEntity(MakeRect(EntityKind::kDoor, "lost-door", 0, 50, 50, 51, 51)).ok());
+  ASSERT_TRUE(dsm.ComputeTopology().ok());
+  auto issues = ValidateDsm(dsm);
+  ASSERT_TRUE(issues.ok());
+  EXPECT_TRUE(HasIssue(*issues, "door-unattached"));
+  // The finding carries the door's id and error severity.
+  for (const ValidationIssue& issue : *issues) {
+    if (issue.code == "door-unattached") {
+      EXPECT_EQ(issue.severity, IssueSeverity::kError);
+      EXPECT_EQ(issue.entity, 1);
+    }
+  }
+}
+
+TEST(ValidationTest, DetectsIslandPartition) {
+  Dsm dsm;
+  ASSERT_TRUE(dsm.AddEntity(MakeRect(EntityKind::kRoom, "a", 0, 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(
+      dsm.AddEntity(MakeRect(EntityKind::kRoom, "island", 0, 50, 50, 60, 60)).ok());
+  ASSERT_TRUE(dsm.ComputeTopology().ok());
+  auto issues = ValidateDsm(dsm);
+  ASSERT_TRUE(issues.ok());
+  EXPECT_TRUE(HasIssue(*issues, "island-partition"));
+}
+
+TEST(ValidationTest, DetectsRegionProblems) {
+  Dsm dsm;
+  ASSERT_TRUE(dsm.AddEntity(MakeRect(EntityKind::kRoom, "a", 0, 0, 0, 10, 10)).ok());
+  // Region floating outside walkable space.
+  SemanticRegion ghost;
+  ghost.name = "Ghost";
+  ghost.floor = 0;
+  ghost.shape = geo::Polygon::Rectangle(100, 100, 120, 120);
+  ASSERT_TRUE(dsm.AddRegion(ghost).ok());
+  // Duplicate names.
+  SemanticRegion dup1;
+  dup1.name = "Twin";
+  dup1.floor = 0;
+  dup1.shape = geo::Polygon::Rectangle(0, 0, 5, 5);
+  SemanticRegion dup2 = dup1;
+  ASSERT_TRUE(dsm.AddRegion(dup1).ok());
+  ASSERT_TRUE(dsm.AddRegion(dup2).ok());
+  ASSERT_TRUE(dsm.ComputeTopology().ok());
+
+  auto issues = ValidateDsm(dsm);
+  ASSERT_TRUE(issues.ok());
+  EXPECT_TRUE(HasIssue(*issues, "region-not-walkable"));
+  EXPECT_TRUE(HasIssue(*issues, "duplicate-region-name"));
+  EXPECT_TRUE(HasIssue(*issues, "region-no-adjacency"));
+}
+
+TEST(ValidationTest, DetectsUnlinkedVerticalAndEmptyFloor) {
+  Dsm dsm;
+  Floor empty;
+  empty.id = 5;
+  empty.name = "5F";
+  ASSERT_TRUE(dsm.AddFloor(empty).ok());
+  ASSERT_TRUE(dsm.AddEntity(MakeRect(EntityKind::kRoom, "a", 0, 0, 0, 10, 10)).ok());
+  // Staircase with no same-named twin on another floor.
+  ASSERT_TRUE(
+      dsm.AddEntity(MakeRect(EntityKind::kStaircase, "lonely", 0, 2, 2, 4, 4)).ok());
+  ASSERT_TRUE(dsm.ComputeTopology().ok());
+  auto issues = ValidateDsm(dsm);
+  ASSERT_TRUE(issues.ok());
+  EXPECT_TRUE(HasIssue(*issues, "vertical-unlinked"));
+  EXPECT_TRUE(HasIssue(*issues, "empty-floor"));
+}
+
+TEST(ValidationTest, DetectsUnnamedPartition) {
+  Dsm dsm;
+  ASSERT_TRUE(dsm.AddEntity(MakeRect(EntityKind::kRoom, "", 0, 0, 0, 10, 10)).ok());
+  ASSERT_TRUE(dsm.ComputeTopology().ok());
+  auto issues = ValidateDsm(dsm);
+  ASSERT_TRUE(issues.ok());
+  EXPECT_TRUE(HasIssue(*issues, "unnamed-entity"));
+}
+
+TEST(ValidationTest, FormatIssuesReadable) {
+  std::vector<ValidationIssue> issues = {
+      {IssueSeverity::kError, "door-unattached", "door 'x' connects 0", 3,
+       kInvalidRegion},
+      {IssueSeverity::kWarning, "empty-floor", "floor '9F' carries no entities"},
+  };
+  std::string text = FormatIssues(issues);
+  EXPECT_NE(text.find("[ERROR] door-unattached"), std::string::npos);
+  EXPECT_NE(text.find("[WARN]  empty-floor"), std::string::npos);
+  EXPECT_TRUE(FormatIssues({}).empty());
+}
+
+}  // namespace
+}  // namespace trips::dsm

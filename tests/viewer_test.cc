@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dsm/sample_spaces.h"
+#include "viewer/ascii_renderer.h"
+#include "viewer/html_export.h"
+#include "viewer/map_renderer.h"
+#include "viewer/svg.h"
+#include "viewer/timeline.h"
+
+namespace trips::viewer {
+namespace {
+
+using positioning::PositioningSequence;
+
+PositioningSequence MakeSeq() {
+  PositioningSequence seq;
+  seq.device_id = "dev";
+  for (int i = 0; i < 10; ++i) {
+    seq.records.emplace_back(10.0 + i * 2, 30.0, 0, static_cast<TimestampMs>(i) * 3000);
+  }
+  return seq;
+}
+
+core::MobilitySemanticsSequence MakeSemantics() {
+  core::MobilitySemanticsSequence seq;
+  seq.device_id = "dev";
+  seq.semantics.push_back({core::kEventStay, 0, "Adidas", {0, 12'000}, false});
+  seq.semantics.push_back({core::kEventPassBy, 1, "Hall", {13'000, 27'000}, true});
+  return seq;
+}
+
+TEST(TimelineTest, FromPositioningOneEntryPerRecord) {
+  Timeline tl = Timeline::FromPositioning(MakeSeq(), "raw");
+  EXPECT_EQ(tl.source, "raw");
+  ASSERT_EQ(tl.entries.size(), 10u);
+  EXPECT_EQ(tl.entries[3].range.begin, tl.entries[3].range.end);
+  EXPECT_TRUE(tl.entries[3].label.empty());
+  EXPECT_EQ(tl.Span().Duration(), 27'000);
+}
+
+TEST(TimelineTest, FromSemanticsTemporalMiddle) {
+  Timeline tl = Timeline::FromSemantics(MakeSemantics(), MakeSeq(),
+                                        DisplayPointPolicy::kTemporalMiddle,
+                                        "semantics");
+  ASSERT_EQ(tl.entries.size(), 2u);
+  // First triplet covers 0..12s; middle is 6s -> record at t=6000 (x=14).
+  EXPECT_DOUBLE_EQ(tl.entries[0].display_point.xy.x, 14.0);
+  EXPECT_FALSE(tl.entries[0].label.empty());
+  EXPECT_FALSE(tl.entries[0].inferred);
+  EXPECT_TRUE(tl.entries[1].inferred);
+}
+
+TEST(TimelineTest, FromSemanticsSpatialCenter) {
+  Timeline tl = Timeline::FromSemantics(MakeSemantics(), MakeSeq(),
+                                        DisplayPointPolicy::kSpatialCenter, "s");
+  ASSERT_EQ(tl.entries.size(), 2u);
+  // Records x = 10..18 at 2 m steps within 0..12s -> centroid x=14.
+  EXPECT_DOUBLE_EQ(tl.entries[0].display_point.xy.x, 14.0);
+}
+
+TEST(TimelineTest, FromSemanticsNoBackingRecords) {
+  core::MobilitySemanticsSequence sem;
+  sem.semantics.push_back({core::kEventStay, 0, "X", {100'000, 200'000}, false});
+  Timeline tl = Timeline::FromSemantics(sem, MakeSeq(),
+                                        DisplayPointPolicy::kTemporalMiddle, "s");
+  ASSERT_EQ(tl.entries.size(), 1u);
+  // Falls back to the middle record of the backing sequence.
+  EXPECT_DOUBLE_EQ(tl.entries[0].display_point.xy.x, 20.0);
+
+  PositioningSequence empty;
+  Timeline tl2 = Timeline::FromSemantics(sem, empty,
+                                         DisplayPointPolicy::kTemporalMiddle, "s");
+  EXPECT_EQ(tl2.entries[0].display_point.xy, (geo::Point2{0, 0}));
+}
+
+TEST(TimelineTest, EntriesInWindow) {
+  Timeline tl = Timeline::FromPositioning(MakeSeq(), "raw");
+  auto hits = tl.EntriesIn({6'000, 12'000});
+  EXPECT_EQ(hits.size(), 3u);
+  EXPECT_TRUE(tl.EntriesIn({100'000, 200'000}).empty());
+  // Clicking a semantics entry shows all covered raw entries.
+  Timeline sem = Timeline::FromSemantics(MakeSemantics(), MakeSeq(),
+                                         DisplayPointPolicy::kTemporalMiddle, "s");
+  auto covered = tl.EntriesIn(sem.entries[0].range);
+  EXPECT_EQ(covered.size(), 5u);  // t = 0,3,6,9,12
+}
+
+TEST(SvgTest, BuilderProducesValidishMarkup) {
+  geo::BoundingBox world;
+  world.Extend({0, 0});
+  world.Extend({10, 10});
+  SvgBuilder svg(world, 10, 5);
+  svg.AddPolygon(geo::Polygon::Rectangle(0, 0, 10, 10), "#eee", "#000");
+  svg.AddCircle({5, 5}, 3, "#f00");
+  svg.AddPolyline({{0, 0}, {10, 10}}, "#00f");
+  svg.AddText({5, 5}, "label <&>", 10);
+  std::string out = svg.Finish();
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_NE(out.find("<polygon"), std::string::npos);
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find("<polyline"), std::string::npos);
+  EXPECT_NE(out.find("label &lt;&amp;&gt;"), std::string::npos);
+  EXPECT_DOUBLE_EQ(svg.WidthPx(), 110);
+  // Y axis flipped: world (0,0) maps to bottom.
+  geo::Point2 px = svg.ToPixel({0, 0});
+  EXPECT_DOUBLE_EQ(px.y, 105);
+}
+
+TEST(SvgTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+class RendererFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+    ASSERT_TRUE(mall.ok());
+    dsm_ = std::make_unique<dsm::Dsm>(std::move(mall).ValueOrDie());
+  }
+  std::unique_ptr<dsm::Dsm> dsm_;
+};
+
+TEST_F(RendererFixture, RenderFloorContainsRegionsAndData) {
+  MapRenderer renderer(dsm_.get());
+  renderer.AddTimeline(Timeline::FromPositioning(MakeSeq(), "raw"));
+  renderer.AddTimeline(Timeline::FromSemantics(MakeSemantics(), MakeSeq(),
+                                               DisplayPointPolicy::kTemporalMiddle,
+                                               "semantics"));
+  std::string svg = renderer.RenderFloorSvg(0);
+  EXPECT_NE(svg.find("Adidas"), std::string::npos);   // region label
+  EXPECT_NE(svg.find("<circle"), std::string::npos);  // data dots
+  EXPECT_NE(svg.find("raw"), std::string::npos);      // legend
+  // Other-floor rendering excludes floor-0 data points but still shows map.
+  std::string svg1 = renderer.RenderFloorSvg(1);
+  EXPECT_NE(svg1.find("<polygon"), std::string::npos);
+}
+
+TEST_F(RendererFixture, VisibilityToggleHidesSource) {
+  MapRenderer renderer(dsm_.get());
+  renderer.AddTimeline(Timeline::FromPositioning(MakeSeq(), "raw"));
+  MapViewOptions options;
+  options.visible["raw"] = false;
+  std::string hidden = renderer.RenderFloorSvg(0, options);
+  std::string shown = renderer.RenderFloorSvg(0);
+  // Hidden rendering has fewer circles and a "(hidden)" legend mark.
+  EXPECT_NE(hidden.find("(hidden)"), std::string::npos);
+  EXPECT_LT(hidden.size(), shown.size());
+}
+
+TEST_F(RendererFixture, TimeWindowFiltersEntries) {
+  MapRenderer renderer(dsm_.get());
+  renderer.AddTimeline(Timeline::FromPositioning(MakeSeq(), "raw"));
+  MapViewOptions options;
+  options.window = {0, 3'000};  // only 2 records
+  std::string windowed = renderer.RenderFloorSvg(0, options);
+  std::string full = renderer.RenderFloorSvg(0);
+  EXPECT_LT(windowed.size(), full.size());
+}
+
+TEST_F(RendererFixture, WriteFloorSvgFile) {
+  MapRenderer renderer(dsm_.get());
+  std::string path = testing::TempDir() + "/trips_floor.svg";
+  ASSERT_TRUE(renderer.WriteFloorSvg(0, path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(renderer.WriteFloorSvg(0, "/nonexistent/dir/f.svg").ok());
+}
+
+TEST_F(RendererFixture, AsciiRendering) {
+  std::vector<Timeline> timelines;
+  timelines.push_back(Timeline::FromPositioning(MakeSeq(), "raw"));
+  std::string ascii = RenderFloorAscii(*dsm_, 0, timelines, {.width = 80, .height = 24});
+  EXPECT_FALSE(ascii.empty());
+  EXPECT_NE(ascii.find('.'), std::string::npos);  // walkable space
+  EXPECT_NE(ascii.find('r'), std::string::npos);  // raw data marker
+  // 24 lines of 80 chars + newlines.
+  EXPECT_EQ(ascii.size(), 24u * 81u);
+}
+
+TEST_F(RendererFixture, TimelineText) {
+  std::string text = RenderTimelineText(MakeSemantics());
+  EXPECT_NE(text.find("stay"), std::string::npos);
+  EXPECT_NE(text.find("Adidas"), std::string::npos);
+  EXPECT_NE(text.find('~'), std::string::npos);  // inferred marker
+}
+
+TEST_F(RendererFixture, HtmlExportContainsMapsAndTimeline) {
+  MapRenderer renderer(dsm_.get());
+  renderer.AddTimeline(Timeline::FromSemantics(MakeSemantics(), MakeSeq(),
+                                               DisplayPointPolicy::kTemporalMiddle,
+                                               "semantics"));
+  HtmlExportOptions options;
+  options.title = "walkthrough <demo>";
+  std::string html = RenderHtml(*dsm_, renderer, options);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("walkthrough &lt;demo&gt;"), std::string::npos);
+  EXPECT_NE(html.find("Timeline: semantics"), std::string::npos);
+  EXPECT_NE(html.find("class=\"inferred\""), std::string::npos);
+  // One SVG per floor.
+  size_t svg_count = 0;
+  for (size_t pos = 0; (pos = html.find("<svg", pos)) != std::string::npos; ++pos) {
+    ++svg_count;
+  }
+  EXPECT_EQ(svg_count, 2u);
+
+  std::string path = testing::TempDir() + "/trips_view.html";
+  ASSERT_TRUE(WriteHtml(*dsm_, renderer, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trips::viewer
