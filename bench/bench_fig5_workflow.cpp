@@ -117,23 +117,27 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
-void BM_PipelineObjectWorkflow(benchmark::State& state) {
+void BM_ServiceWorkflow(benchmark::State& state) {
   static MallContext ctx = MallContext::Make(7, 3);
   static auto fleet = bench::MakeFleet(ctx, 8, bench::DefaultNoise(7), 191);
   std::vector<positioning::PositioningSequence> raws;
   for (const auto& nd : fleet) raws.push_back(nd.raw);
+  config::DataSelector selector;
+  selector.AddSequences(raws);
+  selector.SetRule(
+      config::And({config::MinRecords(10), config::DeviceIdPattern("dev-*")}));
+  auto engine = core::Engine::Builder().BorrowDsm(ctx.dsm.get()).Build();
+  if (!engine.ok()) std::abort();
+  core::Service service(engine.ValueOrDie());
   for (auto _ : state) {
-    core::Pipeline pipeline;
-    pipeline.selector().AddSequences(raws);
-    pipeline.selector().SetRule(
-        config::And({config::MinRecords(10), config::DeviceIdPattern("dev-*")}));
-    if (!pipeline.SetDsm(*ctx.dsm).ok()) std::abort();
-    auto results = pipeline.Run();
-    if (!results.ok()) std::abort();
-    benchmark::DoNotOptimize(results);
+    auto selected = selector.Select();
+    if (!selected.ok()) std::abort();
+    auto response = service.Translate({.sequences = std::move(selected).ValueOrDie()});
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response);
   }
 }
-BENCHMARK(BM_PipelineObjectWorkflow)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceWorkflow)->Unit(benchmark::kMillisecond);
 
 void BM_DataSelection(benchmark::State& state) {
   static MallContext ctx = MallContext::Make(7, 3);

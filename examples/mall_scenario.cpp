@@ -43,24 +43,19 @@ int main(int argc, char** argv) {
   }
   std::printf("simulated %zu devices\n", raw_feed.size());
 
-  core::Pipeline pipeline;
-
   // Step (1): positioning data + selection rules: operating hours, at least
   // 15 minutes of data.
-  pipeline.selector().AddSequences(raw_feed);
-  pipeline.selector().SetRule(config::And({
+  config::DataSelector selector;
+  selector.AddSequences(raw_feed);
+  selector.SetRule(config::And({
       config::PeriodicPattern(10 * kMillisPerHour, 22 * kMillisPerHour, 0.95),
       config::MinDuration(15 * kMillisPerMinute),
       config::DeviceIdPattern("3a.*"),
   }));
 
-  // Step (2): install the DSM (and persist it for reuse).
-  if (!pipeline.SetDsm(*mall).ok()) return 1;
-  dsm::SaveToFile(*mall, out_dir + "/mall_dsm.json");
-
   // Step (3): define event patterns and designate training segments from a
   // handful of browsed sequences (the Fig. 5(3) interaction).
-  auto& editor = pipeline.event_editor();
+  config::EventEditor editor;
   editor.DefinePattern(core::kEventStay, "shopper dwells in one shop");
   editor.DefinePattern(core::kEventPassBy, "shopper passes through a region");
   editor.DefinePattern(core::kEventWander, "shopper drifts around a hall");
@@ -74,22 +69,40 @@ int main(int argc, char** argv) {
     std::printf("training segments for '%s': %zu\n", event.c_str(), n);
   }
 
-  // Step (4): translate.
-  auto results = pipeline.Run();
-  if (!results.ok()) {
-    std::fprintf(stderr, "run: %s\n", results.status().ToString().c_str());
+  // Step (2)+(3) assembled: the immutable engine — DSM plus the event model
+  // trained from the Event Editor's designated segments. Persist the DSM for
+  // reuse in later sessions.
+  dsm::SaveToFile(*mall, out_dir + "/mall_dsm.json");
+  auto engine = core::Engine::Builder()
+                    .SetDsm(mall.ValueOrDie())
+                    .SetTrainingData(editor.training_data())
+                    .Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("translated %zu selected devices\n", results->size());
+
+  // Step (4): translate the selected sequences through the service.
+  core::Service service(engine.ValueOrDie());
+  auto selected = selector.Select();
+  if (!selected.ok()) return 1;
+  auto response = service.Translate({.sequences = std::move(selected).ValueOrDie()});
+  if (!response.ok()) {
+    std::fprintf(stderr, "run: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<core::TranslationResult>* results = &response->results;
+  std::printf("translated %zu selected devices (%zu workers, %.0f ms)\n",
+              results->size(), response->workers_used, response->elapsed_ms);
 
   // Step (5): export result files and an HTML view of the first device.
-  auto written = pipeline.ExportResults(*results, out_dir);
+  auto written = core::ExportResultFiles(*results, out_dir);
   if (!written.ok()) return 1;
   std::printf("wrote %zu result files to %s/\n", written.ValueOrDie(),
               out_dir.c_str());
 
   const core::TranslationResult& first = (*results)[0];
-  viewer::MapRenderer renderer(pipeline.dsm());
+  viewer::MapRenderer renderer(&engine.ValueOrDie()->dsm());
   renderer.AddTimeline(viewer::Timeline::FromPositioning(first.raw, "raw"));
   renderer.AddTimeline(viewer::Timeline::FromPositioning(first.cleaned, "cleaned"));
   renderer.AddTimeline(viewer::Timeline::FromSemantics(
@@ -97,7 +110,7 @@ int main(int argc, char** argv) {
       "semantics"));
   viewer::HtmlExportOptions html;
   html.title = "TRIPS mall walk-through: " + first.semantics.device_id;
-  if (!viewer::WriteHtml(*pipeline.dsm(), renderer, out_dir + "/view.html", html)
+  if (!viewer::WriteHtml(engine.ValueOrDie()->dsm(), renderer, out_dir + "/view.html", html)
            .ok()) {
     return 1;
   }
@@ -122,12 +135,12 @@ int main(int argc, char** argv) {
 
   // Downstream analytics (the paper's motivating applications): popular
   // regions, conversion, and a popularity heatmap of the ground floor.
-  core::MobilityAnalytics analytics(pipeline.dsm());
+  core::MobilityAnalytics analytics(&engine.ValueOrDie()->dsm());
   for (const core::TranslationResult& r : *results) {
     analytics.AddSequence(r.semantics);
   }
   std::printf("\ntop regions by visits:\n%s", analytics.FormatReport(8).c_str());
-  if (viewer::WriteRegionHeatmapSvg(*pipeline.dsm(), analytics, 0,
+  if (viewer::WriteRegionHeatmapSvg(engine.ValueOrDie()->dsm(), analytics, 0,
                                     out_dir + "/heatmap_1F.svg")
           .ok()) {
     std::printf("wrote %s/heatmap_1F.svg\n", out_dir.c_str());

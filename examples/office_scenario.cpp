@@ -105,13 +105,18 @@ int main() {
 
   core::TranslatorOptions opt;
   opt.annotator.splitter.eps_space = 2.5;
-  core::Translator translator(&office.ValueOrDie(), opt);
-  if (!translator.Init().ok()) return 1;
-  auto results = translator.TranslateAll(raw);
-  if (!results.ok()) {
-    std::fprintf(stderr, "translate: %s\n", results.status().ToString().c_str());
+  auto engine = core::Engine::Builder()
+                    .BorrowDsm(&office.ValueOrDie())
+                    .SetOptions(opt)
+                    .Build();
+  if (!engine.ok()) return 1;
+  core::Service service(engine.ValueOrDie());
+  auto response = service.Translate({.sequences = std::move(raw)});
+  if (!response.ok()) {
+    std::fprintf(stderr, "translate: %s\n", response.status().ToString().c_str());
     return 1;
   }
+  const std::vector<core::TranslationResult>* results = &response->results;
 
   for (const core::TranslationResult& r : *results) {
     std::printf("\n%s", viewer::RenderTimelineText(r.semantics).c_str());

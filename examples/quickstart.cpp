@@ -1,8 +1,11 @@
-// Quickstart: the smallest end-to-end TRIPS session.
+// Quickstart: the smallest end-to-end TRIPS session, driven entirely through
+// the Engine/Service API.
 //
 // Builds a sample indoor space, simulates one shopper, degrades the data with
-// a Wi-Fi-like error model, translates it back into mobility semantics, and
-// prints the paper's Table-1-style comparison.
+// a Wi-Fi-like error model, assembles an immutable core::Engine (DSM +
+// trained event model), and translates the data back into mobility semantics
+// through a core::Service — once as a batch request and once as a record-by-
+// record stream — then prints the paper's Table-1-style comparison.
 //
 //   ./quickstart
 #include <cstdio>
@@ -32,14 +35,9 @@ int main() {
   positioning::PositioningSequence raw =
       positioning::ApplyErrorModel(device->truth, noise, &rng);
 
-  // 3. Translate: Cleaning -> Annotation -> Complementing. The event model is
-  // trained from a few designated example segments (the Event Editor step);
-  // skip TrainEventModel to fall back to rule-based identification.
-  core::Translator translator(&mall.ValueOrDie());
-  if (Status s = translator.Init(); !s.ok()) {
-    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
-    return 1;
-  }
+  // 3. Training corpus from a few designated example segments (the Event
+  // Editor step); skip SetTrainingData to fall back to rule-based
+  // identification.
   std::vector<config::LabeledSegment> training;
   for (int d = 0; d < 6; ++d) {
     auto sample = generator.GenerateDevice("train-" + std::to_string(d), 0, &rng);
@@ -51,18 +49,32 @@ int main() {
       if (seg.segment.records.size() >= 2) training.push_back(std::move(seg));
     }
   }
-  if (Status s = translator.TrainEventModel(training); !s.ok()) {
-    std::fprintf(stderr, "train: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  auto results = translator.TranslateAll({raw});
-  if (!results.ok()) {
-    std::fprintf(stderr, "translate: %s\n", results.status().ToString().c_str());
-    return 1;
-  }
-  const core::TranslationResult& r = (*results)[0];
 
-  // 4. Show what happened.
+  // 4. The engine: immutable model, built once, shareable across threads.
+  auto engine = core::Engine::Builder()
+                    .SetDsm(mall.ValueOrDie())
+                    .SetTrainingData(training)
+                    .Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (!engine.ValueOrDie()->training_status().ok()) {
+    std::fprintf(stderr, "train: %s\n",
+                 engine.ValueOrDie()->training_status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. The service: batch translation through a session.
+  core::Service service(engine.ValueOrDie());
+  auto response = service.Translate({.sequences = {raw}});
+  if (!response.ok()) {
+    std::fprintf(stderr, "translate: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const core::TranslationResult& r = response->results[0];
+
+  // 6. Show what happened.
   std::printf("%s\n", core::RenderTable1(r.raw, r.semantics).c_str());
   std::printf("cleaning: %zu violations, %zu floor-corrected, %zu interpolated\n",
               r.cleaning_report.speed_violations, r.cleaning_report.floor_corrected,
@@ -81,5 +93,19 @@ int main() {
       core::CompareSemantics(device->semantics, r.semantics);
   std::printf("\nagreement vs ground truth: region %.0f%%, event %.0f%%\n",
               agreement.region_match * 100, agreement.event_match * 100);
+
+  // 7. The same data as a live stream: a stream session over the same shared
+  // engine, with a sink callback receiving each flushed device.
+  auto stream = service.NewStreamSession();
+  size_t streamed_triplets = 0;
+  stream->SetSink([&](core::TranslationResult result) {
+    streamed_triplets += result.semantics.Size();
+  });
+  for (const positioning::RawRecord& record : raw.records) {
+    if (!stream->Ingest(raw.device_id, record).ok()) return 1;
+  }
+  if (!stream->FlushAll().ok()) return 1;
+  std::printf("streaming the same feed: %zu devices emitted, %zu triplets\n",
+              stream->EmittedCount(), streamed_triplets);
   return 0;
 }

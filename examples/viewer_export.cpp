@@ -29,11 +29,12 @@ int main(int argc, char** argv) {
   positioning::PositioningSequence raw =
       positioning::ApplyErrorModel(device->truth, noise, &rng);
 
-  core::Translator translator(&mall.ValueOrDie());
-  if (!translator.Init().ok()) return 1;
-  auto results = translator.TranslateAll({raw});
-  if (!results.ok()) return 1;
-  const core::TranslationResult& r = (*results)[0];
+  auto engine = core::Engine::Builder().BorrowDsm(&mall.ValueOrDie()).Build();
+  if (!engine.ok()) return 1;
+  core::Service service(engine.ValueOrDie());
+  auto response = service.Translate({.sequences = {raw}});
+  if (!response.ok()) return 1;
+  const core::TranslationResult& r = response->results[0];
 
   // All four mobility data sequences of §3 on one canvas.
   viewer::MapRenderer renderer(&mall.ValueOrDie());

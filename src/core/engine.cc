@@ -1,0 +1,83 @@
+#include "core/engine.h"
+
+#include "dsm/dsm_json.h"
+
+namespace trips::core {
+
+Engine::Builder& Engine::Builder::SetDsm(dsm::Dsm dsm) {
+  owned_dsm_ = std::make_unique<dsm::Dsm>(std::move(dsm));
+  shared_dsm_.reset();
+  borrowed_dsm_ = nullptr;
+  dsm_path_.clear();
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::ShareDsm(std::shared_ptr<const dsm::Dsm> dsm) {
+  shared_dsm_ = std::move(dsm);
+  owned_dsm_.reset();
+  borrowed_dsm_ = nullptr;
+  dsm_path_.clear();
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::BorrowDsm(const dsm::Dsm* dsm) {
+  borrowed_dsm_ = dsm;
+  owned_dsm_.reset();
+  shared_dsm_.reset();
+  dsm_path_.clear();
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::LoadDsmFile(std::string path) {
+  dsm_path_ = std::move(path);
+  owned_dsm_.reset();
+  shared_dsm_.reset();
+  borrowed_dsm_ = nullptr;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::SetOptions(TranslatorOptions options) {
+  options_ = options;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::SetTrainingData(
+    std::vector<config::LabeledSegment> training_data) {
+  training_data_ = std::move(training_data);
+  return *this;
+}
+
+Result<std::shared_ptr<const Engine>> Engine::Builder::Build() {
+  if (!dsm_path_.empty()) {
+    TRIPS_ASSIGN_OR_RETURN(dsm::Dsm loaded, dsm::LoadFromFile(dsm_path_));
+    owned_dsm_ = std::make_unique<dsm::Dsm>(std::move(loaded));
+  }
+  if (owned_dsm_ == nullptr && shared_dsm_ == nullptr && borrowed_dsm_ == nullptr) {
+    return Status::InvalidArgument("Engine::Builder: no DSM configured");
+  }
+  if (owned_dsm_ != nullptr && !owned_dsm_->topology_computed()) {
+    TRIPS_RETURN_NOT_OK(owned_dsm_->ComputeTopology());
+  }
+
+  // Engine() is private; construct via new under a shared_ptr.
+  std::shared_ptr<Engine> engine(new Engine());
+  if (owned_dsm_ != nullptr) {
+    engine->dsm_holder_ = std::shared_ptr<const dsm::Dsm>(owned_dsm_.release());
+  } else {
+    engine->dsm_holder_ = std::move(shared_dsm_);  // null for raw borrows
+  }
+  engine->dsm_ = engine->dsm_holder_ ? engine->dsm_holder_.get() : borrowed_dsm_;
+  engine->translator_ =
+      std::make_unique<Translator>(engine->dsm_, options_);
+  TRIPS_RETURN_NOT_OK(engine->translator_->Init());
+  if (!training_data_.empty()) {
+    Status trained = engine->translator_->TrainEventModel(training_data_);
+    if (!trained.ok() && trained.code() != StatusCode::kFailedPrecondition) {
+      return trained;
+    }
+    engine->training_status_ = trained;
+  }
+  return std::shared_ptr<const Engine>(std::move(engine));
+}
+
+}  // namespace trips::core

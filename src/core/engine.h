@@ -1,0 +1,119 @@
+// The immutable translation engine — everything a translation needs that does
+// NOT change per request: the DSM, its routing topology, the trained event
+// identification model, and the baseline mobility knowledge. An Engine is
+// assembled once through Engine::Builder and then never mutated, so a single
+// instance can be shared (via shared_ptr<const Engine>) by any number of
+// concurrent sessions and threads. Per-request state (batch-learned mobility
+// knowledge, streaming buffers) lives in the sessions handed out by
+// core::Service.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/event_editor.h"
+#include "core/translator.h"
+#include "dsm/dsm.h"
+
+namespace trips::core {
+
+/// Immutable, shareable translation model. Every const method is thread-safe.
+class Engine {
+ public:
+  /// Assembles an Engine: DSM + options + optional training corpus.
+  ///
+  ///     auto engine = core::Engine::Builder()
+  ///                       .SetDsm(std::move(mall))
+  ///                       .SetTrainingData(editor.training_data())
+  ///                       .Build();
+  class Builder {
+   public:
+    /// Takes ownership of `dsm`. Topology is computed at Build() if missing.
+    Builder& SetDsm(dsm::Dsm dsm);
+    /// Co-owns `dsm` (no copy; the engine keeps it alive). Must already have
+    /// topology computed.
+    Builder& ShareDsm(std::shared_ptr<const dsm::Dsm> dsm);
+    /// Borrows `dsm` (caller keeps ownership; must outlive the Engine and
+    /// already have topology computed).
+    Builder& BorrowDsm(const dsm::Dsm* dsm);
+    /// Loads the DSM from a JSON file at Build() time.
+    Builder& LoadDsmFile(std::string path);
+    /// Translation options for all three layers.
+    Builder& SetOptions(TranslatorOptions options);
+    /// Event Editor segments to train the event identification model with.
+    /// Training is best-effort: with segments for fewer than two patterns the
+    /// rule-based identifier stays in place and Engine::training_status()
+    /// reports kFailedPrecondition.
+    Builder& SetTrainingData(std::vector<config::LabeledSegment> training_data);
+
+    /// Builds the engine: resolves the DSM, computes topology when owned and
+    /// missing, builds the route planner, and trains the event model.
+    Result<std::shared_ptr<const Engine>> Build();
+
+   private:
+    std::unique_ptr<dsm::Dsm> owned_dsm_;
+    std::shared_ptr<const dsm::Dsm> shared_dsm_;
+    const dsm::Dsm* borrowed_dsm_ = nullptr;
+    std::string dsm_path_;
+    TranslatorOptions options_;
+    std::vector<config::LabeledSegment> training_data_;
+  };
+
+  // ---- model accessors ------------------------------------------------------
+
+  const dsm::Dsm& dsm() const { return *dsm_; }
+  const TranslatorOptions& options() const { return translator_->options(); }
+  const dsm::RoutePlanner& planner() const { return *translator_->planner(); }
+  const annotation::EventClassifier& classifier() const {
+    return translator_->classifier();
+  }
+  /// Baseline mobility knowledge (uniform prior over the DSM adjacency).
+  const complement::MobilityKnowledge& knowledge() const {
+    return translator_->knowledge();
+  }
+  /// Outcome of event-model training at Build() time: OK when training was
+  /// not requested or succeeded; kFailedPrecondition when the corpus covered
+  /// fewer than two patterns (the rule-based identifier is used then).
+  const Status& training_status() const { return training_status_; }
+  /// The underlying (initialized, const-only) translator.
+  const Translator* translator() const { return translator_.get(); }
+
+  // ---- stateless translation primitives (all thread-safe) -------------------
+
+  /// Cleaning + Annotation layers for one sequence.
+  TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const {
+    return translator_->CleanAndAnnotate(seq);
+  }
+  /// Aggregates annotated results into mobility knowledge.
+  complement::MobilityKnowledge BuildKnowledge(
+      const std::vector<TranslationResult>& results) const {
+    return translator_->BuildKnowledgeFrom(results);
+  }
+  /// Complementing layer for one result against the given knowledge.
+  void Complement(TranslationResult* result,
+                  const complement::MobilityKnowledge& knowledge) const {
+    translator_->ComplementResult(result, knowledge);
+  }
+  /// Full three-layer translation of one sequence with the baseline knowledge.
+  TranslationResult Translate(const positioning::PositioningSequence& seq) const {
+    return TranslateWith(seq, knowledge());
+  }
+  /// Full three-layer translation against caller-supplied knowledge.
+  TranslationResult TranslateWith(const positioning::PositioningSequence& seq,
+                                  const complement::MobilityKnowledge& knowledge) const {
+    TranslationResult result = CleanAndAnnotate(seq);
+    Complement(&result, knowledge);
+    return result;
+  }
+
+ private:
+  Engine() = default;
+
+  std::shared_ptr<const dsm::Dsm> dsm_holder_;  // set when the engine (co)owns it
+  const dsm::Dsm* dsm_ = nullptr;               // always valid after Build
+  std::unique_ptr<Translator> translator_;      // initialized; used const-only
+  Status training_status_;
+};
+
+}  // namespace trips::core

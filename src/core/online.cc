@@ -4,68 +4,23 @@ namespace trips::core {
 
 OnlineTranslator::OnlineTranslator(const Translator* translator,
                                    OnlineOptions options)
-    : translator_(translator), options_(options) {}
-
-size_t OnlineTranslator::PendingRecords() const {
-  size_t total = 0;
-  for (const auto& [device, buffer] : buffers_) {
-    total += buffer.sequence.records.size();
-  }
-  return total;
-}
-
-Status OnlineTranslator::FlushDevice(const std::string& device,
-                                     std::vector<TranslationResult>* out) {
-  auto it = buffers_.find(device);
-  if (it == buffers_.end()) return Status::OK();
-  Buffer buffer = std::move(it->second);
-  buffers_.erase(it);
-  if (buffer.sequence.records.size() < options_.min_flush_records) {
-    return Status::OK();  // stray fixes, no semantics to extract
-  }
-  TRIPS_ASSIGN_OR_RETURN(TranslationResult result,
-                         translator_->Translate(buffer.sequence));
-  ++emitted_;
-  out->push_back(std::move(result));
-  return Status::OK();
-}
+    : session_(
+          [translator](const positioning::PositioningSequence& seq) {
+            return translator->Translate(seq);
+          },
+          options) {}
 
 Result<std::vector<TranslationResult>> OnlineTranslator::Ingest(
     const std::string& device, const positioning::RawRecord& record) {
-  Buffer& buffer = buffers_[device];
-  if (buffer.sequence.records.empty()) {
-    buffer.sequence.device_id = device;
-  }
-  buffer.sequence.records.push_back(record);
-  if (record.timestamp > buffer.newest) buffer.newest = record.timestamp;
-
-  std::vector<TranslationResult> out;
-  if (buffer.sequence.records.size() >= options_.max_buffer_records) {
-    TRIPS_RETURN_NOT_OK(FlushDevice(device, &out));
-  }
-  return out;
+  return session_.Ingest(device, record);
 }
 
 Result<std::vector<TranslationResult>> OnlineTranslator::Poll(TimestampMs now) {
-  std::vector<std::string> idle;
-  for (const auto& [device, buffer] : buffers_) {
-    if (now - buffer.newest >= options_.flush_after) idle.push_back(device);
-  }
-  std::vector<TranslationResult> out;
-  for (const std::string& device : idle) {
-    TRIPS_RETURN_NOT_OK(FlushDevice(device, &out));
-  }
-  return out;
+  return session_.Poll(now);
 }
 
 Result<std::vector<TranslationResult>> OnlineTranslator::FlushAll() {
-  std::vector<std::string> all;
-  for (const auto& [device, buffer] : buffers_) all.push_back(device);
-  std::vector<TranslationResult> out;
-  for (const std::string& device : all) {
-    TRIPS_RETURN_NOT_OK(FlushDevice(device, &out));
-  }
-  return out;
+  return session_.FlushAll();
 }
 
 }  // namespace trips::core

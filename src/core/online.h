@@ -1,31 +1,25 @@
-// Online (streaming) translation: the Data Selector's "streams APIs" input
-// taken to its conclusion. Records arrive one at a time from a live
-// positioning feed; per-device buffers are translated and emitted once the
-// device goes quiet (left the venue / lost coverage) or its buffer grows too
-// large. Built on the batch Translator, so online results use whatever
-// mobility knowledge and event model the translator currently holds.
+// DEPRECATED streaming front-end, kept so existing callers compile. New code
+// should create stream sessions through core::Service:
+//
+//     core::Service service(engine);
+//     auto stream = service.NewStreamSession();
+//
+// OnlineTranslator is now a thin adapter over core::StreamSession that keeps
+// translating through a caller-owned stateful Translator (so online results
+// use whatever mobility knowledge and event model the translator currently
+// holds, exactly as before).
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "core/session.h"
 #include "core/translator.h"
 
 namespace trips::core {
 
-/// Streaming options.
-struct OnlineOptions {
-  /// A device whose newest record is older than this at Poll time is
-  /// considered departed; its buffer is translated and emitted.
-  DurationMs flush_after = 10 * kMillisPerMinute;
-  /// A device buffer reaching this many records is translated immediately
-  /// (bounded memory for devices that never leave).
-  size_t max_buffer_records = 20'000;
-  /// Buffers smaller than this are dropped, not translated, at flush time
-  /// (a couple of stray fixes carry no semantics).
-  size_t min_flush_records = 4;
-};
+/// Streaming options. (Alias of the StreamSession flush policy.)
+using OnlineOptions = StreamOptions;
 
 /// Incremental front-end over a Translator.
 ///
@@ -35,6 +29,9 @@ struct OnlineOptions {
 ///       for (auto& result : online.Poll(record.timestamp)) Emit(result);
 ///     }
 ///     for (auto& result : online.FlushAll()) Emit(result);
+///
+/// Deprecated: prefer Service::NewStreamSession (shared immutable engine,
+/// sink-callback delivery, same flush policy).
 class OnlineTranslator {
  public:
   /// `translator` must be initialized and outlive this object.
@@ -45,32 +42,23 @@ class OnlineTranslator {
   Result<std::vector<TranslationResult>> Ingest(const std::string& device,
                                                 const positioning::RawRecord& record);
 
-  /// Flushes every device idle at `now` and returns their translations.
+  /// Flushes every device idle at `now` and returns their translations in
+  /// device-id order.
   Result<std::vector<TranslationResult>> Poll(TimestampMs now);
 
-  /// Flushes everything regardless of idleness (end of stream).
+  /// Flushes everything regardless of idleness (end of stream), in device-id
+  /// order.
   Result<std::vector<TranslationResult>> FlushAll();
 
   /// Devices currently buffered.
-  size_t PendingDevices() const { return buffers_.size(); }
+  size_t PendingDevices() const { return session_.PendingDevices(); }
   /// Total buffered records.
-  size_t PendingRecords() const;
+  size_t PendingRecords() const { return session_.PendingRecords(); }
   /// Sequences emitted so far (flushed and translated).
-  size_t EmittedCount() const { return emitted_; }
+  size_t EmittedCount() const { return session_.EmittedCount(); }
 
  private:
-  struct Buffer {
-    positioning::PositioningSequence sequence;
-    TimestampMs newest = 0;
-  };
-
-  // Translates and removes one buffer; appends to `out` unless too small.
-  Status FlushDevice(const std::string& device, std::vector<TranslationResult>* out);
-
-  const Translator* translator_;
-  OnlineOptions options_;
-  std::map<std::string, Buffer> buffers_;
-  size_t emitted_ = 0;
+  StreamSession session_;
 };
 
 }  // namespace trips::core

@@ -7,13 +7,35 @@ namespace trips::core {
 
 Pipeline::Pipeline(TranslatorOptions options) : options_(options) {}
 
+void Pipeline::Adopt(std::shared_ptr<const Engine> engine) {
+  std::unique_ptr<Service> service = std::make_unique<Service>(engine);
+  std::unique_ptr<BatchSession> fresh = service->NewBatchSession();
+  if (session_ != nullptr) {
+    // Carry the batch-learned knowledge across engine rebuilds, mirroring the
+    // old stateful Translator whose knowledge survived retraining.
+    fresh->ResetKnowledge(session_->knowledge());
+  }
+  // Replacement order matters: the old session must die before the old
+  // service whose pool it points into.
+  session_ = std::move(fresh);
+  service_ = std::move(service);
+  engine_ = std::move(engine);
+}
+
 Status Pipeline::SetDsm(dsm::Dsm dsm) {
   if (!dsm.topology_computed()) {
     TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
   }
-  dsm_ = std::make_unique<dsm::Dsm>(std::move(dsm));
-  translator_ = std::make_unique<Translator>(dsm_.get(), options_);
-  return translator_->Init();
+  std::shared_ptr<const dsm::Dsm> installed =
+      std::make_shared<const dsm::Dsm>(std::move(dsm));
+  TRIPS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Engine> engine,
+      Engine::Builder().ShareDsm(installed).SetOptions(options_).Build());
+  dsm_ = std::move(installed);
+  session_.reset();  // a new space invalidates previously learned knowledge
+  trained_revision_ = static_cast<size_t>(-1);
+  Adopt(std::move(engine));
+  return Status::OK();
 }
 
 Status Pipeline::LoadDsm(const std::string& path) {
@@ -22,35 +44,33 @@ Status Pipeline::LoadDsm(const std::string& path) {
 }
 
 Result<std::vector<TranslationResult>> Pipeline::Run() {
-  if (translator_ == nullptr) {
+  if (engine_ == nullptr) {
     return Status::FailedPrecondition("no DSM installed; call SetDsm/LoadDsm first");
   }
   TRIPS_ASSIGN_OR_RETURN(std::vector<positioning::PositioningSequence> selected,
                          selector_.Select());
-  if (!editor_.training_data().empty()) {
-    // Training is best-effort: with segments for fewer than two patterns the
-    // rule-based identifier stays in place.
-    Status trained = translator_->TrainEventModel(editor_.training_data());
-    if (!trained.ok() && trained.code() != StatusCode::kFailedPrecondition) {
-      return trained;
-    }
+  if (!editor_.training_data().empty() && trained_revision_ != editor_.revision()) {
+    // The corpus changed since the engine was built: rebuild with training.
+    // Training is best-effort inside the builder: with segments for fewer
+    // than two patterns the rule-based identifier stays in place.
+    TRIPS_ASSIGN_OR_RETURN(std::shared_ptr<const Engine> retrained,
+                           Engine::Builder()
+                               .ShareDsm(dsm_)
+                               .SetOptions(options_)
+                               .SetTrainingData(editor_.training_data())
+                               .Build());
+    trained_revision_ = editor_.revision();
+    Adopt(std::move(retrained));
   }
-  return translator_->TranslateAll(selected);
+  TranslationRequest request;
+  request.sequences = std::move(selected);
+  TRIPS_ASSIGN_OR_RETURN(TranslationResponse response, session_->Submit(request));
+  return std::move(response.results);
 }
 
 Result<size_t> Pipeline::ExportResults(const std::vector<TranslationResult>& results,
                                        const std::string& dir) const {
-  size_t written = 0;
-  for (const TranslationResult& r : results) {
-    std::string name = r.semantics.device_id;
-    for (char& c : name) {
-      if (c == '/' || c == '\\' || c == ':') c = '_';
-    }
-    TRIPS_RETURN_NOT_OK(
-        WriteResultFile(r.semantics, dir + "/" + name + ".result.json"));
-    ++written;
-  }
-  return written;
+  return ExportResultFiles(results, dir);
 }
 
 }  // namespace trips::core

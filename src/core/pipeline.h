@@ -1,9 +1,20 @@
-// The five-step TRIPS workflow (§4, Fig. 6): (1) set up the positioning data
-// with the Data Selector, (2) import or create the DSM, (3) define event
-// patterns and collect training data, (4) submit the translation task, (5)
-// browse the result in the Viewer. Pipeline wires the components so an
-// application drives the whole session through one object; each step remains
-// individually accessible for finer control.
+// DEPRECATED batch front-end, kept so existing callers compile. New code
+// should build a core::Engine and drive a core::Service directly:
+//
+//     auto engine = core::Engine::Builder()
+//                       .SetDsm(std::move(dsm))
+//                       .SetTrainingData(editor.training_data())
+//                       .Build();
+//     core::Service service(engine.ValueOrDie());
+//     auto response = service.Translate({.sequences = selected});
+//
+// Pipeline remains the five-step TRIPS workflow object (§4, Fig. 6): (1) set
+// up the positioning data with the Data Selector, (2) import or create the
+// DSM, (3) define event patterns and collect training data, (4) submit the
+// translation task, (5) browse the result in the Viewer. It is now a thin
+// adapter: SetDsm builds an Engine, Run() routes the request through a
+// Service batch session (retraining the engine when the Event Editor holds
+// training data), and results come back in deterministic device-id order.
 #pragma once
 
 #include <memory>
@@ -12,12 +23,11 @@
 
 #include "config/data_selector.h"
 #include "config/event_editor.h"
-#include "core/translator.h"
-#include "dsm/dsm.h"
+#include "core/service.h"
 
 namespace trips::core {
 
-/// One full TRIPS session.
+/// One full TRIPS session. Deprecated: prefer Engine::Builder + Service.
 class Pipeline {
  public:
   explicit Pipeline(TranslatorOptions options = {});
@@ -30,12 +40,12 @@ class Pipeline {
   // ---- step (2): indoor space ----
 
   /// Installs the DSM (built by a SpaceModeler, loaded from JSON, or one of
-  /// the sample spaces). Recomputes topology when needed and (re)creates the
-  /// Translator.
+  /// the sample spaces). Recomputes topology when needed and (re)builds the
+  /// engine + service.
   Status SetDsm(dsm::Dsm dsm);
   /// Loads the DSM from a JSON file.
   Status LoadDsm(const std::string& path);
-  const dsm::Dsm* dsm() const { return dsm_ ? dsm_.get() : nullptr; }
+  const dsm::Dsm* dsm() const { return dsm_.get(); }
 
   // ---- step (3): event patterns & training data ----
 
@@ -46,12 +56,20 @@ class Pipeline {
 
   // ---- step (4): translation ----
 
-  /// Executes selection, optional model training and batch translation.
-  /// Fails when no DSM is installed or selection fails.
+  /// Executes selection, optional model training and batch translation via
+  /// the underlying Service. Fails when no DSM is installed or selection
+  /// fails. Results are sorted by device id.
   Result<std::vector<TranslationResult>> Run();
 
-  /// The Translator (valid after SetDsm/LoadDsm).
-  Translator* translator() { return translator_ ? translator_.get() : nullptr; }
+  /// The engine's translator (valid after SetDsm/LoadDsm). Const: the engine
+  /// is immutable; training happens by rebuilding it inside Run().
+  const Translator* translator() const {
+    return engine_ ? engine_->translator() : nullptr;
+  }
+  /// The underlying service (valid after SetDsm/LoadDsm).
+  Service* service() { return service_.get(); }
+  /// The underlying immutable engine (valid after SetDsm/LoadDsm).
+  std::shared_ptr<const Engine> engine() const { return engine_; }
 
   // ---- step (5): browsing / export ----
 
@@ -61,11 +79,20 @@ class Pipeline {
                                const std::string& dir) const;
 
  private:
+  // (Re)creates service + session over `engine`, carrying session knowledge.
+  void Adopt(std::shared_ptr<const Engine> engine);
+
   TranslatorOptions options_;
   config::DataSelector selector_;
   config::EventEditor editor_;
-  std::unique_ptr<dsm::Dsm> dsm_;
-  std::unique_ptr<Translator> translator_;
+  // The installed space, co-owned by every engine built over it, so pointers
+  // returned by dsm() stay valid across retraining rebuilds.
+  std::shared_ptr<const dsm::Dsm> dsm_;
+  std::shared_ptr<const Engine> engine_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<BatchSession> session_;
+  // Editor revision the current engine was trained with (SIZE_MAX: never).
+  size_t trained_revision_ = static_cast<size_t>(-1);
 };
 
 }  // namespace trips::core

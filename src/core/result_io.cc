@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/translator.h"
+
 namespace trips::core {
 
 json::Value SemanticsToJson(const MobilitySemanticsSequence& seq) {
@@ -84,6 +86,21 @@ std::string RenderTable1(const positioning::PositioningSequence& raw,
     out += left + "| " + right + "\n";
   }
   return out;
+}
+
+Result<size_t> ExportResultFiles(const std::vector<TranslationResult>& results,
+                                 const std::string& dir) {
+  size_t written = 0;
+  for (const TranslationResult& r : results) {
+    std::string name = r.semantics.device_id;
+    for (char& c : name) {
+      if (c == '/' || c == '\\' || c == ':') c = '_';
+    }
+    TRIPS_RETURN_NOT_OK(
+        WriteResultFile(r.semantics, dir + "/" + name + ".result.json"));
+    ++written;
+  }
+  return written;
 }
 
 }  // namespace trips::core

@@ -7,12 +7,15 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/semantics.h"
 #include "json/json.h"
 #include "positioning/record.h"
 
 namespace trips::core {
+
+struct TranslationResult;
 
 /// Serializes a semantics sequence to the result-file JSON value.
 json::Value SemanticsToJson(const MobilitySemanticsSequence& seq);
@@ -25,6 +28,12 @@ Status WriteResultFile(const MobilitySemanticsSequence& seq, const std::string& 
 
 /// Reads a result file.
 Result<MobilitySemanticsSequence> ReadResultFile(const std::string& path);
+
+/// Writes, for every result, a result file "<dir>/<device>.result.json"
+/// ('/', '\' and ':' in device ids become '_'). Returns the number of files
+/// written.
+Result<size_t> ExportResultFiles(const std::vector<TranslationResult>& results,
+                                 const std::string& dir);
 
 /// Renders the side-by-side raw-vs-semantics comparison of the paper's
 /// Table 1 for one device (first `max_raw_rows` raw records shown).

@@ -1,0 +1,40 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace trips::core {
+
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested != ServiceOptions::kAutoWorkerThreads) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 0;
+  return std::min<size_t>(hw - 1, 8);
+}
+
+}  // namespace
+
+Service::Service(std::shared_ptr<const Engine> engine, ServiceOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      pool_(ResolveWorkers(options.worker_threads)) {}
+
+std::unique_ptr<BatchSession> Service::NewBatchSession() {
+  return std::make_unique<BatchSession>(engine_, &pool_);
+}
+
+std::unique_ptr<StreamSession> Service::NewStreamSession() {
+  return NewStreamSession(options_.stream);
+}
+
+std::unique_ptr<StreamSession> Service::NewStreamSession(StreamOptions options) {
+  return std::make_unique<StreamSession>(engine_, options);
+}
+
+Result<TranslationResponse> Service::Translate(const TranslationRequest& request) {
+  return NewBatchSession()->Submit(request);
+}
+
+}  // namespace trips::core

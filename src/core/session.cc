@@ -1,0 +1,184 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace trips::core {
+
+// ---- BatchSession -----------------------------------------------------------
+
+BatchSession::BatchSession(std::shared_ptr<const Engine> engine,
+                           util::ThreadPool* pool)
+    : engine_(std::move(engine)), pool_(pool), knowledge_(engine_->knowledge()) {}
+
+void BatchSession::ResetKnowledge(complement::MobilityKnowledge knowledge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  knowledge_ = std::move(knowledge);
+}
+
+Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+
+  const std::vector<positioning::PositioningSequence>& seqs = request.sequences;
+  TranslationResponse response;
+  response.workers_used = pool_->worker_count() + 1;
+  response.results.resize(seqs.size());
+  for (const positioning::PositioningSequence& seq : seqs) {
+    response.total_records += seq.records.size();
+  }
+
+  // Layers 1+2 on every sequence, fanned out; results land at their input
+  // index, so the outcome is independent of scheduling.
+  std::vector<TranslationResult>& results = response.results;
+  pool_->ParallelFor(seqs.size(), [&](size_t i) {
+    results[i] = engine_->CleanAndAnnotate(seqs[i]);
+  });
+
+  // Knowledge construction aggregates all annotated sequences (integer-count
+  // aggregation: the result is independent of sequence order).
+  if (request.learn_knowledge) {
+    complement::MobilityKnowledge learned = engine_->BuildKnowledge(results);
+    if (learned.observed_transitions > 0) {
+      knowledge_ = std::move(learned);
+    }
+  }
+
+  // Layer 3 on every sequence, fanned out.
+  pool_->ParallelFor(results.size(), [&](size_t i) {
+    engine_->Complement(&results[i], knowledge_);
+  });
+
+  // Deterministic output order: by device id, input order breaking ties.
+  std::stable_sort(results.begin(), results.end(),
+                   [](const TranslationResult& a, const TranslationResult& b) {
+                     return a.semantics.device_id < b.semantics.device_id;
+                   });
+
+  translated_.fetch_add(results.size(), std::memory_order_relaxed);
+  response.elapsed_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+          .count() /
+      1000.0;
+  return response;
+}
+
+// ---- StreamSession ----------------------------------------------------------
+
+StreamSession::StreamSession(std::shared_ptr<const Engine> engine,
+                             StreamOptions options)
+    : engine_(std::move(engine)), options_(options) {
+  const Engine* raw = engine_.get();
+  translate_ = [raw](const positioning::PositioningSequence& seq) {
+    return Result<TranslationResult>(raw->Translate(seq));
+  };
+}
+
+StreamSession::StreamSession(TranslateFn translate, StreamOptions options)
+    : translate_(std::move(translate)), options_(options) {}
+
+void StreamSession::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+size_t StreamSession::PendingDevices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+size_t StreamSession::PendingRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [device, buffer] : buffers_) {
+    total += buffer.sequence.records.size();
+  }
+  return total;
+}
+
+size_t StreamSession::EmittedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+void StreamSession::PopDeviceLocked(
+    const std::string& device, std::vector<positioning::PositioningSequence>* out) {
+  auto it = buffers_.find(device);
+  if (it == buffers_.end()) return;
+  Buffer buffer = std::move(it->second);
+  buffers_.erase(it);
+  if (buffer.sequence.records.size() < options_.min_flush_records) {
+    return;  // stray fixes, no semantics to extract
+  }
+  out->push_back(std::move(buffer.sequence));
+}
+
+Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
+    std::vector<positioning::PositioningSequence> popped) {
+  // Fast path for the overwhelmingly common no-flush case (every Ingest that
+  // doesn't hit the cap, every Poll with no idle device).
+  if (popped.empty()) return std::vector<TranslationResult>{};
+  // The map iterates in device-id order, so `popped` is already sorted; the
+  // translation (the expensive part) runs without the session lock held.
+  std::vector<TranslationResult> out;
+  out.reserve(popped.size());
+  for (positioning::PositioningSequence& seq : popped) {
+    TRIPS_ASSIGN_OR_RETURN(TranslationResult result, translate_(seq));
+    out.push_back(std::move(result));
+  }
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    emitted_ += out.size();
+    sink = sink_;
+  }
+  if (!sink) return out;
+  for (TranslationResult& result : out) sink(std::move(result));
+  return std::vector<TranslationResult>{};
+}
+
+Result<std::vector<TranslationResult>> StreamSession::Ingest(
+    const std::string& device, const positioning::RawRecord& record) {
+  std::vector<positioning::PositioningSequence> popped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Buffer& buffer = buffers_[device];
+    if (buffer.sequence.records.empty()) {
+      buffer.sequence.device_id = device;
+    }
+    buffer.sequence.records.push_back(record);
+    if (record.timestamp > buffer.newest) buffer.newest = record.timestamp;
+    if (buffer.sequence.records.size() >= options_.max_buffer_records) {
+      PopDeviceLocked(device, &popped);
+    }
+  }
+  return TranslateAndDeliver(std::move(popped));
+}
+
+Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
+  std::vector<positioning::PositioningSequence> popped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> idle;
+    for (const auto& [device, buffer] : buffers_) {
+      if (now - buffer.newest >= options_.flush_after) idle.push_back(device);
+    }
+    for (const std::string& device : idle) PopDeviceLocked(device, &popped);
+  }
+  return TranslateAndDeliver(std::move(popped));
+}
+
+Result<std::vector<TranslationResult>> StreamSession::FlushAll() {
+  std::vector<positioning::PositioningSequence> popped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> all;
+    all.reserve(buffers_.size());
+    for (const auto& [device, buffer] : buffers_) all.push_back(device);
+    for (const std::string& device : all) PopDeviceLocked(device, &popped);
+  }
+  return TranslateAndDeliver(std::move(popped));
+}
+
+}  // namespace trips::core

@@ -1,0 +1,175 @@
+// Sessions: the per-request mutable state of a translation service. A session
+// borrows an immutable core::Engine (shared with any number of sibling
+// sessions) and adds what one client conversation needs on top of it —
+// batch-learned mobility knowledge for BatchSession, per-device stream
+// buffers for StreamSession. Sessions are created by core::Service and must
+// not outlive it (BatchSession fans work out over the service's thread pool).
+//
+// Both session types are internally synchronized: a BatchSession serializes
+// its Submit calls (each Submit is parallel inside), a StreamSession may be
+// fed records from several ingest threads at once.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/thread_pool.h"
+
+namespace trips::core {
+
+/// One batch translation request: the positioning sequences of the devices to
+/// translate (one sequence per device, as produced by config::DataSelector).
+struct TranslationRequest {
+  std::vector<positioning::PositioningSequence> sequences;
+  /// Build request-local mobility knowledge from this batch before
+  /// complementing ("referring to other generated mobility semantics
+  /// sequences", §2) and keep it as the session's knowledge for later
+  /// requests. When false — or when the batch exhibits no transitions — the
+  /// session's current knowledge is used unchanged.
+  bool learn_knowledge = true;
+};
+
+/// What one batch request produced.
+struct TranslationResponse {
+  /// Per-device results, sorted by device id (deterministic regardless of
+  /// input order and worker count).
+  std::vector<TranslationResult> results;
+  /// Total raw records across all input sequences.
+  size_t total_records = 0;
+  /// Wall-clock time spent inside Submit, in milliseconds.
+  double elapsed_ms = 0;
+  /// Threads that cooperated on the request (pool workers + the caller).
+  size_t workers_used = 1;
+};
+
+/// Batch translation over a shared engine. Equivalent to
+/// Translator::TranslateAll, with the per-sequence phases (clean+annotate,
+/// complement) fanned out over the service's thread pool and the session
+/// holding the learned knowledge between requests.
+class BatchSession {
+ public:
+  /// `pool` must outlive the session (both normally owned by the Service).
+  BatchSession(std::shared_ptr<const Engine> engine, util::ThreadPool* pool);
+
+  /// Translates every sequence of the request. Thread-safe; concurrent
+  /// Submit calls on the same session are serialized.
+  Result<TranslationResponse> Submit(const TranslationRequest& request);
+
+  /// The engine this session translates with.
+  const Engine& engine() const { return *engine_; }
+  /// Knowledge the session currently complements with (baseline before the
+  /// first learning request). Not synchronized with a running Submit.
+  const complement::MobilityKnowledge& knowledge() const { return knowledge_; }
+  /// Replaces the session's knowledge — e.g. to warm-start from persisted
+  /// knowledge or to carry state onto a session over a retrained engine.
+  void ResetKnowledge(complement::MobilityKnowledge knowledge);
+  /// Sequences translated by this session so far (safe to read while another
+  /// thread is inside Submit).
+  size_t translated_count() const { return translated_.load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<const Engine> engine_;
+  util::ThreadPool* pool_;
+  std::mutex mu_;  // serializes Submit
+  complement::MobilityKnowledge knowledge_;
+  std::atomic<size_t> translated_{0};
+};
+
+/// Streaming options (flush policy of a StreamSession).
+struct StreamOptions {
+  /// A device whose newest record is older than this at Poll time is
+  /// considered departed; its buffer is translated and emitted.
+  DurationMs flush_after = 10 * kMillisPerMinute;
+  /// A device buffer reaching this many records is translated immediately
+  /// (bounded memory for devices that never leave).
+  size_t max_buffer_records = 20'000;
+  /// Buffers smaller than this are dropped, not translated, at flush time
+  /// (a couple of stray fixes carry no semantics).
+  size_t min_flush_records = 4;
+};
+
+/// Incremental translation over a shared engine: records arrive one at a time
+/// from a live positioning feed; per-device buffers are translated and
+/// emitted once the device goes quiet or its buffer grows too large.
+///
+///     auto stream = service.NewStreamSession();
+///     for (const auto& [device, record] : feed) {
+///       stream->Ingest(device, record);
+///       for (auto& result : *stream->Poll(record.timestamp)) Emit(result);
+///     }
+///     for (auto& result : *stream->FlushAll()) Emit(result);
+///
+/// Alternatively install a sink with SetSink to receive every flushed result
+/// through a callback; Ingest/Poll/FlushAll then return empty vectors.
+class StreamSession {
+ public:
+  /// Receives flushed results when installed via SetSink.
+  using Sink = std::function<void(TranslationResult)>;
+  /// Pluggable per-buffer translation (used by the OnlineTranslator shim to
+  /// keep translating through a caller-owned stateful Translator).
+  using TranslateFn =
+      std::function<Result<TranslationResult>(const positioning::PositioningSequence&)>;
+
+  /// Engine-backed session: buffers are translated with the engine's baseline
+  /// knowledge.
+  explicit StreamSession(std::shared_ptr<const Engine> engine,
+                         StreamOptions options = {});
+  /// Hook-backed session: buffers are translated by `translate`.
+  explicit StreamSession(TranslateFn translate, StreamOptions options = {});
+
+  /// Installs (or, with nullptr, removes) the delivery callback. The sink is
+  /// invoked from whichever thread triggered the flush, one result at a time,
+  /// in device-id order per flush, with the session lock released.
+  void SetSink(Sink sink);
+
+  /// Buffers one record. Returns the translation of the device's buffer when
+  /// ingestion itself forced a flush (buffer cap reached), else no value.
+  Result<std::vector<TranslationResult>> Ingest(const std::string& device,
+                                                const positioning::RawRecord& record);
+
+  /// Flushes every device idle at `now` and returns their translations in
+  /// device-id order.
+  Result<std::vector<TranslationResult>> Poll(TimestampMs now);
+
+  /// Flushes everything regardless of idleness (end of stream), in device-id
+  /// order.
+  Result<std::vector<TranslationResult>> FlushAll();
+
+  /// Devices currently buffered.
+  size_t PendingDevices() const;
+  /// Total buffered records.
+  size_t PendingRecords() const;
+  /// Sequences emitted so far (flushed and translated).
+  size_t EmittedCount() const;
+
+ private:
+  struct Buffer {
+    positioning::PositioningSequence sequence;
+    TimestampMs newest = 0;
+  };
+
+  // Removes one buffer and, unless too small, moves its sequence onto `out`
+  // for translation. Requires mu_ held.
+  void PopDeviceLocked(const std::string& device,
+                       std::vector<positioning::PositioningSequence>* out);
+  // Translates popped buffers (lock released) and routes the results to the
+  // sink when one is installed, else back to the caller.
+  Result<std::vector<TranslationResult>> TranslateAndDeliver(
+      std::vector<positioning::PositioningSequence> popped);
+
+  std::shared_ptr<const Engine> engine_;  // null for hook-backed sessions
+  TranslateFn translate_;
+  StreamOptions options_;
+  mutable std::mutex mu_;
+  Sink sink_;
+  std::map<std::string, Buffer> buffers_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace trips::core

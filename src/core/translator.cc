@@ -42,6 +42,26 @@ TranslationResult Translator::CleanAndAnnotate(
   return result;
 }
 
+complement::MobilityKnowledge Translator::BuildKnowledgeFrom(
+    const std::vector<TranslationResult>& results) const {
+  complement::KnowledgeBuilder builder(dsm_);
+  for (const TranslationResult& r : results) {
+    builder.AddSequence(r.original_semantics);
+  }
+  return builder.Build(options_.knowledge_smoothing);
+}
+
+void Translator::ComplementResult(TranslationResult* result,
+                                  const complement::MobilityKnowledge& knowledge) const {
+  if (options_.enable_complementing) {
+    complement::Complementor complementor(dsm_, &knowledge, options_.complementor);
+    result->semantics =
+        complementor.Complement(result->original_semantics, &result->complement_report);
+  } else {
+    result->semantics = result->original_semantics;
+  }
+}
+
 Result<std::vector<TranslationResult>> Translator::TranslateAll(
     const std::vector<positioning::PositioningSequence>& sequences) {
   if (!initialized_) return Status::FailedPrecondition("call Init() first");
@@ -54,26 +74,13 @@ Result<std::vector<TranslationResult>> Translator::TranslateAll(
   }
 
   // Knowledge construction aggregates all annotated sequences.
-  complement::KnowledgeBuilder builder(dsm_);
-  for (const TranslationResult& r : results) {
-    builder.AddSequence(r.original_semantics);
-  }
-  complement::MobilityKnowledge learned =
-      builder.Build(options_.knowledge_smoothing);
+  complement::MobilityKnowledge learned = BuildKnowledgeFrom(results);
   if (learned.observed_transitions > 0) {
     knowledge_ = std::move(learned);
   }
 
   // Layer 3 on every sequence.
-  if (options_.enable_complementing) {
-    complement::Complementor complementor(dsm_, &knowledge_, options_.complementor);
-    for (TranslationResult& r : results) {
-      r.semantics = complementor.Complement(r.original_semantics,
-                                            &r.complement_report);
-    }
-  } else {
-    for (TranslationResult& r : results) r.semantics = r.original_semantics;
-  }
+  for (TranslationResult& r : results) ComplementResult(&r, knowledge_);
   return results;
 }
 
@@ -81,13 +88,7 @@ Result<TranslationResult> Translator::Translate(
     const positioning::PositioningSequence& seq) const {
   if (!initialized_) return Status::FailedPrecondition("call Init() first");
   TranslationResult result = CleanAndAnnotate(seq);
-  if (options_.enable_complementing) {
-    complement::Complementor complementor(dsm_, &knowledge_, options_.complementor);
-    result.semantics =
-        complementor.Complement(result.original_semantics, &result.complement_report);
-  } else {
-    result.semantics = result.original_semantics;
-  }
+  ComplementResult(&result, knowledge_);
   return result;
 }
 

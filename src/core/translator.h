@@ -85,6 +85,26 @@ class Translator {
   /// TranslateAll, or the uniform prior when none exists yet).
   Result<TranslationResult> Translate(const positioning::PositioningSequence& seq) const;
 
+  // ---- stateless layer primitives -----------------------------------------
+  // The three batch phases of TranslateAll, exposed individually so callers
+  // that manage knowledge themselves (core::Engine and its sessions) can fan
+  // the per-sequence phases out over threads. All three are const and safe to
+  // call concurrently once Init() has succeeded.
+
+  /// Cleaning + Annotation layers for one sequence (no complementing).
+  TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const;
+
+  /// Builds mobility knowledge by aggregating the annotation-layer output of
+  /// `results` (integer-count aggregation: independent of result order).
+  complement::MobilityKnowledge BuildKnowledgeFrom(
+      const std::vector<TranslationResult>& results) const;
+
+  /// Complementing layer for one result: fills result->semantics from
+  /// result->original_semantics using `knowledge` (or copies it verbatim when
+  /// complementing is disabled in the options).
+  void ComplementResult(TranslationResult* result,
+                        const complement::MobilityKnowledge& knowledge) const;
+
   /// The current mobility knowledge (uniform prior before any batch run).
   const complement::MobilityKnowledge& knowledge() const { return knowledge_; }
   /// The event classifier (untrained => rule-based identification).
@@ -96,9 +116,6 @@ class Translator {
   }
 
  private:
-  // Cleaning + Annotation layers for one sequence (no complementing).
-  TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const;
-
   const dsm::Dsm* dsm_;
   TranslatorOptions options_;
   std::optional<dsm::RoutePlanner> planner_;

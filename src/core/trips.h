@@ -4,10 +4,18 @@
 // semantics (Li, Lu, Shi, Chen, Chen, Shou — PVLDB 11(12), 2018).
 //
 // Component map:
+//   Serving       — core::Engine (immutable model: DSM + topology + trained
+//                   event identifier + baseline mobility knowledge, built
+//                   once via Engine::Builder, shared across threads) and
+//                   core::Service (owns an Engine + worker pool, hands out
+//                   core::BatchSession / core::StreamSession per client)
 //   Configurator  — config::DataSelector, config::SpaceModeler,
 //                   config::EventEditor
-//   Translator    — core::Translator (cleaning::RawDataCleaner,
-//                   annotation::Annotator, complement::Complementor)
+//   Translator    — core::Translator, the three-layer algorithm core
+//                   (cleaning::RawDataCleaner, annotation::Annotator,
+//                   complement::Complementor)
+//   Adapters      — core::Pipeline and core::OnlineTranslator, the legacy
+//                   batch/streaming front-ends, now thin shims over Service
 //   Viewer        — viewer::Timeline, viewer::MapRenderer, viewer::RenderHtml
 //   Substrates    — dsm::Dsm (+ routing, JSON, sample spaces),
 //                   positioning::* (records, CSV, error model),
@@ -23,10 +31,13 @@
 #include "config/event_editor.h"
 #include "config/space_modeler.h"
 #include "core/analytics.h"
+#include "core/engine.h"
 #include "core/online.h"
 #include "core/pipeline.h"
 #include "core/result_io.h"
 #include "core/semantics.h"
+#include "core/service.h"
+#include "core/session.h"
 #include "core/translator.h"
 #include "dsm/dsm.h"
 #include "dsm/dsm_json.h"

@@ -1,0 +1,50 @@
+// A small fixed-size worker pool shared by all sessions of a core::Service.
+// Designed for fork/join fan-out over independent items: ParallelFor blocks
+// the caller until every item is processed, and the calling thread itself
+// participates in the work, so a pool with zero workers degrades to a plain
+// serial loop (useful for deterministic single-threaded runs and for
+// environments without threading headroom).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trips::util {
+
+/// Fixed pool of worker threads with a shared FIFO task queue. All public
+/// methods are thread-safe; ParallelFor may be called concurrently from many
+/// threads (each call joins only its own items).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is valid: every ParallelFor then runs
+  /// entirely on the calling thread.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool worker threads (excluding callers that join in).
+  size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(i) once for every i in [0, n), spread over the pool workers and
+  /// the calling thread, and returns when all n calls finished. `fn` must be
+  /// safe to invoke concurrently with distinct arguments.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace trips::util

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/result_io.h"
+#include "core/service.h"
+#include "core/pipeline.h"
+#include "dsm/sample_spaces.h"
+#include "mobility/generator.h"
+#include "positioning/error_model.h"
+
+namespace trips::core {
+namespace {
+
+ServiceOptions Workers(size_t n) {
+  ServiceOptions options;
+  options.worker_threads = n;
+  return options;
+}
+
+// Serializes the final semantics of every result, keyed by device — the
+// byte-level representation the equivalence tests compare.
+std::vector<std::pair<std::string, std::string>> DumpByDevice(
+    const std::vector<TranslationResult>& results) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const TranslationResult& r : results) {
+    out.emplace_back(r.semantics.device_id, SemanticsToJson(r.semantics).Dump());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+    ASSERT_TRUE(mall.ok());
+    mall_ = std::make_unique<dsm::Dsm>(std::move(mall).ValueOrDie());
+    auto planner = dsm::RoutePlanner::Build(mall_.get());
+    ASSERT_TRUE(planner.ok());
+    planner_ = std::make_unique<dsm::RoutePlanner>(std::move(planner).ValueOrDie());
+    generator_ = std::make_unique<mobility::MobilityGenerator>(mall_.get(),
+                                                               planner_.get());
+    auto engine = Engine::Builder().BorrowDsm(mall_.get()).Build();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = *engine;
+  }
+
+  std::vector<positioning::PositioningSequence> MakeFleet(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<positioning::PositioningSequence> fleet;
+    for (int i = 0; i < n; ++i) {
+      auto dev = generator_->GenerateDevice("dev-" + std::to_string(i), 0, &rng);
+      EXPECT_TRUE(dev.ok());
+      positioning::ErrorModelOptions noise;
+      noise.floor_count = 2;
+      fleet.push_back(positioning::ApplyErrorModel(dev->truth, noise, &rng));
+    }
+    return fleet;
+  }
+
+  std::unique_ptr<dsm::Dsm> mall_;
+  std::unique_ptr<dsm::RoutePlanner> planner_;
+  std::unique_ptr<mobility::MobilityGenerator> generator_;
+  std::shared_ptr<const Engine> engine_;
+};
+
+TEST_F(ServiceFixture, BatchByteIdenticalToLegacyTranslateAll) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(6, 101);
+
+  // The legacy batch path (what Pipeline::Run executed before the redesign).
+  Translator legacy(mall_.get());
+  ASSERT_TRUE(legacy.Init().ok());
+  auto reference = legacy.TranslateAll(fleet);
+  ASSERT_TRUE(reference.ok());
+
+  // The same request through the Service, with real parallelism.
+  Service service(engine_, Workers(4));
+  auto response = service.Translate({.sequences = fleet});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->results.size(), fleet.size());
+  EXPECT_EQ(DumpByDevice(response->results), DumpByDevice(*reference));
+  EXPECT_GT(response->total_records, 0u);
+  EXPECT_EQ(response->workers_used, 5u);
+}
+
+TEST_F(ServiceFixture, BatchIdenticalAcrossWorkerCounts) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(5, 113);
+  std::vector<std::vector<std::pair<std::string, std::string>>> dumps;
+  for (size_t workers : {0u, 1u, 4u}) {
+    Service service(engine_, Workers(workers));
+    auto response = service.Translate({.sequences = fleet});
+    ASSERT_TRUE(response.ok());
+    dumps.push_back(DumpByDevice(response->results));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
+TEST_F(ServiceFixture, ResultsSortedByDeviceIdRegardlessOfInputOrder) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(6, 127);
+  std::vector<positioning::PositioningSequence> shuffled = {
+      fleet[4], fleet[1], fleet[5], fleet[0], fleet[3], fleet[2]};
+
+  Service service(engine_, Workers(2));
+  auto a = service.Translate({.sequences = fleet});
+  auto b = service.Translate({.sequences = shuffled});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 1; i < a->results.size(); ++i) {
+    EXPECT_LE(a->results[i - 1].semantics.device_id,
+              a->results[i].semantics.device_id);
+  }
+  // Same devices, same order, same bytes — input order is irrelevant.
+  ASSERT_EQ(a->results.size(), b->results.size());
+  for (size_t i = 0; i < a->results.size(); ++i) {
+    EXPECT_EQ(a->results[i].semantics.device_id,
+              b->results[i].semantics.device_id);
+    EXPECT_EQ(SemanticsToJson(a->results[i].semantics).Dump(),
+              SemanticsToJson(b->results[i].semantics).Dump());
+  }
+}
+
+TEST_F(ServiceFixture, ConcurrentBatchSessionsShareOneEngine) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(4, 131);
+  Service service(engine_, Workers(2));
+
+  auto reference = service.Translate({.sequences = fleet});
+  ASSERT_TRUE(reference.ok());
+  auto expected = DumpByDevice(reference->results);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::pair<std::string, std::string>>> got(kThreads);
+  std::vector<bool> ok(kThreads, false);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = service.NewBatchSession();
+      auto response = session->Submit({.sequences = fleet});
+      if (!response.ok()) return;
+      ok[t] = true;
+      got[t] = DumpByDevice(response->results);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(ok[t]) << "thread " << t;
+    EXPECT_EQ(got[t], expected) << "thread " << t;
+  }
+}
+
+TEST_F(ServiceFixture, BatchSessionKeepsLearnedKnowledge) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(5, 139);
+  Service service(engine_, {});
+  auto session = service.NewBatchSession();
+  EXPECT_EQ(session->knowledge().observed_transitions, 0u);  // uniform prior
+  auto response = session->Submit({.sequences = fleet});
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(session->knowledge().observed_transitions, 0u);
+  EXPECT_EQ(session->translated_count(), fleet.size());
+}
+
+TEST_F(ServiceFixture, StreamFlushOnIdleAndCapMatchBatch) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(3, 149);
+  Service service(engine_, {});
+
+  // Batch with the engine's baseline knowledge (what stream sessions use).
+  auto batch = service.NewBatchSession()->Submit(
+      {.sequences = fleet, .learn_knowledge = false});
+  ASSERT_TRUE(batch.ok());
+  auto expected = DumpByDevice(batch->results);
+
+  // Flush-on-idle: ingest everything, then poll far past the flush window.
+  auto idle_stream = service.NewStreamSession();
+  TimestampMs newest = 0;
+  for (const auto& seq : fleet) {
+    for (const auto& record : seq.records) {
+      ASSERT_TRUE(idle_stream->Ingest(seq.device_id, record).ok());
+      newest = std::max(newest, record.timestamp);
+    }
+  }
+  EXPECT_EQ(idle_stream->PendingDevices(), fleet.size());
+  auto idle_results = idle_stream->Poll(newest + 11 * kMillisPerMinute);
+  ASSERT_TRUE(idle_results.ok());
+  EXPECT_EQ(DumpByDevice(*idle_results), expected);
+  EXPECT_EQ(idle_stream->PendingDevices(), 0u);
+
+  // Flush-on-cap: a buffer cap equal to each sequence's length makes
+  // ingestion itself emit the identical translation.
+  std::vector<TranslationResult> cap_results;
+  for (const auto& seq : fleet) {
+    StreamOptions opt;
+    opt.max_buffer_records = seq.records.size();
+    auto cap_stream = service.NewStreamSession(opt);
+    for (const auto& record : seq.records) {
+      auto flushed = cap_stream->Ingest(seq.device_id, record);
+      ASSERT_TRUE(flushed.ok());
+      std::vector<TranslationResult> emitted = std::move(flushed).ValueOrDie();
+      for (TranslationResult& r : emitted) cap_results.push_back(std::move(r));
+    }
+  }
+  EXPECT_EQ(DumpByDevice(cap_results), expected);
+}
+
+TEST_F(ServiceFixture, StreamSinkReceivesFlushedResults) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(2, 151);
+  Service service(engine_, {});
+  auto stream = service.NewStreamSession();
+
+  std::vector<std::string> delivered;
+  stream->SetSink([&](TranslationResult result) {
+    delivered.push_back(result.semantics.device_id);
+  });
+
+  for (const auto& seq : fleet) {
+    for (const auto& record : seq.records) {
+      auto flushed = stream->Ingest(seq.device_id, record);
+      ASSERT_TRUE(flushed.ok());
+      EXPECT_TRUE(flushed->empty());  // sink swallows deliveries
+    }
+  }
+  auto rest = stream->FlushAll();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->empty());
+  ASSERT_EQ(delivered.size(), fleet.size());
+  EXPECT_TRUE(std::is_sorted(delivered.begin(), delivered.end()));
+  EXPECT_EQ(stream->EmittedCount(), fleet.size());
+}
+
+TEST_F(ServiceFixture, PipelineShimDelegatesToService) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(4, 157);
+
+  Pipeline pipeline;
+  pipeline.selector().AddSequences(fleet);
+  ASSERT_TRUE(pipeline.SetDsm(*mall_).ok());
+  ASSERT_NE(pipeline.service(), nullptr);
+  ASSERT_NE(pipeline.engine(), nullptr);
+  EXPECT_EQ(pipeline.translator(), pipeline.engine()->translator());
+
+  auto via_pipeline = pipeline.Run();
+  ASSERT_TRUE(via_pipeline.ok()) << via_pipeline.status().ToString();
+
+  Service service(engine_, {});
+  auto via_service = service.Translate({.sequences = fleet});
+  ASSERT_TRUE(via_service.ok());
+  EXPECT_EQ(DumpByDevice(*via_pipeline), DumpByDevice(via_service->results));
+  // The pipeline's output is device-id sorted like every Service aggregate.
+  for (size_t i = 1; i < via_pipeline->size(); ++i) {
+    EXPECT_LE((*via_pipeline)[i - 1].semantics.device_id,
+              (*via_pipeline)[i].semantics.device_id);
+  }
+}
+
+TEST_F(ServiceFixture, PipelineDsmPointerStableAcrossRetraining) {
+  Pipeline pipeline;
+  pipeline.selector().AddSequences(MakeFleet(2, 163));
+  ASSERT_TRUE(pipeline.SetDsm(*mall_).ok());
+  const dsm::Dsm* installed = pipeline.dsm();
+  ASSERT_NE(installed, nullptr);
+
+  // Designate training data so Run() rebuilds the engine with a trained
+  // event model; the installed DSM must survive the rebuild.
+  Rng rng(167);
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern(kEventStay).ok());
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern(kEventPassBy).ok());
+  ASSERT_TRUE(pipeline.event_editor().DefinePattern(kEventWander).ok());
+  for (int d = 0; d < 5; ++d) {
+    auto dev = generator_->GenerateDevice("t" + std::to_string(d), 0, &rng);
+    ASSERT_TRUE(dev.ok());
+    for (const MobilitySemantic& s : dev->semantics.semantics) {
+      pipeline.event_editor().DesignateRange(s.event, dev->truth, s.range);
+    }
+  }
+  size_t revision = pipeline.event_editor().revision();
+  std::shared_ptr<const Engine> before = pipeline.engine();
+
+  ASSERT_TRUE(pipeline.Run().ok());
+  EXPECT_EQ(pipeline.dsm(), installed);         // no dangling/retargeted DSM
+  EXPECT_NE(pipeline.engine(), before);         // engine was retrained
+  EXPECT_TRUE(pipeline.translator()->classifier().trained());
+
+  // Unchanged corpus => second Run reuses the trained engine.
+  std::shared_ptr<const Engine> trained = pipeline.engine();
+  ASSERT_TRUE(pipeline.Run().ok());
+  EXPECT_EQ(pipeline.engine(), trained);
+  EXPECT_EQ(pipeline.event_editor().revision(), revision);
+}
+
+}  // namespace
+}  // namespace trips::core
