@@ -1,0 +1,219 @@
+// TripStore numbers: ingest throughput and query latency percentiles on the
+// bench venue (the simulated 7-floor mall). The fleet is translated once
+// through a core::Service; the store is then measured on its own, so the
+// rows isolate the storage layer from the translation cost:
+//
+//   - ingest: Append of every translated sequence, memory-only and persisted
+//     (segment codec + one fsync-less write per sealed segment);
+//   - queries: p50/p95/max wall latency of DeviceHistory (per-device merge)
+//     and RegionVisitors (posting-fenced window scan) over a mixed workload.
+//
+//   ./bench_store_query [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace trips;
+using bench::MallContext;
+
+namespace {
+
+constexpr int kReportDevices = 128;
+
+/// Translates `count` noisy devices once and returns their final semantics.
+std::vector<core::MobilitySemanticsSequence> TranslateFleet(const MallContext& ctx,
+                                                            int count) {
+  auto engine = core::Engine::Builder().BorrowDsm(ctx.dsm.get()).Build();
+  if (!engine.ok()) std::abort();
+  core::Service service(engine.ValueOrDie(), {.worker_threads = 4});
+
+  auto fleet = bench::MakeFleet(ctx, count, bench::DefaultNoise(7), 977);
+  core::TranslationRequest request;
+  for (const auto& nd : fleet) request.sequences.push_back(nd.raw);
+  auto response = service.Translate(request);
+  if (!response.ok()) std::abort();
+
+  std::vector<core::MobilitySemanticsSequence> sequences;
+  sequences.reserve(response->results.size());
+  for (auto& result : response->results) sequences.push_back(std::move(result.semantics));
+  return sequences;
+}
+
+std::unique_ptr<store::TripStore> MemoryStore(
+    const std::vector<core::MobilitySemanticsSequence>& sequences) {
+  auto stored = store::TripStore::Open({});
+  if (!stored.ok()) std::abort();
+  for (const auto& seq : sequences) {
+    if (!stored.ValueOrDie()->Append(seq).ok()) std::abort();
+  }
+  return std::move(stored).ValueOrDie();
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+struct LatencyDist {
+  double p50 = 0, p95 = 0, max = 0;
+};
+
+LatencyDist Percentiles(std::vector<double> micros) {
+  std::sort(micros.begin(), micros.end());
+  LatencyDist d;
+  d.p50 = micros[micros.size() / 2];
+  d.p95 = micros[micros.size() * 95 / 100];
+  d.max = micros.back();
+  return d;
+}
+
+/// The default payload: one table of ingest + query numbers on 128 devices.
+void ReportStoreNumbers() {
+  MallContext ctx = MallContext::Make(7, 3);
+  auto sequences = TranslateFleet(ctx, kReportDevices);
+  size_t triplets = 0;
+  for (const auto& seq : sequences) triplets += seq.Size();
+  std::printf("=== TripStore, %d devices / %zu triplets ===\n\n", kReportDevices,
+              triplets);
+
+  // ---- ingest --------------------------------------------------------------
+  auto measure_ingest = [&](const char* label, store::StoreOptions options) {
+    auto start = std::chrono::steady_clock::now();
+    auto stored = store::TripStore::Open(std::move(options));
+    if (!stored.ok()) std::abort();
+    for (const auto& seq : sequences) {
+      if (!stored.ValueOrDie()->Append(seq).ok()) std::abort();
+    }
+    if (!stored.ValueOrDie()->Flush().ok()) std::abort();
+    double ms = MillisSince(start);
+    std::printf("ingest %-10s | %8.1f ms | %8.0f seq/s | %9.0f triplets/s\n", label,
+                ms, sequences.size() / (ms / 1000.0), triplets / (ms / 1000.0));
+  };
+  measure_ingest("memory", {});
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "trips_bench_store").string();
+  std::filesystem::remove_all(dir);
+  measure_ingest("persisted", {.directory = dir});
+
+  // Cold reopen: segment decode + index rebuild.
+  auto start = std::chrono::steady_clock::now();
+  auto reopened = store::TripStore::Open({.directory = dir, .worker_threads = 4});
+  if (!reopened.ok()) std::abort();
+  std::printf("reopen (4 workers)  | %8.1f ms | %zu segment(s)\n\n",
+              MillisSince(start), reopened.ValueOrDie()->Stats().segments);
+  std::filesystem::remove_all(dir);
+
+  // ---- queries -------------------------------------------------------------
+  const store::TripStore& db = *reopened.ValueOrDie();
+  std::vector<std::string> devices = db.Devices();
+  core::MobilityAnalytics analytics = db.BuildAnalytics(ctx.dsm.get());
+  std::vector<core::RegionStats> top = analytics.TopRegionsByVisits(16);
+  store::StoreStats stats = db.Stats();
+
+  constexpr int kRounds = 2000;
+  std::vector<double> history_us, visitors_us;
+  history_us.reserve(kRounds);
+  visitors_us.reserve(kRounds);
+  size_t history_triplets = 0, visitor_triplets = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string& device = devices[static_cast<size_t>(i) % devices.size()];
+    auto t0 = std::chrono::steady_clock::now();
+    history_triplets += db.DeviceHistory(device).Size();
+    history_us.push_back(MillisSince(t0) * 1000.0);
+
+    const core::RegionStats& region = top[static_cast<size_t>(i) % top.size()];
+    TimestampMs begin =
+        stats.span.begin + (static_cast<size_t>(i) % 8) * kMillisPerHour / 2;
+    t0 = std::chrono::steady_clock::now();
+    visitor_triplets += db.RegionVisitors(region.region, begin, begin + kMillisPerHour)
+                            .size();
+    visitors_us.push_back(MillisSince(t0) * 1000.0);
+  }
+  LatencyDist history = Percentiles(std::move(history_us));
+  LatencyDist visitors = Percentiles(std::move(visitors_us));
+  std::printf("%-30s | %8s | %8s | %8s | %s\n", "query (x2000)", "p50_us", "p95_us",
+              "max_us", "avg hits");
+  std::printf("%-30s | %8.1f | %8.1f | %8.1f | %.1f\n", "DeviceHistory", history.p50,
+              history.p95, history.max,
+              static_cast<double>(history_triplets) / kRounds);
+  std::printf("%-30s | %8.1f | %8.1f | %8.1f | %.1f\n", "RegionVisitors(1h window)",
+              visitors.p50, visitors.p95, visitors.max,
+              static_cast<double>(visitor_triplets) / kRounds);
+  std::printf("\n");
+}
+
+// ---- google-benchmark registrations (CI smoke / filtered runs) -------------
+
+const std::vector<core::MobilitySemanticsSequence>& SharedFleet() {
+  static MallContext ctx = MallContext::Make(7, 3);
+  static auto sequences = TranslateFleet(ctx, 64);
+  return sequences;
+}
+
+void BM_StoreAppend(benchmark::State& state) {
+  const auto& sequences = SharedFleet();
+  size_t triplets = 0;
+  for (auto _ : state) {
+    auto stored = store::TripStore::Open({});
+    if (!stored.ok()) std::abort();
+    for (const auto& seq : sequences) {
+      if (!stored.ValueOrDie()->Append(seq).ok()) std::abort();
+      triplets += seq.Size();
+    }
+    benchmark::DoNotOptimize(stored);
+  }
+  state.counters["triplets/s"] =
+      benchmark::Counter(static_cast<double>(triplets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StoreAppend)->Unit(benchmark::kMillisecond);
+
+void BM_DeviceHistory(benchmark::State& state) {
+  static auto stored = MemoryStore(SharedFleet());
+  static std::vector<std::string> devices = stored->Devices();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto history = stored->DeviceHistory(devices[i++ % devices.size()]);
+    benchmark::DoNotOptimize(history);
+  }
+}
+BENCHMARK(BM_DeviceHistory)->Unit(benchmark::kMicrosecond);
+
+void BM_RegionVisitors(benchmark::State& state) {
+  static auto stored = MemoryStore(SharedFleet());
+  static store::StoreStats stats = stored->Stats();
+  static std::vector<core::RegionStats> top =
+      stored->BuildAnalytics().TopRegionsByVisits(8);
+  size_t i = 0;
+  for (auto _ : state) {
+    const core::RegionStats& region = top[i % top.size()];
+    TimestampMs begin = stats.span.begin + (i % 8) * kMillisPerHour / 2;
+    auto visits = stored->RegionVisitors(region.region, begin, begin + kMillisPerHour);
+    benchmark::DoNotOptimize(visits);
+    ++i;
+  }
+}
+BENCHMARK(BM_RegionVisitors)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The latency study is the default payload; a filtered invocation (CI
+  // smoke) gets exactly the benchmarks it asked for and nothing else.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_filter", 0) == 0) filtered = true;
+  }
+  if (!filtered) ReportStoreNumbers();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -134,11 +134,14 @@ int main(int argc, char** argv) {
   }
 
   // Downstream analytics (the paper's motivating applications): popular
-  // regions, conversion, and a popularity heatmap of the ground floor.
-  core::MobilityAnalytics analytics(&engine.ValueOrDie()->dsm());
-  for (const core::TranslationResult& r : *results) {
-    analytics.AddSequence(r.semantics);
-  }
+  // regions, conversion, and a popularity heatmap of the ground floor — all
+  // served from a TripStore fed with the batch response, the layer analyses
+  // run on once translation has happened (see persist_and_query for the
+  // on-disk version).
+  auto stored = store::TripStore::Open({});
+  if (!stored.ok() || !stored.ValueOrDie()->AppendResponse(*response).ok()) return 1;
+  core::MobilityAnalytics analytics =
+      stored.ValueOrDie()->BuildAnalytics(&engine.ValueOrDie()->dsm());
   std::printf("\ntop regions by visits:\n%s", analytics.FormatReport(8).c_str());
   if (viewer::WriteRegionHeatmapSvg(engine.ValueOrDie()->dsm(), analytics, 0,
                                     out_dir + "/heatmap_1F.svg")

@@ -1,0 +1,133 @@
+// Persist + query walk-through: translate a day of simulated mall traffic,
+// sink the semantics into an on-disk TripStore, reopen the store cold (as a
+// later analytics session would), and answer queries straight from it —
+// device history, region visitors in a time window, top flows, and a
+// store-backed heatmap. The demonstration that analytics run on stored
+// mobility semantics, not raw positioning records.
+//
+//   ./persist_and_query [output_dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/trips.h"
+
+using namespace trips;
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : "store_out";
+  std::filesystem::create_directories(out_dir);
+  std::string store_dir = out_dir + "/trip_store";
+  // Each invocation is a fresh walk-through; without this, session 1 would
+  // reopen a surviving store and append on top of the previous run's corpus.
+  std::filesystem::remove_all(store_dir);
+
+  auto mall = dsm::BuildMallDsm({.floors = 3, .shops_per_arm = 3});
+  if (!mall.ok()) return 1;
+  auto planner = dsm::RoutePlanner::Build(&mall.ValueOrDie());
+  if (!planner.ok()) return 1;
+  mobility::MobilityGenerator generator(&mall.ValueOrDie(), &planner.ValueOrDie());
+
+  // A morning of shopper traffic with mid-quality Wi-Fi noise.
+  Rng rng(31);
+  TimestampMs open = ParseTimestamp("2017-01-01 10:00:00").ValueOrDie();
+  auto fleet = generator.GenerateFleet(24, {open, open + 4 * kMillisPerHour}, &rng,
+                                       "shopper.");
+  if (!fleet.ok()) return 1;
+  positioning::ErrorModelOptions noise;
+  noise.floor_count = 3;
+  std::vector<positioning::PositioningSequence> raw_feed;
+  for (const mobility::GeneratedDevice& dev : *fleet) {
+    raw_feed.push_back(positioning::ApplyErrorModel(dev.truth, noise, &rng));
+  }
+
+  auto engine = core::Engine::Builder().SetDsm(mall.ValueOrDie()).Build();
+  if (!engine.ok()) return 1;
+  core::Service service(engine.ValueOrDie());
+
+  store::StoreOptions store_options;
+  store_options.directory = store_dir;
+
+  // ---- session 1: translate and persist -----------------------------------
+  {
+    auto stored = store::TripStore::Open(store_options);
+    if (!stored.ok()) {
+      std::fprintf(stderr, "store: %s\n", stored.status().ToString().c_str());
+      return 1;
+    }
+    auto response = service.Translate({.sequences = raw_feed});
+    if (!response.ok()) return 1;
+    if (!stored.ValueOrDie()->AppendResponse(*response).ok()) return 1;
+    if (!stored.ValueOrDie()->Flush().ok()) return 1;
+    store::StoreStats stats = stored.ValueOrDie()->Stats();
+    std::printf("persisted %zu sequences / %zu triplets in %zu segment(s) to %s\n",
+                stats.sequences, stats.triplets, stats.persisted_segments,
+                store_dir.c_str());
+  }
+
+  // ---- session 2: reopen cold and query -----------------------------------
+  store_options.worker_threads = 4;
+  auto stored = store::TripStore::Open(store_options);
+  if (!stored.ok()) return 1;
+  const store::TripStore& trips_db = *stored.ValueOrDie();
+  const dsm::Dsm& space = engine.ValueOrDie()->dsm();
+
+  store::StoreStats stats = trips_db.Stats();
+  std::printf("reopened store: %zu devices, %zu sequences, span %s .. %s\n\n",
+              stats.devices, stats.sequences,
+              FormatTimestamp(stats.span.begin).c_str(),
+              FormatTimestamp(stats.span.end).c_str());
+
+  // Device history: the first stored device's timeline.
+  std::vector<std::string> devices = trips_db.Devices();
+  if (devices.empty()) {
+    std::fprintf(stderr, "store is empty\n");
+    return 1;
+  }
+  std::printf("%s\n", viewer::RenderDeviceTimelineText(trips_db, devices.front()).c_str());
+
+  // Region visitors over the first hour of a popular shop.
+  core::MobilityAnalytics analytics = trips_db.BuildAnalytics(&space);
+  auto top = analytics.TopRegionsByVisits(1);
+  if (!top.empty()) {
+    TimestampMs t0 = stats.span.begin;
+    auto visits = trips_db.RegionVisitors(top[0].region, t0, t0 + kMillisPerHour);
+    std::printf("'%s' visitors in the first hour: %zu triplet(s)\n",
+                top[0].region_name.c_str(), visits.size());
+    for (size_t i = 0; i < visits.size() && i < 5; ++i) {
+      std::printf("  %-14s %s\n", visits[i].device_id.c_str(),
+                  visits[i].visit.ToString().c_str());
+    }
+  }
+
+  // Strongest region-to-region flow in the stored corpus.
+  size_t best = 0;
+  dsm::RegionId best_from = dsm::kInvalidRegion, best_to = dsm::kInvalidRegion;
+  for (const auto& [from, row] : trips_db.FlowMatrix()) {
+    for (const auto& [to, n] : row) {
+      if (n > best) {
+        best = n;
+        best_from = from;
+        best_to = to;
+      }
+    }
+  }
+  if (best > 0) {
+    const dsm::SemanticRegion* a = space.GetRegion(best_from);
+    const dsm::SemanticRegion* b = space.GetRegion(best_to);
+    std::printf("\nstrongest flow: %s -> %s (%zu transitions; FlowBetween=%zu)\n",
+                a != nullptr ? a->name.c_str() : "?",
+                b != nullptr ? b->name.c_str() : "?", best,
+                trips_db.FlowBetween(best_from, best_to));
+  }
+
+  std::printf("\ntop regions by visits (store-backed analytics):\n%s",
+              analytics.FormatReport(8).c_str());
+
+  // Heatmap from the store-built analytics already in hand (the one-call
+  // viewer::WriteStoreHeatmapSvg re-aggregates the corpus itself).
+  std::string heatmap = out_dir + "/store_heatmap_1F.svg";
+  if (viewer::WriteRegionHeatmapSvg(space, analytics, 0, heatmap).ok()) {
+    std::printf("\nwrote %s\n", heatmap.c_str());
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@ namespace trips::core {
 
 void MobilityAnalytics::AddSequence(const MobilitySemanticsSequence& seq) {
   ++sequences_;
+  dsm::RegionId prev = dsm::kInvalidRegion;
   for (const MobilitySemantic& s : seq.semantics) {
     if (s.region == dsm::kInvalidRegion) continue;
     Accum& accum = regions_[s.region];
@@ -27,8 +28,49 @@ void MobilityAnalytics::AddSequence(const MobilitySemanticsSequence& seq) {
       accum.device_stayed.try_emplace(seq.device_id, false);
     }
     accum.total_time += s.range.Duration();
+
+    if (prev != dsm::kInvalidRegion && prev != s.region) ++flow_[prev][s.region];
+    prev = s.region;
+
+    // Walk the triplet hour by hour so ranges crossing hour boundaries are
+    // apportioned correctly.
+    std::array<DurationMs, 24>& hours = hours_.try_emplace(s.region).first->second;
+    TimestampMs t = s.range.begin;
+    while (t < s.range.end) {
+      DurationMs into_hour = t % kMillisPerHour;
+      TimestampMs hour_end = t - into_hour + kMillisPerHour;
+      TimestampMs slice_end = std::min<TimestampMs>(hour_end, s.range.end);
+      size_t hour = static_cast<size_t>(MillisOfDay(t) / kMillisPerHour) % 24;
+      hours[hour] += slice_end - t;
+      t = slice_end;
+    }
   }
-  corpus_.push_back(seq);
+}
+
+void MobilityAnalytics::Merge(const MobilityAnalytics& other) {
+  sequences_ += other.sequences_;
+  for (const auto& [region, theirs] : other.regions_) {
+    Accum& accum = regions_[region];
+    if (accum.name.empty()) accum.name = theirs.name;
+    accum.visits += theirs.visits;
+    accum.stays += theirs.stays;
+    accum.pass_bys += theirs.pass_bys;
+    accum.total_time += theirs.total_time;
+    for (const auto& [device, did_stay] : theirs.device_stayed) {
+      if (did_stay) {
+        accum.device_stayed[device] = true;
+      } else {
+        accum.device_stayed.try_emplace(device, false);
+      }
+    }
+  }
+  for (const auto& [from, row] : other.flow_) {
+    for (const auto& [to, n] : row) flow_[from][to] += n;
+  }
+  for (const auto& [region, theirs] : other.hours_) {
+    std::array<DurationMs, 24>& hours = hours_.try_emplace(region).first->second;
+    for (size_t h = 0; h < hours.size(); ++h) hours[h] += theirs[h];
+  }
 }
 
 RegionStats MobilityAnalytics::Finalize(dsm::RegionId region,
@@ -90,39 +132,14 @@ std::vector<RegionStats> MobilityAnalytics::TopRegionsByTime(size_t k) const {
 
 std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>>
 MobilityAnalytics::FlowMatrix() const {
-  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> flow;
-  for (const MobilitySemanticsSequence& seq : corpus_) {
-    dsm::RegionId prev = dsm::kInvalidRegion;
-    for (const MobilitySemantic& s : seq.semantics) {
-      if (s.region == dsm::kInvalidRegion) continue;
-      if (prev != dsm::kInvalidRegion && prev != s.region) {
-        ++flow[prev][s.region];
-      }
-      prev = s.region;
-    }
-  }
-  return flow;
+  return flow_;
 }
 
 std::vector<DurationMs> MobilityAnalytics::HourlyOccupancy(
     dsm::RegionId region) const {
   std::vector<DurationMs> hours(24, 0);
-  for (const MobilitySemanticsSequence& seq : corpus_) {
-    for (const MobilitySemantic& s : seq.semantics) {
-      if (s.region != region) continue;
-      // Walk the triplet hour by hour so ranges crossing hour boundaries are
-      // apportioned correctly.
-      TimestampMs t = s.range.begin;
-      while (t < s.range.end) {
-        DurationMs into_hour = t % kMillisPerHour;
-        TimestampMs hour_end = t - into_hour + kMillisPerHour;
-        TimestampMs slice_end = std::min<TimestampMs>(hour_end, s.range.end);
-        size_t hour = static_cast<size_t>(MillisOfDay(t) / kMillisPerHour) % 24;
-        hours[hour] += slice_end - t;
-        t = slice_end;
-      }
-    }
-  }
+  auto it = hours_.find(region);
+  if (it != hours_.end()) hours.assign(it->second.begin(), it->second.end());
   return hours;
 }
 

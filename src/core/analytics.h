@@ -5,6 +5,7 @@
 // the translation: the condensed form is what analyses want to run on.
 #pragma once
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,7 +34,10 @@ struct RegionStats {
   double conversion_rate = 0;
 };
 
-/// Region-level aggregation of a corpus of semantics sequences.
+/// Region-level aggregation of a corpus of semantics sequences. Fully
+/// incremental: every statistic (counts, dwell, flows, hourly occupancy) is
+/// folded in at AddSequence time, so the analytics never retain the corpus
+/// itself and can be fed live from a stream sink or a store scan.
 class MobilityAnalytics {
  public:
   /// `dsm` provides region names for ids missing them; may be null.
@@ -41,6 +45,12 @@ class MobilityAnalytics {
 
   /// Adds one device's semantics to the corpus.
   void AddSequence(const MobilitySemanticsSequence& seq);
+
+  /// Folds another analytics instance into this one. Equivalent to having
+  /// added all of `other`'s sequences here (device sets are unioned, so a
+  /// device seen by both sides is counted once per region). The substrate of
+  /// segment-parallel aggregation: build partials per shard, then merge.
+  void Merge(const MobilityAnalytics& other);
 
   /// Number of sequences added.
   size_t SequenceCount() const { return sequences_; }
@@ -82,7 +92,8 @@ class MobilityAnalytics {
   const dsm::Dsm* dsm_;
   size_t sequences_ = 0;
   std::map<dsm::RegionId, Accum> regions_;
-  std::vector<MobilitySemanticsSequence> corpus_;  // kept for flow/occupancy
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> flow_;
+  std::map<dsm::RegionId, std::array<DurationMs, 24>> hours_;
 };
 
 }  // namespace trips::core

@@ -32,7 +32,9 @@ using OnlineOptions = StreamOptions;
 ///
 /// Deprecated: prefer Service::NewStreamSession (shared immutable engine,
 /// sink-callback delivery, same flush policy).
-class OnlineTranslator {
+class [[deprecated(
+    "OnlineTranslator is a legacy shim; use core::Service::NewStreamSession "
+    "instead")]] OnlineTranslator {
  public:
   /// `translator` must be initialized and outlive this object.
   explicit OnlineTranslator(const Translator* translator, OnlineOptions options = {});

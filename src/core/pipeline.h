@@ -28,7 +28,9 @@
 namespace trips::core {
 
 /// One full TRIPS session. Deprecated: prefer Engine::Builder + Service.
-class Pipeline {
+class [[deprecated(
+    "Pipeline is a legacy shim; build a core::Engine and drive a core::Service "
+    "instead")]] Pipeline {
  public:
   explicit Pipeline(TranslatorOptions options = {});
 

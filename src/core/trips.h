@@ -14,12 +14,30 @@
 //   Translator    — core::Translator, the three-layer algorithm core
 //                   (cleaning::RawDataCleaner, annotation::Annotator,
 //                   complement::Complementor)
+//   Store         — store::TripStore, the persistent, indexed semantic-
+//                   trajectory store between translation and analytics:
+//                   append-only binary segments (store/segment_codec.h),
+//                   device/region/time indexes, live ingestion via a
+//                   StreamSession sink, queries (DeviceHistory,
+//                   RegionVisitors, FlowBetween, time-range scans) and
+//                   segment-parallel analytics
 //   Adapters      — core::Pipeline and core::OnlineTranslator, the legacy
-//                   batch/streaming front-ends, now thin shims over Service
-//   Viewer        — viewer::Timeline, viewer::MapRenderer, viewer::RenderHtml
+//                   batch/streaming front-ends, now [[deprecated]] shims
+//                   over Service
+//   Viewer        — viewer::Timeline, viewer::MapRenderer, viewer::RenderHtml,
+//                   plus store-backed views (viewer/store_view.h)
 //   Substrates    — dsm::Dsm (+ routing, JSON, sample spaces),
 //                   positioning::* (records, CSV, error model),
 //                   mobility::MobilityGenerator (ground-truth data)
+//
+// Persist + query quickstart:
+//
+//     auto stored = store::TripStore::Open({.directory = "mall_store"});
+//     auto stream = service.NewStreamSession();
+//     stream->SetSink(stored.ValueOrDie()->MakeSink());  // live ingestion
+//     ... feed records ...; stream->FlushAll();
+//     stored.ValueOrDie()->Flush();                      // seal + persist
+//     auto visitors = stored.ValueOrDie()->RegionVisitors(region, t0, t1);
 #pragma once
 
 #include "annotation/annotator.h"
@@ -48,8 +66,11 @@
 #include "positioning/csv_io.h"
 #include "positioning/error_model.h"
 #include "positioning/record.h"
+#include "store/segment_codec.h"
+#include "store/trip_store.h"
 #include "viewer/ascii_renderer.h"
 #include "viewer/heatmap.h"
 #include "viewer/html_export.h"
 #include "viewer/map_renderer.h"
+#include "viewer/store_view.h"
 #include "viewer/timeline.h"

@@ -1,0 +1,194 @@
+#include "store/segment_codec.h"
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+
+namespace trips::store {
+
+namespace {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// Bounds-checked sequential reader over the blob.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadVarint(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= bytes_.size()) return false;
+      uint8_t byte = static_cast<uint8_t>(bytes_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return (*out = v, true);
+    }
+    return false;  // varint longer than 64 bits
+  }
+
+  bool ReadString(std::string* out) {
+    uint64_t len = 0;
+    if (!ReadVarint(&len)) return false;
+    if (len > bytes_.size() - pos_) return false;
+    out->assign(bytes_.data() + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+  bool Exhausted() const { return pos_ == bytes_.size(); }
+
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// First-appearance string interner.
+class StringTable {
+ public:
+  uint64_t Intern(const std::string& s) {
+    auto [it, inserted] = ids_.try_emplace(s, strings_.size());
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  std::map<std::string, uint64_t> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace
+
+std::string EncodeSegment(
+    const std::vector<core::MobilitySemanticsSequence>& sequences) {
+  StringTable table;
+  // Intern in the order the decoder will need them: a body pass first, so the
+  // table is complete before the header is laid down.
+  std::string body;
+  PutVarint(&body, sequences.size());
+  for (const core::MobilitySemanticsSequence& seq : sequences) {
+    PutVarint(&body, table.Intern(seq.device_id));
+    PutVarint(&body, seq.semantics.size());
+    TimestampMs prev_end = 0;
+    for (const core::MobilitySemantic& s : seq.semantics) {
+      PutVarint(&body, (table.Intern(s.event) << 1) | (s.inferred ? 1 : 0));
+      PutVarint(&body, ZigZag(s.region));
+      PutVarint(&body, table.Intern(s.region_name));
+      PutVarint(&body, ZigZag(s.range.begin - prev_end));
+      PutVarint(&body, ZigZag(s.range.Duration()));
+      prev_end = s.range.end;
+    }
+  }
+
+  std::string out(kSegmentMagic, sizeof(kSegmentMagic));
+  out.push_back(1);  // version
+  PutVarint(&out, table.strings().size());
+  for (const std::string& s : table.strings()) {
+    PutVarint(&out, s.size());
+    out += s;
+  }
+  out += body;
+  return out;
+}
+
+Result<std::vector<core::MobilitySemanticsSequence>> DecodeSegment(
+    std::string_view bytes) {
+  if (bytes.size() < sizeof(kSegmentMagic) + 1 ||
+      std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::ParseError("not a TripStore segment (bad magic)");
+  }
+  if (bytes[sizeof(kSegmentMagic)] != 1) {
+    return Status::ParseError("unsupported segment version");
+  }
+  Reader reader(bytes.substr(sizeof(kSegmentMagic) + 1));
+
+  // Every decoded entry consumes at least one byte, so a count exceeding the
+  // remaining bytes is corrupt — reject it before reserve() can blow up on an
+  // absurd value.
+  uint64_t table_size = 0;
+  if (!reader.ReadVarint(&table_size) || table_size > reader.Remaining()) {
+    return Status::ParseError("truncated segment string table");
+  }
+  std::vector<std::string> table;
+  table.reserve(static_cast<size_t>(table_size));
+  for (uint64_t i = 0; i < table_size; ++i) {
+    std::string s;
+    if (!reader.ReadString(&s)) {
+      return Status::ParseError("truncated segment string table");
+    }
+    table.push_back(std::move(s));
+  }
+
+  // A sequence header costs at least 2 bytes (device + count varints).
+  uint64_t sequence_count = 0;
+  if (!reader.ReadVarint(&sequence_count) ||
+      sequence_count > reader.Remaining() / 2) {
+    return Status::ParseError("truncated segment body");
+  }
+  std::vector<core::MobilitySemanticsSequence> sequences;
+  sequences.reserve(static_cast<size_t>(sequence_count));
+  for (uint64_t i = 0; i < sequence_count; ++i) {
+    core::MobilitySemanticsSequence seq;
+    uint64_t device = 0, triplet_count = 0;
+    // A triplet costs at least 5 bytes (five varints).
+    if (!reader.ReadVarint(&device) || device >= table.size() ||
+        !reader.ReadVarint(&triplet_count) ||
+        triplet_count > reader.Remaining() / 5) {
+      return Status::ParseError("truncated segment sequence header");
+    }
+    seq.device_id = table[device];
+    seq.semantics.reserve(static_cast<size_t>(triplet_count));
+    TimestampMs prev_end = 0;
+    for (uint64_t j = 0; j < triplet_count; ++j) {
+      uint64_t event = 0, region = 0, name = 0, delta = 0, duration = 0;
+      if (!reader.ReadVarint(&event) || !reader.ReadVarint(&region) ||
+          !reader.ReadVarint(&name) || !reader.ReadVarint(&delta) ||
+          !reader.ReadVarint(&duration)) {
+        return Status::ParseError("truncated segment triplet");
+      }
+      if ((event >> 1) >= table.size() || name >= table.size()) {
+        return Status::ParseError("segment string index out of range");
+      }
+      core::MobilitySemantic s;
+      s.inferred = (event & 1) != 0;
+      s.event = table[event >> 1];
+      s.region = static_cast<dsm::RegionId>(UnZigZag(region));
+      s.region_name = table[name];
+      // Append only stores Valid() (begin <= end) ranges, so a negative
+      // duration — or a delta/duration that overflows int64 — can only come
+      // from corruption; reject it rather than indexing a range the store's
+      // own ingest path would have refused.
+      int64_t duration_ms = UnZigZag(duration);
+      if (duration_ms < 0 ||
+          __builtin_add_overflow(prev_end, UnZigZag(delta), &s.range.begin) ||
+          __builtin_add_overflow(s.range.begin, duration_ms, &s.range.end)) {
+        return Status::ParseError("invalid triplet time range in segment");
+      }
+      prev_end = s.range.end;
+      seq.semantics.push_back(std::move(s));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  if (!reader.Exhausted()) {
+    return Status::ParseError("trailing bytes after segment body");
+  }
+  return sequences;
+}
+
+}  // namespace trips::store

@@ -1,0 +1,32 @@
+// Binary segment codec for the TripStore: encodes a batch of mobility
+// semantics sequences into one compact, self-contained blob. Device ids,
+// event names and region names are interned into a per-segment string table;
+// timestamps are delta-encoded (begin as a zigzag delta from the previous
+// triplet's end, end as a plain duration), so the dominant cost per triplet
+// is a handful of small varints instead of two 8-byte timestamps and three
+// strings. The encoding is deterministic (first-appearance interning order),
+// so decode(encode(x)) == x structurally and encode(decode(b)) == b
+// byte-for-byte on codec-produced blobs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/semantics.h"
+#include "util/result.h"
+
+namespace trips::store {
+
+/// Leading bytes of every encoded segment: magic + format version.
+inline constexpr char kSegmentMagic[4] = {'T', 'S', 'G', '1'};
+
+/// Encodes `sequences` into one segment blob.
+std::string EncodeSegment(const std::vector<core::MobilitySemanticsSequence>& sequences);
+
+/// Decodes a segment blob. Fails with ParseError on a foreign magic, an
+/// unknown version, or a truncated/corrupt body.
+Result<std::vector<core::MobilitySemanticsSequence>> DecodeSegment(
+    std::string_view bytes);
+
+}  // namespace trips::store

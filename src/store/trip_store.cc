@@ -1,0 +1,441 @@
+#include "store/trip_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/result_io.h"
+#include "store/segment_codec.h"
+#include "util/string_util.h"
+
+namespace trips::store {
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "segment-";
+constexpr const char* kSegmentSuffix = ".tseg";
+
+std::string SegmentFileName(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06zu%s", kSegmentPrefix, index,
+                kSegmentSuffix);
+  return buf;
+}
+
+// Parses "segment-NNNNNN.tseg" -> NNNNNN; false for foreign files.
+bool ParseSegmentFileName(const std::string& name, size_t* index) {
+  size_t prefix = std::string_view(kSegmentPrefix).size();
+  size_t suffix = std::string_view(kSegmentSuffix).size();
+  if (name.size() <= prefix + suffix || !StartsWith(name, kSegmentPrefix) ||
+      !EndsWith(name, kSegmentSuffix)) {
+    return false;
+  }
+  size_t value = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<size_t>(name[i] - '0');
+  }
+  *index = value;
+  return true;
+}
+
+void GrowSpan(TimeRange* span, bool* has_span, const TimeRange& range) {
+  if (!*has_span) {
+    *span = range;
+    *has_span = true;
+    return;
+  }
+  span->begin = std::min(span->begin, range.begin);
+  span->end = std::max(span->end, range.end);
+}
+
+}  // namespace
+
+TripStore::TripStore(StoreOptions options)
+    : options_(std::move(options)), pool_(options_.worker_threads) {}
+
+TripStore::~TripStore() = default;
+
+Result<std::unique_ptr<TripStore>> TripStore::Open(StoreOptions options) {
+  if (options.segment_max_sequences == 0) {
+    return Status::InvalidArgument("segment_max_sequences must be positive");
+  }
+  std::unique_ptr<TripStore> store(new TripStore(std::move(options)));
+  if (!store->options_.directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(store->options_.directory, ec);
+    if (ec) {
+      return Status::IOError("cannot create store directory " +
+                             store->options_.directory + ": " + ec.message());
+    }
+    std::unique_lock lock(store->mu_);
+    TRIPS_RETURN_NOT_OK(store->LoadDirectoryLocked());
+  }
+  return store;
+}
+
+Status TripStore::LoadDirectoryLocked() {
+  std::vector<std::pair<size_t, std::filesystem::path>> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory, ec)) {
+    size_t index = 0;
+    if (!entry.is_regular_file()) continue;
+    if (!ParseSegmentFileName(entry.path().filename().string(), &index)) continue;
+    files.emplace_back(index, entry.path());
+  }
+  if (ec) {
+    return Status::IOError("cannot list store directory " + options_.directory +
+                           ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  // Read serially (IO), decode segment-parallel, then index in file order so
+  // sequence ids are deterministic.
+  std::vector<std::string> blobs(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::ifstream in(files[i].second, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot read segment " + files[i].second.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    blobs[i] = std::move(buffer).str();
+  }
+  std::vector<Result<std::vector<core::MobilitySemanticsSequence>>> decoded(
+      blobs.size(), std::vector<core::MobilitySemanticsSequence>{});
+  pool_.ParallelFor(blobs.size(),
+                    [&](size_t i) { decoded[i] = DecodeSegment(blobs[i]); });
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    if (!decoded[i].ok()) {
+      return Status(decoded[i].status().code(), files[i].second.string() + ": " +
+                                                    decoded[i].status().message());
+    }
+    next_file_index_ = std::max(next_file_index_, files[i].first + 1);
+    std::vector<core::MobilitySemanticsSequence> sequences =
+        std::move(decoded[i]).ValueOrDie();
+    if (sequences.empty()) continue;
+    Segment segment;
+    segment.base = static_cast<SequenceId>(sequence_count_);
+    segment.sealed = true;
+    segment.persisted = true;
+    segments_.push_back(std::move(segment));
+    for (core::MobilitySemanticsSequence& seq : sequences) {
+      AddToLastSegmentLocked(std::move(seq));
+    }
+  }
+  return Status::OK();
+}
+
+void TripStore::AddToLastSegmentLocked(core::MobilitySemanticsSequence seq) {
+  Segment& segment = segments_.back();
+  segment.sequences.push_back(std::move(seq));
+  const core::MobilitySemanticsSequence& stored = segment.sequences.back();
+  for (const core::MobilitySemantic& s : stored.semantics) {
+    GrowSpan(&segment.span, &segment.has_span, s.range);
+  }
+  IndexSequenceLocked(static_cast<SequenceId>(sequence_count_), stored);
+  ++sequence_count_;
+}
+
+Result<TripStore::SequenceId> TripStore::AppendLocked(
+    core::MobilitySemanticsSequence seq) {
+  if (segments_.empty() || segments_.back().sealed ||
+      segments_.back().sequences.size() >= options_.segment_max_sequences) {
+    if (!segments_.empty()) segments_.back().sealed = true;
+    Segment segment;
+    segment.base = static_cast<SequenceId>(sequence_count_);
+    segments_.push_back(std::move(segment));
+  }
+  SequenceId id = static_cast<SequenceId>(sequence_count_);
+  AddToLastSegmentLocked(std::move(seq));
+  return id;
+}
+
+void TripStore::IndexSequenceLocked(SequenceId id,
+                                    const core::MobilitySemanticsSequence& seq) {
+  device_index_[seq.device_id].push_back(id);
+  std::map<dsm::RegionId, TimeRange> fences;
+  dsm::RegionId prev = dsm::kInvalidRegion;
+  for (const core::MobilitySemantic& s : seq.semantics) {
+    ++triplet_count_;
+    if (s.region == dsm::kInvalidRegion) continue;
+    auto [it, inserted] = fences.try_emplace(s.region, s.range);
+    if (!inserted) {
+      it->second.begin = std::min(it->second.begin, s.range.begin);
+      it->second.end = std::max(it->second.end, s.range.end);
+    }
+    if (prev != dsm::kInvalidRegion && prev != s.region) ++flow_[prev][s.region];
+    prev = s.region;
+  }
+  for (const auto& [region, fence] : fences) {
+    region_index_[region].push_back({id, fence});
+  }
+}
+
+Result<TripStore::SequenceId> TripStore::Append(
+    core::MobilitySemanticsSequence seq) {
+  if (seq.device_id.empty()) {
+    return Status::InvalidArgument("stored sequence needs a device id");
+  }
+  for (const core::MobilitySemantic& s : seq.semantics) {
+    if (!s.range.Valid()) {
+      return Status::InvalidArgument("invalid triplet time range for device " +
+                                     seq.device_id);
+    }
+  }
+  std::unique_lock lock(mu_);
+  return AppendLocked(std::move(seq));
+}
+
+Status TripStore::AppendResponse(const core::TranslationResponse& response) {
+  for (const core::TranslationResult& result : response.results) {
+    TRIPS_RETURN_NOT_OK(Append(result.semantics).status());
+  }
+  return Status::OK();
+}
+
+core::StreamSession::Sink TripStore::MakeSink() {
+  return [this](core::TranslationResult result) {
+    if (!Append(std::move(result.semantics)).ok()) {
+      std::unique_lock lock(mu_);
+      ++dropped_;
+    }
+  };
+}
+
+size_t TripStore::dropped_count() const {
+  std::shared_lock lock(mu_);
+  return dropped_;
+}
+
+Status TripStore::PersistSegmentLocked(size_t segment_index) {
+  Segment& segment = segments_[segment_index];
+  std::string blob = EncodeSegment(segment.sequences);
+  std::filesystem::path path =
+      std::filesystem::path(options_.directory) / SegmentFileName(next_file_index_);
+  // Write to a temp name and rename into place, so a crash mid-write leaves a
+  // stray ".tmp" (ignored by ParseSegmentFileName on load) instead of a
+  // truncated segment that would make the whole store unopenable.
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open " + tmp.string() + " for writing");
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      return Status::IOError("short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::string message = ec.message();
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot finalize " + path.string() + ": " + message);
+  }
+  ++next_file_index_;
+  segment.persisted = true;
+  return Status::OK();
+}
+
+Status TripStore::Flush() {
+  std::unique_lock lock(mu_);
+  if (!segments_.empty() && !segments_.back().sequences.empty()) {
+    segments_.back().sealed = true;
+  }
+  if (options_.directory.empty()) return Status::OK();
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].persisted || !segments_[i].sealed) continue;
+    TRIPS_RETURN_NOT_OK(PersistSegmentLocked(i));
+  }
+  return Status::OK();
+}
+
+Result<TripStore::SequenceId> TripStore::ImportResultFile(const std::string& path) {
+  TRIPS_ASSIGN_OR_RETURN(core::MobilitySemanticsSequence seq,
+                         core::ReadResultFile(path));
+  return Append(std::move(seq));
+}
+
+Result<size_t> TripStore::ImportResultDir(const std::string& dir) {
+  constexpr const char* kResultSuffix = ".result.json";
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() <= std::string_view(kResultSuffix).size() ||
+        !EndsWith(name, kResultSuffix)) {
+      continue;
+    }
+    paths.push_back(entry.path());
+  }
+  if (ec) {
+    return Status::IOError("cannot list result directory " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::filesystem::path& path : paths) {
+    TRIPS_RETURN_NOT_OK(ImportResultFile(path.string()).status());
+  }
+  return paths.size();
+}
+
+const core::MobilitySemanticsSequence& TripStore::SequenceLocked(
+    SequenceId id) const {
+  // Last segment whose base <= id.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), id,
+      [](SequenceId value, const Segment& s) { return value < s.base; });
+  const Segment& segment = *std::prev(it);
+  return segment.sequences[id - segment.base];
+}
+
+core::MobilitySemanticsSequence TripStore::DeviceHistory(
+    const std::string& device) const {
+  std::shared_lock lock(mu_);
+  core::MobilitySemanticsSequence history;
+  history.device_id = device;
+  auto it = device_index_.find(device);
+  if (it == device_index_.end()) return history;
+  for (SequenceId id : it->second) {
+    const core::MobilitySemanticsSequence& seq = SequenceLocked(id);
+    history.semantics.insert(history.semantics.end(), seq.semantics.begin(),
+                             seq.semantics.end());
+  }
+  history.SortByTime();
+  return history;
+}
+
+std::vector<RegionVisit> TripStore::RegionVisitors(dsm::RegionId region,
+                                                   TimestampMs t0,
+                                                   TimestampMs t1) const {
+  std::shared_lock lock(mu_);
+  TimeRange window{t0, t1};
+  std::vector<RegionVisit> visits;
+  auto it = region_index_.find(region);
+  if (it == region_index_.end()) return visits;
+  const std::vector<RegionPosting>& postings = it->second;
+  std::vector<std::vector<RegionVisit>> partial(postings.size());
+  pool_.ParallelFor(postings.size(), [&](size_t i) {
+    const RegionPosting& posting = postings[i];
+    if (!posting.fence.Overlaps(window)) return;
+    const core::MobilitySemanticsSequence& seq = SequenceLocked(posting.sequence);
+    for (const core::MobilitySemantic& s : seq.semantics) {
+      if (s.region != region || !s.range.Overlaps(window)) continue;
+      partial[i].push_back({seq.device_id, s});
+    }
+  });
+  for (std::vector<RegionVisit>& p : partial) {
+    visits.insert(visits.end(), std::make_move_iterator(p.begin()),
+                  std::make_move_iterator(p.end()));
+  }
+  std::sort(visits.begin(), visits.end(),
+            [](const RegionVisit& a, const RegionVisit& b) {
+              if (a.visit.range.begin != b.visit.range.begin) {
+                return a.visit.range.begin < b.visit.range.begin;
+              }
+              if (a.device_id != b.device_id) return a.device_id < b.device_id;
+              return a.visit.range.end < b.visit.range.end;
+            });
+  return visits;
+}
+
+size_t TripStore::FlowBetween(dsm::RegionId from, dsm::RegionId to) const {
+  std::shared_lock lock(mu_);
+  auto row = flow_.find(from);
+  if (row == flow_.end()) return 0;
+  auto cell = row->second.find(to);
+  return cell == row->second.end() ? 0 : cell->second;
+}
+
+std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> TripStore::FlowMatrix()
+    const {
+  std::shared_lock lock(mu_);
+  return flow_;
+}
+
+std::vector<core::MobilitySemanticsSequence> TripStore::SequencesInRange(
+    TimestampMs t0, TimestampMs t1) const {
+  std::shared_lock lock(mu_);
+  TimeRange window{t0, t1};
+  std::vector<std::vector<core::MobilitySemanticsSequence>> partial(
+      segments_.size());
+  pool_.ParallelFor(segments_.size(), [&](size_t i) {
+    const Segment& segment = segments_[i];
+    if (!segment.has_span || !segment.span.Overlaps(window)) return;
+    for (const core::MobilitySemanticsSequence& seq : segment.sequences) {
+      bool overlaps = false;
+      for (const core::MobilitySemantic& s : seq.semantics) {
+        if (s.range.Overlaps(window)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) partial[i].push_back(seq);
+    }
+  });
+  std::vector<core::MobilitySemanticsSequence> out;
+  for (std::vector<core::MobilitySemanticsSequence>& p : partial) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+  }
+  return out;
+}
+
+void TripStore::ForEachSequence(
+    const std::function<void(SequenceId, const core::MobilitySemanticsSequence&)>&
+        fn) const {
+  std::shared_lock lock(mu_);
+  for (const Segment& segment : segments_) {
+    SequenceId id = segment.base;
+    for (const core::MobilitySemanticsSequence& seq : segment.sequences) {
+      fn(id++, seq);
+    }
+  }
+}
+
+core::MobilityAnalytics TripStore::BuildAnalytics(const dsm::Dsm* dsm) const {
+  std::shared_lock lock(mu_);
+  std::vector<core::MobilityAnalytics> partial(segments_.size(),
+                                               core::MobilityAnalytics(dsm));
+  pool_.ParallelFor(segments_.size(), [&](size_t i) {
+    for (const core::MobilitySemanticsSequence& seq : segments_[i].sequences) {
+      partial[i].AddSequence(seq);
+    }
+  });
+  core::MobilityAnalytics analytics(dsm);
+  for (const core::MobilityAnalytics& p : partial) analytics.Merge(p);
+  return analytics;
+}
+
+std::vector<std::string> TripStore::Devices() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> devices;
+  devices.reserve(device_index_.size());
+  for (const auto& [device, postings] : device_index_) devices.push_back(device);
+  return devices;
+}
+
+StoreStats TripStore::Stats() const {
+  std::shared_lock lock(mu_);
+  StoreStats stats;
+  stats.sequences = sequence_count_;
+  stats.triplets = triplet_count_;
+  stats.segments = segments_.size();
+  stats.devices = device_index_.size();
+  bool has_span = false;
+  for (const Segment& segment : segments_) {
+    if (segment.persisted) ++stats.persisted_segments;
+    if (segment.has_span) GrowSpan(&stats.span, &has_span, segment.span);
+  }
+  return stats;
+}
+
+}  // namespace trips::store

@@ -1,0 +1,206 @@
+// TripStore — the persistence layer between translation and analytics: an
+// append-only, segmented store of translated mobility semantics sequences
+// with in-memory indexes and a query surface. The paper's point is that
+// downstream analyses consume mobility semantics, not raw records; this is
+// where those semantics live once a Service session has produced them.
+//
+//     auto stored = store::TripStore::Open({.directory = "mall_store"});
+//     auto stream = service.NewStreamSession();
+//     stream->SetSink(stored.ValueOrDie()->MakeSink());   // live ingestion
+//     ... feed records ...
+//     stored.ValueOrDie()->Flush();                       // persist segments
+//
+//     auto history = stored.ValueOrDie()->DeviceHistory("3a.6f.14");
+//     auto lunch = stored.ValueOrDie()->RegionVisitors(adidas, t0, t1);
+//     core::MobilityAnalytics a = stored.ValueOrDie()->BuildAnalytics(&dsm);
+//
+// Layout: sequences are appended to an active segment; full (or flushed)
+// segments are sealed and, when the store has a directory, written once as
+// "segment-NNNNNN.tseg" blobs in the binary segment codec. Indexes — device
+// -> sequence postings, region -> visiting-sequence postings with time
+// fences, per-segment time spans, and a running region-flow matrix — are
+// built at ingest and rebuilt on Open. Scans fan out over the segments on an
+// internal util::ThreadPool.
+//
+// Thread-safety: all public methods are internally synchronized (appends
+// exclusive, queries shared), so one store can be fed from several stream
+// sessions while serving queries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/analytics.h"
+#include "core/session.h"
+#include "util/thread_pool.h"
+
+namespace trips::store {
+
+/// Store configuration.
+struct StoreOptions {
+  /// Segment directory. Empty: memory-only (Flush seals but writes nothing).
+  /// Non-empty: created if missing; existing segments are loaded on Open.
+  std::string directory;
+  /// Sequences per segment before the active segment is sealed.
+  size_t segment_max_sequences = 256;
+  /// Worker threads for segment-parallel scans and Open-time decoding
+  /// (0 = everything on the calling thread).
+  size_t worker_threads = 0;
+};
+
+/// One triplet of one device matching a RegionVisitors query.
+struct RegionVisit {
+  std::string device_id;
+  core::MobilitySemantic visit;
+
+  bool operator==(const RegionVisit& other) const = default;
+};
+
+/// Aggregate store counters.
+struct StoreStats {
+  size_t sequences = 0;
+  size_t triplets = 0;
+  size_t segments = 0;
+  /// Segments already written to the directory.
+  size_t persisted_segments = 0;
+  /// Devices with at least one stored sequence.
+  size_t devices = 0;
+  /// Union span of all stored triplets ([0,0] when empty).
+  TimeRange span;
+};
+
+/// Append-only, indexed store of mobility semantics sequences.
+class TripStore {
+ public:
+  /// Identifier of one stored sequence (its global append ordinal).
+  using SequenceId = uint32_t;
+
+  /// Opens a store: memory-only when `options.directory` is empty, otherwise
+  /// loads every existing segment of the directory (decoded segment-parallel)
+  /// and continues appending after them.
+  static Result<std::unique_ptr<TripStore>> Open(StoreOptions options = {});
+
+  ~TripStore();
+  TripStore(const TripStore&) = delete;
+  TripStore& operator=(const TripStore&) = delete;
+
+  // ---- ingestion ------------------------------------------------------------
+
+  /// Appends one sequence. Fails on an empty device id or an invalid triplet
+  /// time range; triplets are indexed as given (not re-sorted).
+  Result<SequenceId> Append(core::MobilitySemanticsSequence seq);
+
+  /// Appends the final semantics of every result of a batch response.
+  Status AppendResponse(const core::TranslationResponse& response);
+
+  /// A StreamSession sink that appends every flushed result's semantics —
+  /// the live-ingestion wiring:
+  ///     stream->SetSink(store->MakeSink());
+  /// The store must outlive the session. Append failures are counted in
+  /// Stats-independent dropped_count() rather than surfaced per record.
+  core::StreamSession::Sink MakeSink();
+
+  /// Sequences a sink discarded because Append rejected them.
+  size_t dropped_count() const;
+
+  /// Seals the active segment and writes every unpersisted segment to the
+  /// directory (no-op persistence for memory-only stores).
+  Status Flush();
+
+  // ---- JSON-compatible import ----------------------------------------------
+
+  /// Imports one "<device>.result.json" result file (core::ReadResultFile).
+  Result<SequenceId> ImportResultFile(const std::string& path);
+
+  /// Imports every "*.result.json" of a directory in name order. Returns the
+  /// number of sequences imported.
+  Result<size_t> ImportResultDir(const std::string& dir);
+
+  // ---- queries --------------------------------------------------------------
+
+  /// All stored triplets of `device`, across every appended sequence, merged
+  /// into one sequence sorted by begin time. Empty sequence (with the device
+  /// id set) when the device is unknown.
+  core::MobilitySemanticsSequence DeviceHistory(const std::string& device) const;
+
+  /// Every stored triplet in `region` whose time range overlaps [t0, t1],
+  /// sorted by (begin, device, end). Index-backed: only sequences whose
+  /// region postings overlap the window are scanned.
+  std::vector<RegionVisit> RegionVisitors(dsm::RegionId region, TimestampMs t0,
+                                          TimestampMs t1) const;
+
+  /// Transitions from `from` to `to` over consecutive triplets of stored
+  /// sequences — the pairwise slice of MobilityAnalytics::FlowMatrix.
+  size_t FlowBetween(dsm::RegionId from, dsm::RegionId to) const;
+
+  /// The full region-transition matrix of the stored corpus.
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> FlowMatrix() const;
+
+  /// Copies of every stored sequence whose span overlaps [t0, t1], in append
+  /// order. Segment-parallel: segments outside the window are skipped via
+  /// their time fences.
+  std::vector<core::MobilitySemanticsSequence> SequencesInRange(
+      TimestampMs t0, TimestampMs t1) const;
+
+  /// Visits every stored sequence in append order (brute-force scans,
+  /// exports). The callback must not reenter the store.
+  void ForEachSequence(
+      const std::function<void(SequenceId, const core::MobilitySemanticsSequence&)>&
+          fn) const;
+
+  /// Region-level analytics over the whole store, built segment-parallel
+  /// (per-segment partials merged in segment order — identical to feeding
+  /// every sequence to one MobilityAnalytics). `dsm` may be null.
+  core::MobilityAnalytics BuildAnalytics(const dsm::Dsm* dsm = nullptr) const;
+
+  /// Devices with stored sequences, sorted.
+  std::vector<std::string> Devices() const;
+
+  /// Aggregate counters.
+  StoreStats Stats() const;
+
+ private:
+  struct Segment {
+    SequenceId base = 0;  // id of sequences.front()
+    std::vector<core::MobilitySemanticsSequence> sequences;
+    TimeRange span;       // union of member spans; meaningless when no triplets
+    bool has_span = false;
+    bool sealed = false;
+    bool persisted = false;
+  };
+  /// Region posting: one stored sequence visiting the region, with the union
+  /// time fence of its visits (queries skip sequences outside the window).
+  struct RegionPosting {
+    SequenceId sequence = 0;
+    TimeRange fence;
+  };
+
+  explicit TripStore(StoreOptions options);
+
+  Status LoadDirectoryLocked();
+  Status PersistSegmentLocked(size_t segment_index);
+  void IndexSequenceLocked(SequenceId id, const core::MobilitySemanticsSequence& seq);
+  void AddToLastSegmentLocked(core::MobilitySemanticsSequence seq);
+  Result<SequenceId> AppendLocked(core::MobilitySemanticsSequence seq);
+  const core::MobilitySemanticsSequence& SequenceLocked(SequenceId id) const;
+
+  StoreOptions options_;
+  mutable util::ThreadPool pool_;
+  mutable std::shared_mutex mu_;
+  std::vector<Segment> segments_;
+  size_t next_file_index_ = 0;
+  // Indexes (all guarded by mu_).
+  std::map<std::string, std::vector<SequenceId>> device_index_;
+  std::map<dsm::RegionId, std::vector<RegionPosting>> region_index_;
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> flow_;
+  size_t triplet_count_ = 0;
+  size_t sequence_count_ = 0;
+  size_t dropped_ = 0;
+};
+
+}  // namespace trips::store

@@ -1,0 +1,50 @@
+#include "viewer/store_view.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace trips::viewer {
+
+std::string RenderStoreHeatmapSvg(const dsm::Dsm& dsm, const store::TripStore& store,
+                                  geo::FloorId floor,
+                                  const HeatmapOptions& options) {
+  core::MobilityAnalytics analytics = store.BuildAnalytics(&dsm);
+  return RenderRegionHeatmapSvg(dsm, analytics, floor, options);
+}
+
+Status WriteStoreHeatmapSvg(const dsm::Dsm& dsm, const store::TripStore& store,
+                            geo::FloorId floor, const std::string& path,
+                            const HeatmapOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << RenderStoreHeatmapSvg(dsm, store, floor, options);
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+std::string RenderDeviceTimelineText(const store::TripStore& store,
+                                     const std::string& device, size_t width) {
+  core::MobilitySemanticsSequence history = store.DeviceHistory(device);
+  if (history.Empty()) return "(no stored semantics for " + device + ")\n";
+  width = std::max<size_t>(width, 8);
+  TimeRange span = history.Span();
+  DurationMs total = std::max<DurationMs>(span.Duration(), 1);
+
+  std::string out = device + ": " + FormatTimestamp(span.begin) + " .. " +
+                    FormatTimestamp(span.end) + " (" +
+                    std::to_string(history.Size()) + " triplets)\n";
+  for (const core::MobilitySemantic& s : history.semantics) {
+    size_t from = static_cast<size_t>((s.range.begin - span.begin) *
+                                      static_cast<DurationMs>(width) / total);
+    size_t to = static_cast<size_t>((s.range.end - span.begin) *
+                                    static_cast<DurationMs>(width) / total);
+    from = std::min(from, width - 1);
+    to = std::min(std::max(to, from + 1), width);
+    std::string bar(width, '.');
+    for (size_t i = from; i < to; ++i) bar[i] = s.inferred ? '~' : '#';
+    out += "[" + bar + "] " + s.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace trips::viewer

@@ -1,0 +1,33 @@
+// Viewer entry points that render straight from TripStore queries — no
+// intermediate analytics plumbing at the call site: point the renderer at a
+// store and a floor (heatmap) or a device (timeline) and get the view the
+// paper's browsing step shows, but backed by the persistent corpus instead
+// of one in-memory batch.
+#pragma once
+
+#include <string>
+
+#include "store/trip_store.h"
+#include "viewer/heatmap.h"
+
+namespace trips::viewer {
+
+/// Renders the region heatmap of `floor` from the store's corpus (analytics
+/// built segment-parallel inside the store).
+std::string RenderStoreHeatmapSvg(const dsm::Dsm& dsm, const store::TripStore& store,
+                                  geo::FloorId floor,
+                                  const HeatmapOptions& options = {});
+
+/// Writes RenderStoreHeatmapSvg output to a file.
+Status WriteStoreHeatmapSvg(const dsm::Dsm& dsm, const store::TripStore& store,
+                            geo::FloorId floor, const std::string& path,
+                            const HeatmapOptions& options = {});
+
+/// Renders the stored history of one device as a text timeline: one row per
+/// triplet, with a proportional bar over the device's stored span ('#' for
+/// annotated triplets, '~' for inferred ones) next to the triplet text.
+/// `width` is the bar width in characters.
+std::string RenderDeviceTimelineText(const store::TripStore& store,
+                                     const std::string& device, size_t width = 48);
+
+}  // namespace trips::viewer

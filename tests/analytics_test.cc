@@ -127,6 +127,87 @@ TEST(AnalyticsTest, FormatReportContainsColumns) {
   EXPECT_NE(report.find("conv%"), std::string::npos);
 }
 
+TEST(AnalyticsTest, EmptyCorpusHasNoStatsAndStillFormats) {
+  MobilityAnalytics analytics;
+  EXPECT_EQ(analytics.SequenceCount(), 0u);
+  EXPECT_TRUE(analytics.RegionReport().empty());
+  EXPECT_TRUE(analytics.TopRegionsByVisits(5).empty());
+  EXPECT_TRUE(analytics.TopRegionsByTime(5).empty());
+  EXPECT_TRUE(analytics.FlowMatrix().empty());
+  for (DurationMs v : analytics.HourlyOccupancy(0)) EXPECT_EQ(v, 0);
+  // Header-only report; no division by the (empty) region population.
+  std::string report = analytics.FormatReport();
+  EXPECT_NE(report.find("region"), std::string::npos);
+}
+
+TEST(AnalyticsTest, ZeroVisitRegionGuards) {
+  // A sequence whose triplets never match a region contributes nothing; the
+  // mean-visit and conversion divisions must stay guarded rather than
+  // producing 0/0 for such zero-visit regions.
+  MobilityAnalytics analytics;
+  MobilitySemanticsSequence unmatched;
+  unmatched.device_id = "ghost";
+  unmatched.semantics.push_back(
+      Triplet(kEventStay, dsm::kInvalidRegion, "", 0, 10'000));
+  analytics.AddSequence(unmatched);
+  MobilitySemanticsSequence no_triplets;
+  no_triplets.device_id = "empty";
+  analytics.AddSequence(no_triplets);
+  EXPECT_EQ(analytics.SequenceCount(), 2u);
+  EXPECT_TRUE(analytics.RegionReport().empty());
+
+  // A region visited only instantaneously: visits > 0, total_time == 0.
+  MobilitySemanticsSequence blip;
+  blip.device_id = "blip";
+  blip.semantics.push_back(Triplet(kEventPassBy, 3, "Door", 5'000, 5'000));
+  analytics.AddSequence(blip);
+  std::vector<RegionStats> report = analytics.RegionReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].visits, 1u);
+  EXPECT_EQ(report[0].total_time, 0);
+  EXPECT_EQ(report[0].mean_visit, 0);
+  EXPECT_DOUBLE_EQ(report[0].conversion_rate, 0.0);
+  for (DurationMs v : analytics.HourlyOccupancy(3)) EXPECT_EQ(v, 0);
+}
+
+TEST(AnalyticsTest, MergeMatchesSingleInstance) {
+  // Two shards fed half the corpus each, then merged, must equal one
+  // instance fed everything — including the cross-shard device union.
+  MobilityAnalytics whole;
+  MobilityAnalytics left;
+  MobilityAnalytics right;
+  whole.AddSequence(Shopper("a"));
+  whole.AddSequence(Shopper("b"));
+  left.AddSequence(Shopper("a"));
+  right.AddSequence(Shopper("b"));
+  // Device "a" also pass-bys region 2 on the right shard: stays on the left
+  // shard must win the conversion union.
+  MobilitySemanticsSequence extra;
+  extra.device_id = "a";
+  extra.semantics.push_back(Triplet(kEventPassBy, 1, "Adidas", 710'000, 720'000));
+  whole.AddSequence(extra);
+  right.AddSequence(extra);
+  left.Merge(right);
+
+  EXPECT_EQ(left.SequenceCount(), whole.SequenceCount());
+  std::vector<RegionStats> merged = left.RegionReport();
+  std::vector<RegionStats> expected = whole.RegionReport();
+  ASSERT_EQ(merged.size(), expected.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].region, expected[i].region);
+    EXPECT_EQ(merged[i].region_name, expected[i].region_name);
+    EXPECT_EQ(merged[i].visits, expected[i].visits);
+    EXPECT_EQ(merged[i].unique_devices, expected[i].unique_devices);
+    EXPECT_EQ(merged[i].stays, expected[i].stays);
+    EXPECT_EQ(merged[i].pass_bys, expected[i].pass_bys);
+    EXPECT_EQ(merged[i].total_time, expected[i].total_time);
+    EXPECT_EQ(merged[i].mean_visit, expected[i].mean_visit);
+    EXPECT_DOUBLE_EQ(merged[i].conversion_rate, expected[i].conversion_rate);
+  }
+  EXPECT_EQ(left.FlowMatrix(), whole.FlowMatrix());
+  EXPECT_EQ(left.HourlyOccupancy(1), whole.HourlyOccupancy(1));
+}
+
 TEST(AnalyticsTest, IgnoresUnmatchedRegions) {
   MobilityAnalytics analytics;
   MobilitySemanticsSequence seq;

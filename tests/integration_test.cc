@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "core/trips.h"
+#include "store/trip_store.h"
 
 namespace trips {
 namespace {
@@ -162,11 +163,9 @@ TEST(IntegrationTest, SpaceModelerToAnalyticsFlow) {
   EXPECT_NE(svg.find("Quiet"), std::string::npos);
 }
 
-TEST(IntegrationTest, OnlineStreamFeedsAnalytics) {
+TEST(IntegrationTest, StreamSessionFeedsStoreAndAnalytics) {
   auto mall = dsm::BuildMallDsm({.floors = 1, .shops_per_arm = 2});
   ASSERT_TRUE(mall.ok());
-  core::Translator translator(&mall.ValueOrDie());
-  ASSERT_TRUE(translator.Init().ok());
   auto planner = dsm::RoutePlanner::Build(&mall.ValueOrDie());
   ASSERT_TRUE(planner.ok());
   mobility::MobilityGenerator generator(&mall.ValueOrDie(), &planner.ValueOrDie());
@@ -181,25 +180,27 @@ TEST(IntegrationTest, OnlineStreamFeedsAnalytics) {
       feed.emplace_back(dev->truth.device_id, r);
     }
   }
-  std::sort(feed.begin(), feed.end(), [](const auto& a, const auto& b) {
+  std::stable_sort(feed.begin(), feed.end(), [](const auto& a, const auto& b) {
     return a.second.timestamp < b.second.timestamp;
   });
 
-  core::OnlineTranslator online(&translator);
-  core::MobilityAnalytics analytics(&mall.ValueOrDie());
+  // Live ingestion: stream session -> store sink -> analytics over the store.
+  auto engine = core::Engine::Builder().BorrowDsm(&mall.ValueOrDie()).Build();
+  ASSERT_TRUE(engine.ok());
+  core::Service service(engine.ValueOrDie());
+  auto stored = store::TripStore::Open();
+  ASSERT_TRUE(stored.ok());
+  auto stream = service.NewStreamSession();
+  stream->SetSink(stored.ValueOrDie()->MakeSink());
   for (const auto& [device, record] : feed) {
-    ASSERT_TRUE(online.Ingest(device, record).ok());
-    auto flushed = online.Poll(record.timestamp);
-    ASSERT_TRUE(flushed.ok());
-    for (const core::TranslationResult& r : *flushed) {
-      analytics.AddSequence(r.semantics);
-    }
+    ASSERT_TRUE(stream->Ingest(device, record).ok());
+    ASSERT_TRUE(stream->Poll(record.timestamp).ok());
   }
-  auto rest = online.FlushAll();
-  ASSERT_TRUE(rest.ok());
-  for (const core::TranslationResult& r : *rest) {
-    analytics.AddSequence(r.semantics);
-  }
+  ASSERT_TRUE(stream->FlushAll().ok());
+
+  core::MobilityAnalytics analytics =
+      stored.ValueOrDie()->BuildAnalytics(&mall.ValueOrDie());
+  EXPECT_EQ(stored.ValueOrDie()->Stats().devices, 3u);
   EXPECT_EQ(analytics.SequenceCount(), 3u);
   EXPECT_FALSE(analytics.RegionReport().empty());
 }

@@ -4,6 +4,9 @@
 #include "dsm/sample_spaces.h"
 #include "mobility/generator.h"
 
+// This suite deliberately exercises the deprecated OnlineTranslator shim.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace trips::core {
 namespace {
 

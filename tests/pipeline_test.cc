@@ -9,6 +9,9 @@
 #include "dsm/sample_spaces.h"
 #include "mobility/generator.h"
 
+// This suite deliberately exercises the deprecated Pipeline shim.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace trips::core {
 namespace {
 

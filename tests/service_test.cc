@@ -12,6 +12,9 @@
 #include "mobility/generator.h"
 #include "positioning/error_model.h"
 
+// The shim-equivalence tests below deliberately exercise deprecated Pipeline.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace trips::core {
 namespace {
 

@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result_io.h"
+#include "core/service.h"
+#include "dsm/sample_spaces.h"
+#include "json/json.h"
+#include "mobility/generator.h"
+#include "positioning/error_model.h"
+#include "store/segment_codec.h"
+#include "store/trip_store.h"
+#include "viewer/store_view.h"
+
+namespace trips::store {
+namespace {
+
+core::MobilitySemantic Triplet(const std::string& event, dsm::RegionId region,
+                               const std::string& name, TimestampMs begin,
+                               TimestampMs end, bool inferred = false) {
+  return {event, region, name, {begin, end}, inferred};
+}
+
+// The shared round-trip corpus: inferred flags, unnamed regions, unmatched
+// regions, zero-duration ranges, repeated strings, an empty sequence, and a
+// non-ASCII device id — the cases both codecs must carry losslessly.
+std::vector<core::MobilitySemanticsSequence> TrickyCorpus() {
+  std::vector<core::MobilitySemanticsSequence> corpus;
+
+  core::MobilitySemanticsSequence full;
+  full.device_id = "3a.6f.14";
+  full.semantics.push_back(Triplet(core::kEventStay, 1, "Adidas",
+                                   1'483'264'800'000, 1'483'265'700'000));
+  full.semantics.push_back(Triplet(core::kEventPassBy, 0, "",  // unnamed region
+                                   1'483'265'700'000, 1'483'265'760'000));
+  full.semantics.push_back(Triplet(core::kEventWander, 2, "Hall-7",
+                                   1'483'265'760'000, 1'483'266'000'000,
+                                   /*inferred=*/true));
+  full.semantics.push_back(Triplet(core::kEventUnknown, dsm::kInvalidRegion, "",
+                                   1'483'266'000'000, 1'483'266'000'000));
+  corpus.push_back(full);
+
+  core::MobilitySemanticsSequence empty;
+  empty.device_id = "device-with-no-triplets";
+  corpus.push_back(empty);
+
+  core::MobilitySemanticsSequence unicode;
+  unicode.device_id = "设备-β";
+  unicode.semantics.push_back(
+      Triplet(core::kEventStay, 1, "Adidas", 0, 60'000, /*inferred=*/true));
+  corpus.push_back(unicode);
+
+  return corpus;
+}
+
+// Brute-force reference for RegionVisitors: scan every stored sequence.
+std::vector<RegionVisit> BruteForceVisitors(const TripStore& stored,
+                                            dsm::RegionId region, TimestampMs t0,
+                                            TimestampMs t1) {
+  std::vector<RegionVisit> visits;
+  stored.ForEachSequence([&](TripStore::SequenceId,
+                             const core::MobilitySemanticsSequence& seq) {
+    for (const core::MobilitySemantic& s : seq.semantics) {
+      if (s.region == region && s.range.Overlaps({t0, t1})) {
+        visits.push_back({seq.device_id, s});
+      }
+    }
+  });
+  std::sort(visits.begin(), visits.end(),
+            [](const RegionVisit& a, const RegionVisit& b) {
+              if (a.visit.range.begin != b.visit.range.begin) {
+                return a.visit.range.begin < b.visit.range.begin;
+              }
+              if (a.device_id != b.device_id) return a.device_id < b.device_id;
+              return a.visit.range.end < b.visit.range.end;
+            });
+  return visits;
+}
+
+TEST(SegmentCodecTest, RoundTripIsLosslessAndByteStable) {
+  std::vector<core::MobilitySemanticsSequence> corpus = TrickyCorpus();
+  std::string blob = EncodeSegment(corpus);
+  auto decoded = DecodeSegment(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].device_id, corpus[i].device_id) << i;
+    EXPECT_EQ((*decoded)[i].semantics, corpus[i].semantics) << i;
+  }
+  // Re-encoding the decoded corpus reproduces the blob byte for byte.
+  EXPECT_EQ(EncodeSegment(*decoded), blob);
+}
+
+TEST(SegmentCodecTest, RejectsForeignAndCorruptBlobs) {
+  EXPECT_FALSE(DecodeSegment("").ok());
+  EXPECT_FALSE(DecodeSegment("JSON{}").ok());
+  std::string blob = EncodeSegment(TrickyCorpus());
+  EXPECT_FALSE(DecodeSegment(std::string_view(blob).substr(0, blob.size() / 2)).ok());
+  EXPECT_FALSE(DecodeSegment(blob + "x").ok());
+  std::string wrong_version = blob;
+  wrong_version[4] = 9;
+  EXPECT_FALSE(DecodeSegment(wrong_version).ok());
+  // A corrupt count larger than the remaining bytes must fail cleanly, not
+  // feed an absurd value to reserve().
+  std::string huge_count(kSegmentMagic, sizeof(kSegmentMagic));
+  huge_count.push_back(1);  // version
+  huge_count += std::string("\xff\xff\xff\xff\xff\xff\xff\x7f", 8);  // 2^49-ish
+  EXPECT_FALSE(DecodeSegment(huge_count).ok());
+  // A negative triplet duration (zigzag(-1)) violates the begin<=end
+  // invariant Append enforces and must be rejected, not indexed.
+  std::string bad_range(kSegmentMagic, sizeof(kSegmentMagic));
+  bad_range.push_back(1);                           // version
+  bad_range += std::string("\x01\x01", 2);          // 1 string: "a"
+  bad_range += "a";
+  bad_range += std::string("\x01\x00\x01", 3);      // 1 sequence, device 0, 1 triplet
+  bad_range += std::string("\x00\x00\x00\x00\x01", 5);  // duration = zigzag^-1(1) = -1
+  EXPECT_FALSE(DecodeSegment(bad_range).ok());
+}
+
+TEST(ResultIoTest, JsonRoundTripSharedWithBinaryCodec) {
+  // The same corpus the binary codec round-trips must survive the JSON
+  // result-file path, including inferred flags and unnamed regions.
+  for (const core::MobilitySemanticsSequence& seq : TrickyCorpus()) {
+    json::Value value = core::SemanticsToJson(seq);
+    auto reparsed = json::Parse(value.Dump());
+    ASSERT_TRUE(reparsed.ok()) << seq.device_id;
+    auto back = core::SemanticsFromJson(*reparsed);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->device_id, seq.device_id);
+    EXPECT_EQ(back->semantics, seq.semantics);
+  }
+}
+
+TEST(TripStoreTest, AppendValidatesInput) {
+  auto stored = TripStore::Open();
+  ASSERT_TRUE(stored.ok());
+  core::MobilitySemanticsSequence anonymous;
+  EXPECT_FALSE((*stored)->Append(anonymous).ok());
+  core::MobilitySemanticsSequence backwards;
+  backwards.device_id = "d";
+  backwards.semantics.push_back(Triplet(core::kEventStay, 1, "A", 10, 5));
+  EXPECT_FALSE((*stored)->Append(backwards).ok());
+  EXPECT_EQ((*stored)->Stats().sequences, 0u);
+}
+
+TEST(TripStoreTest, OpenRejectsZeroSegmentCapacity) {
+  StoreOptions options;
+  options.segment_max_sequences = 0;
+  EXPECT_FALSE(TripStore::Open(options).ok());
+}
+
+class StoreQueryFixture : public ::testing::Test {
+ protected:
+  // A small synthetic corpus spread over several segments and devices.
+  static std::vector<core::MobilitySemanticsSequence> Corpus() {
+    std::vector<core::MobilitySemanticsSequence> corpus;
+    for (int d = 0; d < 7; ++d) {
+      core::MobilitySemanticsSequence seq;
+      seq.device_id = "dev-" + std::to_string(d);
+      TimestampMs t = d * 10 * kMillisPerMinute;
+      for (int v = 0; v < 5; ++v) {
+        dsm::RegionId region = (d + v) % 4;
+        // Built via append: "R" + std::to_string(...) trips a GCC 12
+        // -Wrestrict false positive (PR105651) in this inlining context.
+        std::string region_name = "R";
+        region_name += std::to_string(region);
+        seq.semantics.push_back(Triplet(v % 2 == 0 ? core::kEventStay
+                                                   : core::kEventPassBy,
+                                        region, region_name, t,
+                                        t + 4 * kMillisPerMinute, v % 3 == 2));
+        t += 5 * kMillisPerMinute;
+      }
+      corpus.push_back(seq);
+    }
+    return corpus;
+  }
+
+  // Small segments (3 sequences each) so the corpus spans several of them.
+  static std::unique_ptr<TripStore> MakeStore(std::string directory = "",
+                                              size_t worker_threads = 0) {
+    StoreOptions options;
+    options.directory = std::move(directory);
+    options.segment_max_sequences = 3;
+    options.worker_threads = worker_threads;
+    auto stored = TripStore::Open(options);
+    EXPECT_TRUE(stored.ok());
+    std::unique_ptr<TripStore> out = std::move(stored).ValueOrDie();
+    for (const core::MobilitySemanticsSequence& seq : Corpus()) {
+      EXPECT_TRUE(out->Append(seq).ok());
+    }
+    return out;
+  }
+};
+
+TEST_F(StoreQueryFixture, StatsAndSegmentation) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  StoreStats stats = stored->Stats();
+  EXPECT_EQ(stats.sequences, 7u);
+  EXPECT_EQ(stats.triplets, 35u);
+  EXPECT_EQ(stats.segments, 3u);  // capacity 3 -> 3+3+1
+  EXPECT_EQ(stats.devices, 7u);
+  EXPECT_EQ(stats.span.begin, 0);
+  EXPECT_EQ(stats.span.end, 6 * 10 * kMillisPerMinute + 24 * kMillisPerMinute);
+  EXPECT_EQ(stored->Devices().size(), 7u);
+}
+
+TEST_F(StoreQueryFixture, DeviceHistoryMatchesBruteForce) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  // Split ingestion: a second sequence for dev-3 with earlier triplets must
+  // be merged into time order.
+  core::MobilitySemanticsSequence earlier;
+  earlier.device_id = "dev-3";
+  earlier.semantics.push_back(
+      Triplet(core::kEventStay, 9, "R9", -20 * kMillisPerMinute, -kMillisPerMinute));
+  ASSERT_TRUE(stored->Append(earlier).ok());
+
+  for (const std::string& device : stored->Devices()) {
+    core::MobilitySemanticsSequence history = stored->DeviceHistory(device);
+    EXPECT_EQ(history.device_id, device);
+    // Brute force: gather and sort.
+    std::vector<core::MobilitySemantic> expected;
+    stored->ForEachSequence([&](TripStore::SequenceId,
+                                const core::MobilitySemanticsSequence& seq) {
+      if (seq.device_id != device) return;
+      expected.insert(expected.end(), seq.semantics.begin(), seq.semantics.end());
+    });
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const core::MobilitySemantic& a,
+                        const core::MobilitySemantic& b) {
+                       return a.range.begin < b.range.begin;
+                     });
+    EXPECT_EQ(history.semantics, expected) << device;
+  }
+  EXPECT_TRUE(stored->DeviceHistory("nobody").Empty());
+}
+
+TEST_F(StoreQueryFixture, RegionVisitorsMatchesBruteForce) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  TimeRange span = stored->Stats().span;
+  const TimeRange windows[] = {
+      span,
+      {span.begin + 7 * kMillisPerMinute, span.begin + 23 * kMillisPerMinute},
+      {span.end + kMillisPerMinute, span.end + 2 * kMillisPerMinute},  // empty
+  };
+  for (dsm::RegionId region = -1; region < 6; ++region) {
+    for (const TimeRange& w : windows) {
+      EXPECT_EQ(stored->RegionVisitors(region, w.begin, w.end),
+                BruteForceVisitors(*stored, region, w.begin, w.end))
+          << "region " << region;
+    }
+  }
+}
+
+TEST_F(StoreQueryFixture, FlowMatchesAnalytics) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  core::MobilityAnalytics reference;
+  stored->ForEachSequence([&](TripStore::SequenceId,
+                              const core::MobilitySemanticsSequence& seq) {
+    reference.AddSequence(seq);
+  });
+  EXPECT_EQ(stored->FlowMatrix(), reference.FlowMatrix());
+  for (dsm::RegionId a = 0; a < 4; ++a) {
+    for (dsm::RegionId b = 0; b < 4; ++b) {
+      auto flow = reference.FlowMatrix();
+      size_t expected = flow.count(a) ? (flow[a].count(b) ? flow[a][b] : 0) : 0;
+      EXPECT_EQ(stored->FlowBetween(a, b), expected) << a << "->" << b;
+    }
+  }
+}
+
+TEST_F(StoreQueryFixture, SequencesInRangeMatchesBruteForce) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  TimeRange span = stored->Stats().span;
+  const TimeRange windows[] = {
+      span,
+      {span.begin, span.begin + kMillisPerMinute},
+      {span.begin + 35 * kMillisPerMinute, span.begin + 40 * kMillisPerMinute},
+      {span.end + kMillisPerMinute, span.end + 2 * kMillisPerMinute},
+  };
+  for (const TimeRange& w : windows) {
+    std::vector<core::MobilitySemanticsSequence> expected;
+    stored->ForEachSequence([&](TripStore::SequenceId,
+                                const core::MobilitySemanticsSequence& seq) {
+      for (const core::MobilitySemantic& s : seq.semantics) {
+        if (s.range.Overlaps(w)) {
+          expected.push_back(seq);
+          return;
+        }
+      }
+    });
+    std::vector<core::MobilitySemanticsSequence> got =
+        stored->SequencesInRange(w.begin, w.end);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].device_id, expected[i].device_id);
+      EXPECT_EQ(got[i].semantics, expected[i].semantics);
+    }
+  }
+}
+
+TEST_F(StoreQueryFixture, ParallelScansMatchSerial) {
+  std::unique_ptr<TripStore> serial = MakeStore();
+  std::unique_ptr<TripStore> parallel = MakeStore("", 4);
+  TimeRange span = serial->Stats().span;
+  EXPECT_EQ(parallel->RegionVisitors(2, span.begin, span.end),
+            serial->RegionVisitors(2, span.begin, span.end));
+  EXPECT_EQ(parallel->SequencesInRange(span.begin, span.end).size(),
+            serial->SequencesInRange(span.begin, span.end).size());
+  EXPECT_EQ(parallel->BuildAnalytics().FormatReport(10),
+            serial->BuildAnalytics().FormatReport(10));
+}
+
+TEST_F(StoreQueryFixture, BuildAnalyticsEqualsDirectFeed) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  core::MobilityAnalytics direct;
+  for (const core::MobilitySemanticsSequence& seq : Corpus()) {
+    direct.AddSequence(seq);
+  }
+  core::MobilityAnalytics via_store = stored->BuildAnalytics();
+  EXPECT_EQ(via_store.SequenceCount(), direct.SequenceCount());
+  EXPECT_EQ(via_store.FormatReport(10), direct.FormatReport(10));
+  EXPECT_EQ(via_store.FlowMatrix(), direct.FlowMatrix());
+  for (dsm::RegionId r = 0; r < 4; ++r) {
+    EXPECT_EQ(via_store.HourlyOccupancy(r), direct.HourlyOccupancy(r));
+  }
+}
+
+TEST_F(StoreQueryFixture, TimelineTextRendersStoredHistory) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  std::string text = viewer::RenderDeviceTimelineText(*stored, "dev-0", 32);
+  EXPECT_NE(text.find("dev-0"), std::string::npos);
+  EXPECT_NE(text.find("(stay, R0,"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('~'), std::string::npos);  // inferred triplet bar
+  EXPECT_EQ(viewer::RenderDeviceTimelineText(*stored, "nobody"),
+            "(no stored semantics for nobody)\n");
+}
+
+class StorePersistenceFixture : public StoreQueryFixture {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/trips_store_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  StoreOptions DiskOptions() const {
+    StoreOptions options;
+    options.directory = dir_;
+    options.segment_max_sequences = 3;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StorePersistenceFixture, FlushReopenServesIdenticalQueries) {
+  StoreStats before;
+  {
+    std::unique_ptr<TripStore> stored = MakeStore(dir_);
+    ASSERT_TRUE(stored->Flush().ok());
+    before = stored->Stats();
+    EXPECT_EQ(before.persisted_segments, before.segments);
+  }
+  auto reopened = TripStore::Open(DiskOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const TripStore& stored = **reopened;
+  StoreStats after = stored.Stats();
+  EXPECT_EQ(after.sequences, before.sequences);
+  EXPECT_EQ(after.triplets, before.triplets);
+  EXPECT_EQ(after.devices, before.devices);
+  EXPECT_EQ(after.span, before.span);
+  EXPECT_EQ(after.persisted_segments, after.segments);
+
+  // Queries answer identically to a fresh in-memory store of the corpus.
+  std::unique_ptr<TripStore> memory = MakeStore();
+  TimeRange span = memory->Stats().span;
+  for (dsm::RegionId r = 0; r < 4; ++r) {
+    EXPECT_EQ(stored.RegionVisitors(r, span.begin, span.end),
+              memory->RegionVisitors(r, span.begin, span.end));
+  }
+  for (const std::string& device : memory->Devices()) {
+    EXPECT_EQ(stored.DeviceHistory(device).semantics,
+              memory->DeviceHistory(device).semantics);
+  }
+  EXPECT_EQ(stored.FlowMatrix(), memory->FlowMatrix());
+}
+
+TEST_F(StorePersistenceFixture, AppendAfterReopenContinuesSegmentFiles) {
+  {
+    std::unique_ptr<TripStore> stored = MakeStore(dir_);
+    ASSERT_TRUE(stored->Flush().ok());
+  }
+  auto reopened = TripStore::Open(DiskOptions());
+  ASSERT_TRUE(reopened.ok());
+  core::MobilitySemanticsSequence extra;
+  extra.device_id = "late-arrival";
+  extra.semantics.push_back(Triplet(core::kEventStay, 11, "R11", 0, kMillisPerMinute));
+  ASSERT_TRUE((*reopened)->Append(extra).ok());
+  ASSERT_TRUE((*reopened)->Flush().ok());
+
+  auto third = TripStore::Open(DiskOptions());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ((*third)->Stats().sequences, 8u);
+  EXPECT_EQ((*third)->DeviceHistory("late-arrival").Size(), 1u);
+  // No segment file was overwritten: reopen count = sealed segment count.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, (*third)->Stats().segments);
+}
+
+TEST_F(StorePersistenceFixture, ImportsExportedResultFiles) {
+  // Result files exported by the JSON path bulk-load into an equivalent store.
+  std::vector<core::TranslationResult> results;
+  for (const core::MobilitySemanticsSequence& seq : Corpus()) {
+    core::TranslationResult r;
+    r.semantics = seq;
+    results.push_back(std::move(r));
+  }
+  std::filesystem::create_directories(dir_);
+  auto written = core::ExportResultFiles(results, dir_);
+  ASSERT_TRUE(written.ok());
+  ASSERT_EQ(*written, Corpus().size());
+
+  auto imported = TripStore::Open();
+  ASSERT_TRUE(imported.ok());
+  auto count = (*imported)->ImportResultDir(dir_);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, Corpus().size());
+
+  std::unique_ptr<TripStore> direct = MakeStore();
+  EXPECT_EQ((*imported)->Stats().triplets, direct->Stats().triplets);
+  for (const std::string& device : direct->Devices()) {
+    EXPECT_EQ((*imported)->DeviceHistory(device).semantics,
+              direct->DeviceHistory(device).semantics);
+  }
+}
+
+// The acceptance-criteria equivalence: a store fed live from a StreamSession
+// sink answers the same queries as one bulk-loaded after batch translation.
+TEST(StoreServiceTest, StreamSinkStoreMatchesBatchLoadedStore) {
+  auto mall = dsm::BuildMallDsm({.floors = 2, .shops_per_arm = 2});
+  ASSERT_TRUE(mall.ok());
+  auto planner = dsm::RoutePlanner::Build(&mall.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  mobility::MobilityGenerator generator(&mall.ValueOrDie(), &planner.ValueOrDie());
+  Rng rng(20260731);
+  std::vector<positioning::PositioningSequence> fleet;
+  for (int d = 0; d < 5; ++d) {
+    auto dev = generator.GenerateDevice("dev-" + std::to_string(d), 0, &rng);
+    ASSERT_TRUE(dev.ok());
+    positioning::ErrorModelOptions noise;
+    noise.floor_count = 2;
+    fleet.push_back(positioning::ApplyErrorModel(dev->truth, noise, &rng));
+  }
+  auto engine = core::Engine::Builder().BorrowDsm(&mall.ValueOrDie()).Build();
+  ASSERT_TRUE(engine.ok());
+  core::Service service(engine.ValueOrDie(), {.worker_threads = 2});
+
+  // Bulk: batch translation with baseline knowledge, then AppendResponse.
+  auto bulk = TripStore::Open();
+  ASSERT_TRUE(bulk.ok());
+  auto response = service.NewBatchSession()->Submit(
+      {.sequences = fleet, .learn_knowledge = false});
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE((*bulk)->AppendResponse(*response).ok());
+
+  // Live: the same records drip through a stream session into a store sink.
+  auto live = TripStore::Open();
+  ASSERT_TRUE(live.ok());
+  auto stream = service.NewStreamSession();
+  stream->SetSink((*live)->MakeSink());
+  std::vector<std::pair<std::string, positioning::RawRecord>> feed;
+  for (const auto& seq : fleet) {
+    for (const auto& record : seq.records) feed.emplace_back(seq.device_id, record);
+  }
+  std::stable_sort(feed.begin(), feed.end(), [](const auto& a, const auto& b) {
+    return a.second.timestamp < b.second.timestamp;
+  });
+  for (const auto& [device, record] : feed) {
+    ASSERT_TRUE(stream->Ingest(device, record).ok());
+    ASSERT_TRUE(stream->Poll(record.timestamp).ok());
+  }
+  ASSERT_TRUE(stream->FlushAll().ok());
+  EXPECT_EQ((*live)->dropped_count(), 0u);
+
+  // Same corpus, same answers.
+  StoreStats bulk_stats = (*bulk)->Stats();
+  StoreStats live_stats = (*live)->Stats();
+  EXPECT_EQ(live_stats.sequences, bulk_stats.sequences);
+  EXPECT_EQ(live_stats.triplets, bulk_stats.triplets);
+  EXPECT_EQ(live_stats.devices, bulk_stats.devices);
+  EXPECT_EQ((*live)->Devices(), (*bulk)->Devices());
+  for (const std::string& device : (*bulk)->Devices()) {
+    EXPECT_EQ(core::SemanticsToJson((*live)->DeviceHistory(device)).Dump(),
+              core::SemanticsToJson((*bulk)->DeviceHistory(device)).Dump())
+        << device;
+  }
+  EXPECT_EQ((*live)->FlowMatrix(), (*bulk)->FlowMatrix());
+  TimeRange span = bulk_stats.span;
+  for (const dsm::SemanticRegion& region : mall->regions()) {
+    EXPECT_EQ((*live)->RegionVisitors(region.id, span.begin, span.end),
+              (*bulk)->RegionVisitors(region.id, span.begin, span.end));
+  }
+  EXPECT_EQ((*live)->BuildAnalytics(&mall.ValueOrDie()).FormatReport(10),
+            (*bulk)->BuildAnalytics(&mall.ValueOrDie()).FormatReport(10));
+
+  // The store-backed heatmap renders from either corpus.
+  std::string svg =
+      viewer::RenderStoreHeatmapSvg(mall.ValueOrDie(), **live, 0);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trips::store
