@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmark suites and captures machine-readable
+# results:
+#   BENCH_spatial.json  — spatial-index fast path (point location, snapping,
+#                         memoized routing, batch distances, venue scaling)
+#   BENCH_service.json  — end-to-end Service translation throughput
+#
+# Usage: bench/run_benches.sh [build_dir] [out_dir] [min_time]
+#   build_dir  where the bench binaries live        (default: build)
+#   out_dir    where the JSON files are written     (default: repo root)
+#   min_time   google-benchmark --benchmark_min_time (default: 0.05)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+MIN_TIME="${3:-0.05}"
+mkdir -p "$OUT_DIR"
+
+if [[ ! -x "$BUILD_DIR/bench_spatial_index" ]]; then
+  echo "error: $BUILD_DIR/bench_spatial_index not found." >&2
+  echo "Configure with google-benchmark available and build first, e.g.:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
+# google-benchmark >= 1.7 wants a unit suffix on --benchmark_min_time; older
+# releases reject it. Probe once and use whichever form this binary accepts.
+min_time_flag="--benchmark_min_time=${MIN_TIME}s"
+if ! "$BUILD_DIR/bench_spatial_index" --benchmark_list_tests "$min_time_flag" \
+    >/dev/null 2>&1; then
+  min_time_flag="--benchmark_min_time=${MIN_TIME}"
+fi
+
+run_suite() {
+  local binary="$1" out="$2" filter="${3:-}"
+  local args=("$min_time_flag" "--benchmark_format=json" "--benchmark_out=$out"
+              "--benchmark_out_format=json")
+  if [[ -n "$filter" ]]; then args+=("--benchmark_filter=$filter"); fi
+  echo "== $binary -> $out"
+  "$BUILD_DIR/$binary" "${args[@]}" > /dev/null
+}
+
+run_suite bench_spatial_index "$OUT_DIR/BENCH_spatial.json"
+run_suite bench_service_throughput "$OUT_DIR/BENCH_service.json"
+
+echo "Wrote $OUT_DIR/BENCH_spatial.json and $OUT_DIR/BENCH_service.json"

@@ -1,6 +1,7 @@
 #include "annotation/spatial_matcher.h"
 
-#include <map>
+#include <algorithm>
+#include <vector>
 
 namespace trips::annotation {
 
@@ -13,9 +14,18 @@ SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
   if (end > seq.records.size()) end = seq.records.size();
   if (begin >= end) return out;
 
+  // Flat per-region vote accumulator, reused across calls (thread-local: one
+  // matcher instance serves all translation workers). The buffer is indexed
+  // by region id and only the touched entries are reset afterwards, so the
+  // steady-state inner loop allocates nothing.
+  static thread_local std::vector<double> votes;
+  static thread_local std::vector<dsm::RegionId> touched;
+  size_t region_count = dsm_->regions().size();
+  if (votes.size() < region_count) votes.resize(region_count, 0);
+  touched.clear();
+
   // Each record votes with the time it "owns": half the gap to each
   // neighbouring record (1 for singletons).
-  std::map<dsm::RegionId, double> votes;
   double total = 0;
   for (size_t i = begin; i < end; ++i) {
     double weight = 0;
@@ -31,19 +41,26 @@ SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
     }
     if (weight <= 0) weight = 1;
     dsm::RegionId rid = dsm_->RegionAt(seq.records[i].location);
-    votes[rid] += weight;
+    if (rid != dsm::kInvalidRegion) {
+      if (votes[rid] == 0) touched.push_back(rid);
+      votes[rid] += weight;
+    }
     total += weight;
   }
 
+  // Candidates in ascending region id with a strict comparison: the same
+  // winner (lowest id among vote ties) the former std::map accumulator chose.
+  std::sort(touched.begin(), touched.end());
   dsm::RegionId best = dsm::kInvalidRegion;
   double best_votes = 0;
-  for (const auto& [rid, v] : votes) {
-    if (rid == dsm::kInvalidRegion) continue;
-    if (v > best_votes) {
-      best_votes = v;
+  for (dsm::RegionId rid : touched) {
+    if (votes[rid] > best_votes) {
+      best_votes = votes[rid];
       best = rid;
     }
   }
+  for (dsm::RegionId rid : touched) votes[rid] = 0;
+
   if (best == dsm::kInvalidRegion || total <= 0) return out;
   double coverage = best_votes / total;
   if (coverage < options_.min_coverage) return out;

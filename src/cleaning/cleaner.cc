@@ -152,7 +152,23 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
   }
 
   // Pass 2: location interpolation for invalid runs between accepted anchors,
-  // along the indoor route between the anchors when available.
+  // along the indoor route between the anchors when available. An anchor
+  // record can border two runs (and SnapToWalkable is the priciest query this
+  // pass issues), so each record is snapped at most once and the result
+  // cached — allocated lazily, only for sequences that hit a gap.
+  std::vector<geo::IndoorPoint> snapped;
+  std::vector<char> snap_known;
+  auto snapped_location = [&](size_t idx) {
+    if (snap_known.empty()) {
+      snapped.resize(n);
+      snap_known.assign(n, 0);
+    }
+    if (!snap_known[idx]) {
+      snapped[idx] = dsm_->SnapToWalkable(out.records[idx].location);
+      snap_known[idx] = 1;
+    }
+    return snapped[idx];
+  };
   size_t i = 0;
   while (i < n) {
     if (!invalid[i]) {
@@ -172,10 +188,10 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
       bool have_route = false;
       if (options_.interpolate_along_routes && planner_ != nullptr) {
         geo::IndoorPoint src = options_.snap_to_walkable
-                                   ? dsm_->SnapToWalkable(a.location)
+                                   ? snapped_location(run_begin - 1)
                                    : a.location;
         geo::IndoorPoint dst = options_.snap_to_walkable
-                                   ? dsm_->SnapToWalkable(b.location)
+                                   ? snapped_location(run_end + 1)
                                    : b.location;
         Result<dsm::Route> r = planner_->FindRoute(src, dst);
         if (r.ok()) {

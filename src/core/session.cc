@@ -159,12 +159,19 @@ Result<std::vector<TranslationResult>> StreamSession::Ingest(
 Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
   std::vector<positioning::PositioningSequence> popped;
   {
+    // Single in-place sweep (map order = device-id order, like PopDeviceLocked
+    // driven by a collected id list, but without copying any device ids).
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<std::string> idle;
-    for (const auto& [device, buffer] : buffers_) {
-      if (now - buffer.newest >= options_.flush_after) idle.push_back(device);
+    for (auto it = buffers_.begin(); it != buffers_.end();) {
+      if (now - it->second.newest >= options_.flush_after) {
+        if (it->second.sequence.records.size() >= options_.min_flush_records) {
+          popped.push_back(std::move(it->second.sequence));
+        }
+        it = buffers_.erase(it);
+      } else {
+        ++it;
+      }
     }
-    for (const std::string& device : idle) PopDeviceLocked(device, &popped);
   }
   return TranslateAndDeliver(std::move(popped));
 }
@@ -173,10 +180,12 @@ Result<std::vector<TranslationResult>> StreamSession::FlushAll() {
   std::vector<positioning::PositioningSequence> popped;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<std::string> all;
-    all.reserve(buffers_.size());
-    for (const auto& [device, buffer] : buffers_) all.push_back(device);
-    for (const std::string& device : all) PopDeviceLocked(device, &popped);
+    for (auto& [device, buffer] : buffers_) {
+      if (buffer.sequence.records.size() >= options_.min_flush_records) {
+        popped.push_back(std::move(buffer.sequence));
+      }
+    }
+    buffers_.clear();
   }
   return TranslateAndDeliver(std::move(popped));
 }

@@ -13,6 +13,10 @@ Status Translator::Init() {
   TRIPS_ASSIGN_OR_RETURN(dsm::RoutePlanner planner, dsm::RoutePlanner::Build(dsm_));
   planner_.emplace(std::move(planner));
   knowledge_ = complement::MobilityKnowledge::Uniform(*dsm_);
+  // Per-sequence layer state, hoisted: both objects are configuration-only
+  // and const-thread-safe, so every translation reuses them.
+  cleaner_.emplace(dsm_, &*planner_, options_.cleaner);
+  annotator_.emplace(dsm_, &classifier_, options_.annotator);
   initialized_ = true;
   return Status::OK();
 }
@@ -29,16 +33,24 @@ TranslationResult Translator::CleanAndAnnotate(
   result.raw.SortByTime();
 
   if (options_.enable_cleaning) {
-    cleaning::RawDataCleaner cleaner(dsm_, planner_.has_value() ? &*planner_ : nullptr,
-                                     options_.cleaner);
-    result.cleaned = cleaner.Clean(result.raw, &result.cleaning_report);
+    if (cleaner_.has_value()) {
+      result.cleaned = cleaner_->Clean(result.raw, &result.cleaning_report);
+    } else {
+      // Uninitialized translator (no planner yet): clean without routes.
+      cleaning::RawDataCleaner cleaner(dsm_, nullptr, options_.cleaner);
+      result.cleaned = cleaner.Clean(result.raw, &result.cleaning_report);
+    }
   } else {
     result.cleaned = result.raw;
     result.cleaning_report.total_records = result.raw.records.size();
   }
 
-  annotation::Annotator annotator(dsm_, &classifier_, options_.annotator);
-  result.original_semantics = annotator.Annotate(result.cleaned);
+  if (annotator_.has_value()) {
+    result.original_semantics = annotator_->Annotate(result.cleaned);
+  } else {
+    annotation::Annotator annotator(dsm_, &classifier_, options_.annotator);
+    result.original_semantics = annotator.Annotate(result.cleaned);
+  }
   return result;
 }
 

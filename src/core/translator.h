@@ -67,6 +67,11 @@ class Translator {
   /// `dsm` must outlive the translator and have topology computed.
   explicit Translator(const dsm::Dsm* dsm, TranslatorOptions options = {});
 
+  // The hoisted layer instances below hold pointers into this object, so a
+  // translator is pinned to its address once constructed.
+  Translator(const Translator&) = delete;
+  Translator& operator=(const Translator&) = delete;
+
   /// Builds the route planner over the DSM. Must be called once before
   /// translating.
   Status Init();
@@ -121,6 +126,11 @@ class Translator {
   std::optional<dsm::RoutePlanner> planner_;
   annotation::EventClassifier classifier_;
   complement::MobilityKnowledge knowledge_;
+  // Layer instances hoisted out of the per-sequence path: constructed once at
+  // Init() and shared by every CleanAndAnnotate call (all their methods are
+  // const and thread-safe), instead of being rebuilt per sequence.
+  std::optional<cleaning::RawDataCleaner> cleaner_;
+  std::optional<annotation::Annotator> annotator_;
   bool initialized_ = false;
 };
 

@@ -76,6 +76,7 @@ Result<EntityId> Dsm::AddEntity(Entity entity) {
   entity.id = next_entity_id_++;
   entities_.push_back(std::move(entity));
   topology_computed_ = false;
+  spatial_index_.Clear();
   return entities_.back().id;
 }
 
@@ -90,6 +91,7 @@ Result<RegionId> Dsm::AddRegion(SemanticRegion region) {
   region.id = next_region_id_++;
   regions_.push_back(std::move(region));
   topology_computed_ = false;
+  spatial_index_.Clear();
   return regions_.back().id;
 }
 
@@ -104,6 +106,7 @@ Status Dsm::MapEntityToRegion(EntityId entity, RegionId region) {
     members.push_back(entity);
   }
   topology_computed_ = false;
+  spatial_index_.Clear();
   return Status::OK();
 }
 
@@ -187,8 +190,23 @@ Status Dsm::ComputeTopology() {
     }
   }
 
+  // The spatial acceleration index only needs the final entity/region
+  // geometry, so it can be built here and drive the remaining steps; from now
+  // on the point queries run on grid buckets instead of linear scans.
+  spatial_index_.Build(entities_, regions_);
+
   // 4. Region membership: explicit mapping + geometric auto-mapping of
-  //    partitions whose centroid lies in the region shape.
+  //    partitions whose centroid lies in the region shape. The auto-map scans
+  //    only the index's partition→region bbox candidates instead of the full
+  //    regions × partitions cross product: a contained centroid lies in both
+  //    bounding boxes, so every mapped pair is a candidate pair.
+  std::vector<std::vector<EntityId>> region_partition_candidates(regions_.size());
+  for (const Entity& part : entities_) {
+    if (!IsWalkableKind(part.kind)) continue;
+    for (RegionId rid : spatial_index_.RegionCandidatesOfPartition(part.id)) {
+      region_partition_candidates[rid].push_back(part.id);
+    }
+  }
   for (const SemanticRegion& region : regions_) {
     for (EntityId eid : region.member_entities) {
       const Entity* e = GetEntity(eid);
@@ -196,11 +214,14 @@ Status Dsm::ComputeTopology() {
         topology_.partition_regions[eid].push_back(region.id);
       }
     }
-    for (const Entity& part : entities_) {
-      if (!IsWalkableKind(part.kind) || part.floor != region.floor) continue;
-      auto& mapped = topology_.partition_regions[part.id];
+    // Candidates ascend by entity id — the traversal order of the full scan
+    // this replaces, so the mapped lists come out identical.
+    for (EntityId pid : region_partition_candidates[region.id]) {
+      const Entity* part = GetEntity(pid);
+      if (part == nullptr || part->floor != region.floor) continue;
+      auto& mapped = topology_.partition_regions[pid];
       if (std::find(mapped.begin(), mapped.end(), region.id) != mapped.end()) continue;
-      if (region.shape.Contains(part.Center())) {
+      if (region.shape.Contains(part->Center())) {
         mapped.push_back(region.id);
       }
     }
@@ -301,6 +322,13 @@ const SemanticRegion* Dsm::FindRegionByName(const std::string& name) const {
 }
 
 EntityId Dsm::PartitionAt(const geo::IndoorPoint& p) const {
+  if (use_spatial_index_ && spatial_index_.built()) {
+    return spatial_index_.PartitionAt(p);
+  }
+  return PartitionAtBruteForce(p);
+}
+
+EntityId Dsm::PartitionAtBruteForce(const geo::IndoorPoint& p) const {
   EntityId best = kInvalidEntity;
   double best_area = 1e300;
   for (const Entity& e : entities_) {
@@ -321,6 +349,13 @@ bool Dsm::IsWalkable(const geo::IndoorPoint& p) const {
 }
 
 RegionId Dsm::RegionAt(const geo::IndoorPoint& p) const {
+  if (use_spatial_index_ && spatial_index_.built()) {
+    return spatial_index_.RegionAt(p);
+  }
+  return RegionAtBruteForce(p);
+}
+
+RegionId Dsm::RegionAtBruteForce(const geo::IndoorPoint& p) const {
   RegionId best = kInvalidRegion;
   double best_area = 1e300;
   for (const SemanticRegion& r : regions_) {
@@ -353,7 +388,14 @@ std::vector<RegionId> Dsm::AdjacentRegions(RegionId rid) const {
 }
 
 geo::IndoorPoint Dsm::SnapToWalkable(const geo::IndoorPoint& p) const {
-  if (IsWalkable(p)) return p;
+  if (use_spatial_index_ && spatial_index_.built()) {
+    return spatial_index_.SnapToWalkable(p);
+  }
+  return SnapToWalkableBruteForce(p);
+}
+
+geo::IndoorPoint Dsm::SnapToWalkableBruteForce(const geo::IndoorPoint& p) const {
+  if (PartitionAtBruteForce(p) != kInvalidEntity) return p;
   double best_dist = 1e300;
   geo::Point2 best = p.xy;
   for (const Entity& e : entities_) {

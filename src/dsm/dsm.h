@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dsm/entity.h"
+#include "dsm/spatial_index.h"
 #include "util/result.h"
 
 namespace trips::dsm {
@@ -90,6 +91,11 @@ class Dsm {
   const SemanticRegion* FindRegionByName(const std::string& name) const;
 
   // ---- spatial queries ----
+  //
+  // The point queries below run on the grid index built by ComputeTopology()
+  // (near-O(1) per query); before topology is computed — or with the index
+  // disabled — they fall back to the brute-force linear scans, which return
+  // identical results.
 
   /// The walkable partition (room/hallway/staircase/elevator) containing `p`,
   /// or kInvalidEntity. Smallest-area match wins when partitions nest.
@@ -121,13 +127,47 @@ class Dsm {
   /// Number of distinct floors that carry at least one entity.
   size_t FloorCount() const { return floors_.size(); }
 
+  // ---- spatial acceleration index ----
+
+  /// The grid index over partitions/regions/edges (built by ComputeTopology,
+  /// invalidated by any mutation).
+  const SpatialIndex& spatial_index() const { return spatial_index_; }
+
+  /// Regions whose bounding box intersects walkable partition `pid` —
+  /// precomputed candidate superset for resolving region membership of points
+  /// inside the partition without a polygon pass over all regions.
+  const std::vector<RegionId>& RegionCandidatesOfPartition(EntityId pid) const {
+    return spatial_index_.RegionCandidatesOfPartition(pid);
+  }
+
+  /// Disables (or re-enables) the index at runtime, forcing the point queries
+  /// onto the brute-force scans. Parity testing and benchmarking only — never
+  /// needed in production. Compile with -DTRIPS_DSM_NO_SPATIAL_INDEX to
+  /// default it off.
+  void set_spatial_index_enabled(bool enabled) { use_spatial_index_ = enabled; }
+  bool spatial_index_enabled() const { return use_spatial_index_; }
+
+  // Brute-force reference implementations of the point queries: linear scans
+  // over all entities/regions with full point-in-polygon tests. Retained for
+  // the parity suite and the before/after benchmarks; the hot path only
+  // reaches them when the index is unbuilt or disabled.
+  EntityId PartitionAtBruteForce(const geo::IndoorPoint& p) const;
+  RegionId RegionAtBruteForce(const geo::IndoorPoint& p) const;
+  geo::IndoorPoint SnapToWalkableBruteForce(const geo::IndoorPoint& p) const;
+
  private:
   std::string name_ = "dsm";
   std::vector<Floor> floors_;
   std::vector<Entity> entities_;
   std::vector<SemanticRegion> regions_;
   Topology topology_;
+  SpatialIndex spatial_index_;
   bool topology_computed_ = false;
+#ifdef TRIPS_DSM_NO_SPATIAL_INDEX
+  bool use_spatial_index_ = false;
+#else
+  bool use_spatial_index_ = true;
+#endif
   EntityId next_entity_id_ = 0;
   RegionId next_region_id_ = 0;
 };

@@ -1,9 +1,13 @@
 #include "dsm/routing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <list>
+#include <mutex>
 #include <queue>
+#include <unordered_map>
 
 namespace trips::dsm {
 
@@ -40,6 +44,22 @@ geo::IndoorPoint Route::PointAtDistance(double d) const {
   return waypoints.back();
 }
 
+// Bounded LRU of per-source-node shortest-path trees. Internally locked: the
+// planner is shared by concurrent translation workers.
+struct RoutePlanner::TreeCache {
+  explicit TreeCache(size_t cap) : capacity(cap) {}
+
+  const size_t capacity;
+  std::mutex mu;
+  std::list<int> order;  // front = most recently used
+  std::unordered_map<int,
+                     std::pair<std::list<int>::iterator,
+                               std::shared_ptr<const SourceTree>>>
+      entries;
+  std::atomic<size_t> hits{0};
+  std::atomic<size_t> misses{0};
+};
+
 Result<RoutePlanner> RoutePlanner::Build(const Dsm* dsm, RoutePlannerOptions options) {
   if (dsm == nullptr) return Status::InvalidArgument("dsm is null");
   if (!dsm->topology_computed()) {
@@ -48,6 +68,7 @@ Result<RoutePlanner> RoutePlanner::Build(const Dsm* dsm, RoutePlannerOptions opt
   RoutePlanner planner;
   planner.dsm_ = dsm;
   planner.options_ = options;
+  planner.cache_ = std::make_shared<TreeCache>(options.route_cache_capacity);
 
   const Topology& topo = dsm->topology();
 
@@ -140,6 +161,114 @@ std::vector<std::pair<int, double>> RoutePlanner::LocalNodes(
   return out;
 }
 
+RoutePlanner::SourceTree RoutePlanner::ComputeTree(int source) const {
+  return ComputeMultiSeedTree({{source, 0.0}});
+}
+
+RoutePlanner::SourceTree RoutePlanner::ComputeMultiSeedTree(
+    const std::vector<std::pair<int, double>>& seeds) const {
+  SourceTree tree;
+  tree.dist.assign(nodes_.size(), kInf);
+  tree.prev.assign(nodes_.size(), -1);
+  using QItem = std::pair<double, int>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+  for (const auto& [node, w] : seeds) {
+    if (w < tree.dist[node]) {
+      tree.dist[node] = w;
+      queue.push({w, node});
+    }
+  }
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > tree.dist[u]) continue;
+    for (const Edge& e : adjacency_[u]) {
+      double nd = d + e.weight;
+      if (nd < tree.dist[e.to]) {
+        tree.dist[e.to] = nd;
+        tree.prev[e.to] = u;
+        queue.push({nd, e.to});
+      }
+    }
+  }
+  return tree;
+}
+
+std::shared_ptr<const RoutePlanner::SourceTree> RoutePlanner::TreeFrom(
+    int source) const {
+  if (cache_ == nullptr || cache_->capacity == 0) {
+    return std::make_shared<const SourceTree>(ComputeTree(source));
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    auto it = cache_->entries.find(source);
+    if (it != cache_->entries.end()) {
+      cache_->order.splice(cache_->order.begin(), cache_->order, it->second.first);
+      cache_->hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second.second;
+    }
+  }
+  cache_->misses.fetch_add(1, std::memory_order_relaxed);
+  auto tree = std::make_shared<const SourceTree>(ComputeTree(source));
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  auto it = cache_->entries.find(source);
+  if (it != cache_->entries.end()) {
+    // Another worker computed the same tree while we did; keep theirs.
+    cache_->order.splice(cache_->order.begin(), cache_->order, it->second.first);
+    return it->second.second;
+  }
+  cache_->order.push_front(source);
+  cache_->entries.emplace(source, std::make_pair(cache_->order.begin(), tree));
+  while (cache_->entries.size() > cache_->capacity) {
+    cache_->entries.erase(cache_->order.back());
+    cache_->order.pop_back();
+  }
+  return tree;
+}
+
+bool RoutePlanner::BestCrossing(
+    const std::vector<std::pair<int, double>>& from_nodes,
+    const std::vector<std::pair<int, double>>& to_nodes, BestPair* out) const {
+  bool found = false;
+  if (from_nodes.size() > options_.max_memoized_sources) {
+    // Hub-partition mode: one multi-seed Dijkstra for the whole query instead
+    // of one tree per source node (a corridor can carry a node per shop).
+    auto tree = std::make_shared<const SourceTree>(ComputeMultiSeedTree(from_nodes));
+    for (const auto& [b, wb] : to_nodes) {
+      double graph = tree->dist[b];
+      if (graph == kInf) continue;
+      double total = graph + wb;
+      if (!found || total < out->total) {
+        found = true;
+        out->total = total;
+        out->entry = -1;
+        out->exit = b;
+        out->tree = tree;
+      }
+    }
+    return found;
+  }
+  // Memoized mode. Entry nodes ascending, exit nodes ascending, strict
+  // improvement: the winning pair is the lexicographic minimum among equal
+  // totals, independent of cache state.
+  for (const auto& [a, wa] : from_nodes) {
+    std::shared_ptr<const SourceTree> tree = TreeFrom(a);
+    for (const auto& [b, wb] : to_nodes) {
+      double graph = tree->dist[b];
+      if (graph == kInf) continue;
+      double total = wa + graph + wb;
+      if (!found || total < out->total) {
+        found = true;
+        out->total = total;
+        out->entry = a;
+        out->exit = b;
+        out->tree = tree;
+      }
+    }
+  }
+  return found;
+}
+
 Result<Route> RoutePlanner::FindRoute(const geo::IndoorPoint& from,
                                       const geo::IndoorPoint& to) const {
   EntityId from_part = dsm_->PartitionAt(from);
@@ -159,65 +288,110 @@ Result<Route> RoutePlanner::FindRoute(const geo::IndoorPoint& from,
     return route;
   }
 
-  // Dijkstra from virtual source (links to nodes in from's partition) to any
-  // node in to's partition, then down to `to`.
-  std::vector<double> dist(nodes_.size(), kInf);
-  std::vector<int> prev(nodes_.size(), -1);
-  using QItem = std::pair<double, int>;
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
-  for (const auto& [node, w] : LocalNodes(from)) {
-    if (w < dist[node]) {
-      dist[node] = w;
-      queue.push({w, node});
-    }
-  }
-  while (!queue.empty()) {
-    auto [d, u] = queue.top();
-    queue.pop();
-    if (d > dist[u]) continue;
-    for (const Edge& e : adjacency_[u]) {
-      double nd = d + e.weight;
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        prev[e.to] = u;
-        queue.push({nd, e.to});
-      }
-    }
-  }
-
-  int best_exit = -1;
-  double best_total = kInf;
-  for (const auto& [node, w] : LocalNodes(to)) {
-    if (dist[node] + w < best_total) {
-      best_total = dist[node] + w;
-      best_exit = node;
-    }
-  }
-  if (best_exit < 0) {
+  BestPair best;
+  if (!BestCrossing(LocalNodes(from), LocalNodes(to), &best)) {
     return Status::NotFound("no indoor path between the given points");
   }
 
+  // Walk the tree back from the exit node to the entry node (the tree root,
+  // whose prev is -1).
   std::vector<int> chain;
-  for (int n = best_exit; n != -1; n = prev[n]) chain.push_back(n);
+  for (int n = best.exit; n != -1; n = best.tree->prev[n]) chain.push_back(n);
   std::reverse(chain.begin(), chain.end());
 
   Route route;
+  route.waypoints.reserve(chain.size() + 2);
   route.waypoints.push_back(from);
   for (int n : chain) route.waypoints.push_back(nodes_[n].point);
   route.waypoints.push_back(to);
-  route.distance = best_total;
+  route.distance = best.total;
   return route;
 }
 
 double RoutePlanner::IndoorDistance(const geo::IndoorPoint& from,
                                     const geo::IndoorPoint& to) const {
-  Result<Route> r = FindRoute(from, to);
-  return r.ok() ? r->distance : kInf;
+  EntityId from_part = dsm_->PartitionAt(from);
+  EntityId to_part = dsm_->PartitionAt(to);
+  if (from_part == kInvalidEntity || to_part == kInvalidEntity) return kInf;
+  if (from_part == to_part) return from.PlanarDistanceTo(to);
+  BestPair best;
+  if (!BestCrossing(LocalNodes(from), LocalNodes(to), &best)) return kInf;
+  return best.total;
+}
+
+std::vector<double> RoutePlanner::IndoorDistances(
+    const geo::IndoorPoint& from, std::span<const geo::IndoorPoint> tos) const {
+  std::vector<double> out(tos.size(), kInf);
+  EntityId from_part = dsm_->PartitionAt(from);
+  if (from_part == kInvalidEntity) return out;
+
+  // Resolve the source side once: its local nodes and their trees (or, for a
+  // hub partition, one shared multi-seed tree — the same mode BestCrossing
+  // would pick per query, so batch results equal the single-query ones).
+  std::vector<std::pair<int, double>> from_nodes = LocalNodes(from);
+  bool hub = from_nodes.size() > options_.max_memoized_sources;
+  std::shared_ptr<const SourceTree> hub_tree;
+  std::vector<std::shared_ptr<const SourceTree>> trees;
+  if (hub) {
+    hub_tree = std::make_shared<const SourceTree>(ComputeMultiSeedTree(from_nodes));
+  } else {
+    trees.reserve(from_nodes.size());
+    for (const auto& [a, wa] : from_nodes) trees.push_back(TreeFrom(a));
+  }
+
+  for (size_t i = 0; i < tos.size(); ++i) {
+    const geo::IndoorPoint& to = tos[i];
+    EntityId to_part = dsm_->PartitionAt(to);
+    if (to_part == kInvalidEntity) continue;
+    if (to_part == from_part) {
+      out[i] = from.PlanarDistanceTo(to);
+      continue;
+    }
+    auto it = partition_nodes_.find(to_part);
+    if (it == partition_nodes_.end()) continue;
+    double best = kInf;
+    if (hub) {
+      for (int b : it->second) {
+        double graph = hub_tree->dist[b];
+        if (graph == kInf) continue;
+        double total = graph + nodes_[b].point.PlanarDistanceTo(to);
+        if (total < best) best = total;
+      }
+    } else {
+      for (size_t ai = 0; ai < from_nodes.size(); ++ai) {
+        const auto& [a, wa] = from_nodes[ai];
+        const SourceTree& tree = *trees[ai];
+        for (int b : it->second) {
+          double graph = tree.dist[b];
+          if (graph == kInf) continue;
+          double wb = nodes_[b].point.PlanarDistanceTo(to);
+          double total = wa + graph + wb;
+          if (total < best) best = total;
+        }
+      }
+    }
+    out[i] = best;
+  }
+  return out;
 }
 
 bool RoutePlanner::Reachable(const geo::IndoorPoint& from,
                              const geo::IndoorPoint& to) const {
-  return FindRoute(from, to).ok();
+  return IndoorDistance(from, to) != kInf;
+}
+
+size_t RoutePlanner::cache_hits() const {
+  return cache_ != nullptr ? cache_->hits.load(std::memory_order_relaxed) : 0;
+}
+
+size_t RoutePlanner::cache_misses() const {
+  return cache_ != nullptr ? cache_->misses.load(std::memory_order_relaxed) : 0;
+}
+
+size_t RoutePlanner::cache_size() const {
+  if (cache_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->entries.size();
 }
 
 }  // namespace trips::dsm

@@ -2,9 +2,21 @@
 // Used by the Cleaning layer's location interpolation ("deriving the possible
 // locations ... based on the indoor geometrical and topological information
 // captured by the DSM", §3) and by the mobility generator substrate.
+//
+// Queries decompose into point-dependent and graph-only parts: the shortest
+// from->to distance is min over (a, b) of |from-a| + D(a, b) + |b-to|, where a
+// ranges over the graph nodes of from's partition, b over to's partition, and
+// D is the node-to-node shortest-path distance in the static graph. D depends
+// only on the source node, so the planner memoizes one Dijkstra tree per
+// source node in a bounded LRU shared by FindRoute / IndoorDistance /
+// Reachable / IndoorDistances — repeat queries between the same partitions
+// (the common case: cleaning gaps of a fleet moving between the same shops)
+// skip Dijkstra entirely. Results are identical cached or uncached.
 #pragma once
 
 #include <map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "dsm/dsm.h"
@@ -16,6 +28,16 @@ namespace trips::dsm {
 struct RoutePlannerOptions {
   /// Cost in metres charged for moving one floor via a staircase/elevator.
   double vertical_cost_per_floor = 15.0;
+  /// Maximum number of per-source-node shortest-path trees kept in the LRU
+  /// cache (each tree costs ~12 bytes per graph node). 0 disables memoization
+  /// entirely (every query re-runs Dijkstra) — parity testing only.
+  size_t route_cache_capacity = 1024;
+  /// Queries whose source partition carries more graph nodes than this skip
+  /// the per-node trees and run one multi-seed Dijkstra instead (a hub
+  /// partition like a long corridor would otherwise cost one Dijkstra per
+  /// door). The chosen mode depends only on the query and the graph — never
+  /// on cache state — so results stay deterministic.
+  size_t max_memoized_sources = 8;
 };
 
 /// A computed indoor route: the waypoints (start, door midpoints, vertical
@@ -33,8 +55,9 @@ struct Route {
 };
 
 /// Plans shortest walkable paths between indoor points. Builds a static node
-/// graph (doors + vertical connectors) from the DSM once, then answers
-/// queries with Dijkstra searches seeded at the query endpoints.
+/// graph (doors + overlap portals + vertical connectors) from the DSM once,
+/// then answers queries from memoized per-source-node Dijkstra trees. All
+/// query methods are const and thread-safe (the internal cache locks).
 class RoutePlanner {
  public:
   /// Builds the routing graph. The DSM's topology must be computed first.
@@ -48,11 +71,23 @@ class RoutePlanner {
   /// Shortest indoor walking distance, or +inf if unreachable/outside.
   double IndoorDistance(const geo::IndoorPoint& from, const geo::IndoorPoint& to) const;
 
+  /// Batch variant: distances from `from` to every point of `tos`, resolving
+  /// the source partition and its shortest-path trees once instead of per
+  /// target. Element i equals IndoorDistance(from, tos[i]) exactly.
+  std::vector<double> IndoorDistances(const geo::IndoorPoint& from,
+                                      std::span<const geo::IndoorPoint> tos) const;
+
   /// True iff a walkable path exists between the two points.
   bool Reachable(const geo::IndoorPoint& from, const geo::IndoorPoint& to) const;
 
-  /// Number of nodes in the static routing graph (doors + vertical pairs).
+  /// Number of nodes in the static routing graph (doors + portals + vertical
+  /// connector endpoints).
   size_t NodeCount() const { return nodes_.size(); }
+
+  // Cache observability (tests / benches).
+  size_t cache_hits() const;
+  size_t cache_misses() const;
+  size_t cache_size() const;
 
  private:
   struct Node {
@@ -65,19 +100,54 @@ class RoutePlanner {
     int to;
     double weight;
   };
+  // Shortest-path tree from one source node: distance and predecessor per
+  // graph node. Immutable once computed; shared out of the cache by pointer.
+  struct SourceTree {
+    std::vector<double> dist;
+    std::vector<int32_t> prev;
+  };
+  struct TreeCache;  // bounded LRU over SourceTree, internally locked
 
   RoutePlanner() = default;
 
   void AddEdge(int a, int b, double w);
   // Finds graph nodes directly reachable from `p` (sharing its partition).
   std::vector<std::pair<int, double>> LocalNodes(const geo::IndoorPoint& p) const;
+  // Dijkstra over the static graph from `source`.
+  SourceTree ComputeTree(int source) const;
+  // Cached tree lookup (computes + inserts on miss; bypasses the cache when
+  // capacity is 0).
+  std::shared_ptr<const SourceTree> TreeFrom(int source) const;
+
+  // Multi-seed Dijkstra: distances/predecessors from a virtual source linked
+  // to `seeds` (node, initial distance). Seeds carry prev -1.
+  SourceTree ComputeMultiSeedTree(
+      const std::vector<std::pair<int, double>>& seeds) const;
+
+  // The best crossing for a cross-partition query, with deterministic
+  // tie-breaking. Returns false when unreachable. `tree` is rooted at `entry`
+  // (memoized mode) or at the virtual multi-seed source (`entry` == -1, hub
+  // mode); either way the exit's prev-chain ends at a -1 predecessor.
+  struct BestPair {
+    double total = 0;
+    int entry = -1;
+    int exit = -1;
+    std::shared_ptr<const SourceTree> tree;
+  };
+  bool BestCrossing(const std::vector<std::pair<int, double>>& from_nodes,
+                    const std::vector<std::pair<int, double>>& to_nodes,
+                    BestPair* out) const;
 
   const Dsm* dsm_ = nullptr;
   RoutePlannerOptions options_;
   std::vector<Node> nodes_;
   std::vector<std::vector<Edge>> adjacency_;
-  // partition id -> node indices inside it.
+  // partition id -> node indices inside it (ascending).
   std::map<EntityId, std::vector<int>> partition_nodes_;
+  // Shared (not unique) so RoutePlanner stays movable while the cache holds a
+  // mutex; copies of a planner share one cache, which is sound because trees
+  // depend only on the immutable graph.
+  std::shared_ptr<TreeCache> cache_;
 };
 
 }  // namespace trips::dsm

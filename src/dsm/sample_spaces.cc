@@ -48,18 +48,25 @@ Result<RegionId> AddRectRegion(Dsm* dsm, const std::string& name,
 
 Result<Dsm> BuildMallDsm(const MallOptions& options) {
   if (options.floors < 1) return Status::InvalidArgument("mall needs >= 1 floor");
-  if (options.shops_per_arm < 1 || options.shops_per_arm > 3) {
-    return Status::InvalidArgument("shops_per_arm must be in [1,3]");
+  if (options.shops_per_arm < 1) {
+    return Status::InvalidArgument("shops_per_arm must be >= 1");
   }
   Dsm dsm;
   dsm.set_name("synthetic-mall");
+
+  // Wings wider than the paper venue's 3 shops stretch the floor: everything
+  // east of the west wing shifts right by `shift`, so shops_per_arm <= 3
+  // reproduces the historical 100x60 layout exactly and larger venues scale
+  // entity count linearly (the bench suite's 1x/4x/16x venue knob).
+  double shift = 14.0 * std::max(0, options.shops_per_arm - 3);
+  double width = 100 + 2 * shift;
 
   int brand_cursor = 0;
   for (geo::FloorId f = 0; f < options.floors; ++f) {
     Floor floor;
     floor.id = f;
     floor.name = std::to_string(f + 1) + "F";
-    floor.outline = geo::Polygon::Rectangle(0, 0, 100, 60);
+    floor.outline = geo::Polygon::Rectangle(0, 0, width, 60);
     TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(floor)));
 
     std::string suffix = "@" + std::to_string(f + 1) + "F";
@@ -67,31 +74,31 @@ Result<Dsm> BuildMallDsm(const MallOptions& options) {
     // Corridors (crossing hallways) and the open center hall over their
     // crossing.
     TRIPS_RETURN_NOT_OK(
-        AddRect(&dsm, EntityKind::kHallway, "corridor-h" + suffix, f, 0, 24, 100, 36,
-                "corridor")
+        AddRect(&dsm, EntityKind::kHallway, "corridor-h" + suffix, f, 0, 24, width,
+                36, "corridor")
             .status());
-    TRIPS_RETURN_NOT_OK(
-        AddRect(&dsm, EntityKind::kHallway, "corridor-v" + suffix, f, 44, 0, 56, 60,
-                "corridor")
-            .status());
-    TRIPS_RETURN_NOT_OK(
-        AddRect(&dsm, EntityKind::kHallway, "hall" + suffix, f, 40, 20, 60, 40,
-                "hall")
-            .status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kHallway, "corridor-v" + suffix,
+                                f, 44 + shift, 0, 56 + shift, 60, "corridor")
+                            .status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kHallway, "hall" + suffix, f,
+                                40 + shift, 20, 60 + shift, 40, "hall")
+                            .status());
 
     // Vertical connectors inside the vertical corridor (same name across
     // floors so topology links them).
-    TRIPS_RETURN_NOT_OK(
-        AddRect(&dsm, EntityKind::kStaircase, "stair-A", f, 45, 56, 55, 60).status());
-    TRIPS_RETURN_NOT_OK(
-        AddRect(&dsm, EntityKind::kElevator, "elev-A", f, 45, 0, 55, 3).status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kStaircase, "stair-A", f,
+                                45 + shift, 56, 55 + shift, 60)
+                            .status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kElevator, "elev-A", f,
+                                45 + shift, 0, 55 + shift, 3)
+                            .status());
 
     // Shops: `shops_per_arm` on each side of the horizontal corridor on both
     // wings, 10 m wide, flush against the corridor. Wing x-starts.
     std::vector<double> xs;
     for (int i = 0; i < options.shops_per_arm; ++i) {
-      xs.push_back(2 + 14 * i);   // west wing: 2, 16, 30
-      xs.push_back(60 + 14 * i);  // east wing: 60, 74, 88 (88+10<100)
+      xs.push_back(2 + 14 * i);           // west wing: 2, 16, 30, ...
+      xs.push_back(60 + shift + 14 * i);  // east wing: last ends 2 m inside
     }
     for (double x : xs) {
       for (int side = 0; side < 2; ++side) {
@@ -118,20 +125,20 @@ Result<Dsm> BuildMallDsm(const MallOptions& options) {
     }
 
     if (options.corridor_regions) {
-      TRIPS_RETURN_NOT_OK(
-          AddRectRegion(&dsm, "Center Hall" + suffix, "hall", f, 40, 20, 60, 40)
-              .status());
+      TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "Center Hall" + suffix, "hall", f,
+                                        40 + shift, 20, 60 + shift, 40)
+                              .status());
       TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "West Corridor" + suffix, "corridor",
-                                        f, 0, 24, 40, 36)
+                                        f, 0, 24, 40 + shift, 36)
                               .status());
       TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "East Corridor" + suffix, "corridor",
-                                        f, 60, 24, 100, 36)
+                                        f, 60 + shift, 24, width, 36)
                               .status());
       TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "North Corridor" + suffix, "corridor",
-                                        f, 44, 40, 56, 60)
+                                        f, 44 + shift, 40, 56 + shift, 60)
                               .status());
       TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, "South Corridor" + suffix, "corridor",
-                                        f, 44, 0, 56, 20)
+                                        f, 44 + shift, 0, 56 + shift, 20)
                               .status());
     }
   }

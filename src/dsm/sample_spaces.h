@@ -16,6 +16,8 @@ struct MallOptions {
   /// Number of floors (the paper's venue has 7).
   int floors = 7;
   /// Shops per side per corridor arm; total shops/floor = 4 * shops_per_arm.
+  /// Values above 3 widen the floor proportionally (venue-scaling knob for
+  /// the spatial-index benchmarks).
   int shops_per_arm = 3;
   /// Whether to create semantic regions for corridors and the center hall.
   bool corridor_regions = true;
@@ -23,7 +25,9 @@ struct MallOptions {
 
 /// Builds the synthetic mall DSM with topology computed.
 ///
-/// Per-floor layout (metres), floor f in [0, floors):
+/// Per-floor layout (metres), floor f in [0, floors), with shops_per_arm <= 3
+/// (larger wings shift everything east of the west wing right by
+/// 14 * (shops_per_arm - 3)):
 ///   outline          (0,0)-(100,60)
 ///   corridor-h       (0,24)-(100,36)      hallway
 ///   corridor-v       (44,0)-(56,60)       hallway

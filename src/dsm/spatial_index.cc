@@ -1,0 +1,318 @@
+#include "dsm/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trips::dsm {
+
+namespace {
+
+// Polygon::Contains treats points within 1e-7 of the boundary as inside, so a
+// containing shape's true extent exceeds its vertex bounding box by up to that
+// epsilon. Shape bounds (and the grid they are bucketed into) are padded by a
+// strictly larger margin so no boundary-epsilon hit can fall outside its cell.
+constexpr double kBoundsPad = 1e-6;
+
+geo::BoundingBox PaddedBounds(const geo::Polygon& poly) {
+  geo::BoundingBox box = poly.Bounds();
+  if (!box.Empty()) {
+    box.min.x -= kBoundsPad;
+    box.min.y -= kBoundsPad;
+    box.max.x += kBoundsPad;
+    box.max.y += kBoundsPad;
+  }
+  return box;
+}
+
+}  // namespace
+
+int SpatialIndex::FloorGrid::CellX(double x) const {
+  int ix = static_cast<int>(std::floor((x - origin.x) * inv_cell));
+  return std::clamp(ix, 0, nx - 1);
+}
+
+int SpatialIndex::FloorGrid::CellY(double y) const {
+  int iy = static_cast<int>(std::floor((y - origin.y) * inv_cell));
+  return std::clamp(iy, 0, ny - 1);
+}
+
+void SpatialIndex::Clear() {
+  grids_.clear();
+  partition_region_candidates_.clear();
+  built_ = false;
+}
+
+void SpatialIndex::Build(const std::vector<Entity>& entities,
+                         const std::vector<SemanticRegion>& regions,
+                         const SpatialIndexOptions& options) {
+  Clear();
+
+  // Group indexable shapes by floor, preserving id order within each floor.
+  std::vector<geo::FloorId> floor_ids;
+  auto note_floor = [&floor_ids](geo::FloorId f) {
+    if (std::find(floor_ids.begin(), floor_ids.end(), f) == floor_ids.end()) {
+      floor_ids.push_back(f);
+    }
+  };
+  for (const Entity& e : entities) {
+    if (IsWalkableKind(e.kind)) note_floor(e.floor);
+  }
+  for (const SemanticRegion& r : regions) note_floor(r.floor);
+  std::sort(floor_ids.begin(), floor_ids.end());
+
+  grids_.reserve(floor_ids.size());
+  for (geo::FloorId floor : floor_ids) {
+    FloorGrid grid;
+    grid.floor = floor;
+
+    geo::BoundingBox extent;
+    for (const Entity& e : entities) {
+      if (!IsWalkableKind(e.kind) || e.floor != floor) continue;
+      Shape shape;
+      shape.id = e.id;
+      shape.area = e.shape.AbsArea();
+      shape.bounds = PaddedBounds(e.shape);
+      shape.polygon = e.shape;
+      extent.Extend(shape.bounds);
+      grid.partitions.push_back(std::move(shape));
+    }
+    for (const SemanticRegion& r : regions) {
+      if (r.floor != floor) continue;
+      Shape shape;
+      shape.id = r.id;
+      shape.area = r.shape.AbsArea();
+      shape.bounds = PaddedBounds(r.shape);
+      shape.polygon = r.shape;
+      extent.Extend(shape.bounds);
+      grid.regions.push_back(std::move(shape));
+    }
+    // Walkable boundary edges, in brute-force traversal order.
+    for (const Shape& part : grid.partitions) {
+      for (const geo::Segment& edge : part.polygon.Edges()) {
+        grid.edges.push_back(edge);
+      }
+    }
+    if (extent.Empty()) extent.Extend({0, 0});
+
+    // Cell size targeting ~one shape per cell: the mean shape footprint,
+    // clamped to the configured band and to the per-axis cell cap.
+    size_t shapes = grid.partitions.size() + grid.regions.size();
+    double floor_area =
+        std::max(1.0, extent.Width() * extent.Height());
+    double cell = std::sqrt(floor_area / static_cast<double>(std::max<size_t>(shapes, 1)));
+    cell = std::clamp(cell, options.min_cell_size, options.max_cell_size);
+    double min_cell_x = extent.Width() / options.max_cells_per_axis;
+    double min_cell_y = extent.Height() / options.max_cells_per_axis;
+    cell = std::max({cell, min_cell_x, min_cell_y});
+
+    grid.origin = extent.min;
+    grid.cell = cell;
+    grid.inv_cell = 1.0 / cell;
+    grid.nx = std::max(1, static_cast<int>(std::ceil(extent.Width() / cell)));
+    grid.ny = std::max(1, static_cast<int>(std::ceil(extent.Height() / cell)));
+
+    // Bucket builder: two-pass CSR fill over per-item cell ranges. Items are
+    // appended in index order, so each cell's list stays ascending.
+    size_t cells = static_cast<size_t>(grid.nx) * static_cast<size_t>(grid.ny);
+    auto build_buckets = [&grid, cells](auto item_count, auto bounds_of) {
+      Buckets buckets;
+      buckets.offsets.assign(cells + 1, 0);
+      auto cell_range = [&grid, &bounds_of](int32_t item, int* x0, int* x1,
+                                            int* y0, int* y1) {
+        geo::BoundingBox box = bounds_of(item);
+        *x0 = grid.CellX(box.min.x);
+        *x1 = grid.CellX(box.max.x);
+        *y0 = grid.CellY(box.min.y);
+        *y1 = grid.CellY(box.max.y);
+      };
+      for (int32_t item = 0; item < item_count; ++item) {
+        int x0, x1, y0, y1;
+        cell_range(item, &x0, &x1, &y0, &y1);
+        for (int iy = y0; iy <= y1; ++iy) {
+          for (int ix = x0; ix <= x1; ++ix) {
+            ++buckets.offsets[grid.CellIndex(ix, iy) + 1];
+          }
+        }
+      }
+      for (size_t c = 1; c <= cells; ++c) buckets.offsets[c] += buckets.offsets[c - 1];
+      buckets.items.resize(buckets.offsets[cells]);
+      std::vector<uint32_t> cursor(buckets.offsets.begin(), buckets.offsets.end() - 1);
+      for (int32_t item = 0; item < item_count; ++item) {
+        int x0, x1, y0, y1;
+        cell_range(item, &x0, &x1, &y0, &y1);
+        for (int iy = y0; iy <= y1; ++iy) {
+          for (int ix = x0; ix <= x1; ++ix) {
+            buckets.items[cursor[grid.CellIndex(ix, iy)]++] = item;
+          }
+        }
+      }
+      return buckets;
+    };
+
+    grid.partition_cells = build_buckets(
+        static_cast<int32_t>(grid.partitions.size()),
+        [&grid](int32_t i) { return grid.partitions[i].bounds; });
+    grid.region_cells = build_buckets(
+        static_cast<int32_t>(grid.regions.size()),
+        [&grid](int32_t i) { return grid.regions[i].bounds; });
+    grid.edge_cells = build_buckets(
+        static_cast<int32_t>(grid.edges.size()), [&grid](int32_t i) {
+          geo::BoundingBox box;
+          box.Extend(grid.edges[i].a);
+          box.Extend(grid.edges[i].b);
+          return box;
+        });
+
+    grids_.push_back(std::move(grid));
+  }
+
+  // Walkable partition -> candidate regions (bounding boxes intersect). Any
+  // region containing a point of the partition must appear here: the point
+  // lies in both padded boxes, so they intersect.
+  partition_region_candidates_.assign(entities.size(), {});
+  for (const FloorGrid& grid : grids_) {
+    for (const Shape& part : grid.partitions) {
+      std::vector<RegionId>& candidates =
+          partition_region_candidates_[static_cast<size_t>(part.id)];
+      for (const Shape& region : grid.regions) {
+        if (part.bounds.Intersects(region.bounds)) candidates.push_back(region.id);
+      }
+    }
+  }
+
+  built_ = true;
+}
+
+const SpatialIndex::FloorGrid* SpatialIndex::GridFor(geo::FloorId floor) const {
+  auto it = std::lower_bound(
+      grids_.begin(), grids_.end(), floor,
+      [](const FloorGrid& g, geo::FloorId f) { return g.floor < f; });
+  if (it == grids_.end() || it->floor != floor) return nullptr;
+  return &*it;
+}
+
+EntityId SpatialIndex::PartitionAt(const geo::IndoorPoint& p) const {
+  const FloorGrid* grid = GridFor(p.floor);
+  if (grid == nullptr || grid->partitions.empty()) return kInvalidEntity;
+  int cell = grid->CellIndex(grid->CellX(p.xy.x), grid->CellY(p.xy.y));
+  EntityId best = kInvalidEntity;
+  double best_area = 1e300;
+  uint32_t begin = grid->partition_cells.offsets[cell];
+  uint32_t end = grid->partition_cells.offsets[cell + 1];
+  for (uint32_t i = begin; i < end; ++i) {
+    const Shape& shape = grid->partitions[grid->partition_cells.items[i]];
+    if (shape.area >= best_area) continue;
+    if (shape.bounds.Contains(p.xy) && shape.polygon.Contains(p.xy)) {
+      best_area = shape.area;
+      best = shape.id;
+    }
+  }
+  return best;
+}
+
+RegionId SpatialIndex::RegionAt(const geo::IndoorPoint& p) const {
+  const FloorGrid* grid = GridFor(p.floor);
+  if (grid == nullptr || grid->regions.empty()) return kInvalidRegion;
+  int cell = grid->CellIndex(grid->CellX(p.xy.x), grid->CellY(p.xy.y));
+  RegionId best = kInvalidRegion;
+  double best_area = 1e300;
+  uint32_t begin = grid->region_cells.offsets[cell];
+  uint32_t end = grid->region_cells.offsets[cell + 1];
+  for (uint32_t i = begin; i < end; ++i) {
+    const Shape& shape = grid->regions[grid->region_cells.items[i]];
+    if (shape.area >= best_area) continue;
+    if (shape.bounds.Contains(p.xy) && shape.polygon.Contains(p.xy)) {
+      best_area = shape.area;
+      best = shape.id;
+    }
+  }
+  return best;
+}
+
+geo::IndoorPoint SpatialIndex::SnapToWalkable(const geo::IndoorPoint& p) const {
+  if (IsWalkable(p)) return p;
+  const FloorGrid* grid = GridFor(p.floor);
+  if (grid == nullptr || grid->edges.empty()) return p;
+
+  int cx = grid->CellX(p.xy.x);
+  int cy = grid->CellY(p.xy.y);
+  double best_dist = 1e300;
+  geo::Point2 best = p.xy;
+  int32_t best_rank = -1;
+
+  auto consider_cell = [&](int ix, int iy) {
+    int cell = grid->CellIndex(ix, iy);
+    uint32_t begin = grid->edge_cells.offsets[cell];
+    uint32_t end = grid->edge_cells.offsets[cell + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      int32_t rank = grid->edge_cells.items[i];
+      geo::Point2 q = grid->edges[rank].ClosestPoint(p.xy);
+      double d = q.DistanceTo(p.xy);
+      // Lexicographic (distance, traversal rank): identical winner to the
+      // brute-force scan, which keeps the first of equally-near edges.
+      if (d < best_dist || (d == best_dist && rank < best_rank)) {
+        best_dist = d;
+        best = q;
+        best_rank = rank;
+      }
+    }
+  };
+
+  // Expanding ring search. After ring k every unvisited edge lies wholly
+  // outside the ring's covered rectangle, so once the best distance is within
+  // the point's margin to that rectangle no farther ring can improve it.
+  int ring_cap = std::max({cx, grid->nx - 1 - cx, cy, grid->ny - 1 - cy});
+  for (int k = 0; k <= ring_cap; ++k) {
+    int x0 = std::max(0, cx - k), x1 = std::min(grid->nx - 1, cx + k);
+    int y0 = std::max(0, cy - k), y1 = std::min(grid->ny - 1, cy + k);
+    for (int ix = x0; ix <= x1; ++ix) {
+      if (cy - k >= 0) consider_cell(ix, cy - k);
+      if (k > 0 && cy + k <= grid->ny - 1) consider_cell(ix, cy + k);
+    }
+    for (int iy = std::max(y0, cy - k + 1); iy <= std::min(y1, cy + k - 1); ++iy) {
+      if (cx - k >= 0) consider_cell(cx - k, iy);
+      if (cx + k <= grid->nx - 1) consider_cell(cx + k, iy);
+    }
+    if (best_rank >= 0) {
+      double rx0 = grid->origin.x + (cx - k) * grid->cell;
+      double rx1 = grid->origin.x + (cx + k + 1) * grid->cell;
+      double ry0 = grid->origin.y + (cy - k) * grid->cell;
+      double ry1 = grid->origin.y + (cy + k + 1) * grid->cell;
+      double margin = std::min(std::min(p.xy.x - rx0, rx1 - p.xy.x),
+                               std::min(p.xy.y - ry0, ry1 - p.xy.y));
+      // Strict: an unvisited edge touching the covered rectangle's boundary
+      // can lie at exactly `margin` with a lower tie-break rank.
+      if (margin > 0 && best_dist < margin) break;
+    }
+  }
+
+  if (best_rank < 0) return p;
+  // Same inward nudge as the brute-force snap.
+  geo::Point2 inward = best + (best - p.xy).Normalized() * 1e-6;
+  return {inward, p.floor};
+}
+
+const std::vector<RegionId>& SpatialIndex::RegionCandidatesOfPartition(
+    EntityId pid) const {
+  static const std::vector<RegionId> kEmpty;
+  if (pid < 0 ||
+      static_cast<size_t>(pid) >= partition_region_candidates_.size()) {
+    return kEmpty;
+  }
+  return partition_region_candidates_[static_cast<size_t>(pid)];
+}
+
+size_t SpatialIndex::CellCount() const {
+  size_t total = 0;
+  for (const FloorGrid& grid : grids_) {
+    total += static_cast<size_t>(grid.nx) * static_cast<size_t>(grid.ny);
+  }
+  return total;
+}
+
+double SpatialIndex::CellSize(geo::FloorId floor) const {
+  const FloorGrid* grid = GridFor(floor);
+  return grid != nullptr ? grid->cell : 0.0;
+}
+
+}  // namespace trips::dsm

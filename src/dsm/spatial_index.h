@@ -1,0 +1,136 @@
+// Spatial acceleration index for the DSM's point queries. The brute-force
+// implementations of PartitionAt/RegionAt/IsWalkable/SnapToWalkable scan every
+// entity (or region) with a full point-in-polygon test, so per-record cost in
+// the translation hot loops grows with venue size. This index buckets the
+// walkable partitions, the semantic regions and the walkable boundary edges of
+// each floor into a uniform grid built once (during Dsm::ComputeTopology), so
+// each query touches only the handful of shapes whose bounding boxes cover the
+// queried cell.
+//
+// The index is exact, not approximate: candidates are visited in id order with
+// the same comparisons as the brute-force scans (smallest area wins, lowest id
+// breaks ties; nearest edge wins, first-traced edge breaks ties), so every
+// query returns bit-identical results to the linear scan it replaces. The
+// parity suite in tests/spatial_index_test.cc enforces this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/entity.h"
+
+namespace trips::dsm {
+
+/// Grid construction knobs. The defaults target roughly one shape per cell on
+/// floorplan-shaped inputs; see the README "Performance" notes on tuning.
+struct SpatialIndexOptions {
+  /// Lower bound for the cell edge length, metres. Smaller cells sharpen the
+  /// candidate filter but cost memory (cells scale with 1/cell^2).
+  double min_cell_size = 1.0;
+  /// Upper bound for the cell edge length, metres.
+  double max_cell_size = 64.0;
+  /// Hard cap on grid cells per axis per floor (memory guard for venues with
+  /// pathological aspect ratios).
+  int max_cells_per_axis = 512;
+};
+
+/// Per-floor uniform-grid index over walkable partitions, semantic regions and
+/// walkable boundary edges. Build() snapshots the shapes it indexes (ids,
+/// bounding boxes, areas and polygons), so the index stays valid while the
+/// source Dsm's vectors reallocate, and a Dsm copy/move carries it along.
+/// All query methods are const and thread-safe after Build().
+class SpatialIndex {
+ public:
+  /// (Re)builds the index over the given entities and regions. Entities and
+  /// regions must be stored in ascending id order (as Dsm keeps them).
+  void Build(const std::vector<Entity>& entities,
+             const std::vector<SemanticRegion>& regions,
+             const SpatialIndexOptions& options = {});
+
+  /// Drops all indexed data; built() becomes false.
+  void Clear();
+
+  bool built() const { return built_; }
+
+  // ---- point queries (exact brute-force parity) ----
+
+  /// The smallest-area walkable partition containing `p`, or kInvalidEntity.
+  EntityId PartitionAt(const geo::IndoorPoint& p) const;
+
+  /// True iff `p` lies in some walkable partition.
+  bool IsWalkable(const geo::IndoorPoint& p) const {
+    return PartitionAt(p) != kInvalidEntity;
+  }
+
+  /// The smallest-area semantic region containing `p`, or kInvalidRegion.
+  RegionId RegionAt(const geo::IndoorPoint& p) const;
+
+  /// Nearest walkable point to `p` on its floor (p itself when walkable),
+  /// found by an expanding ring search over the edge buckets.
+  geo::IndoorPoint SnapToWalkable(const geo::IndoorPoint& p) const;
+
+  // ---- precomputed maps ----
+
+  /// Regions whose bounding box intersects walkable partition `pid`'s
+  /// bounding box, ascending — a correct candidate superset for resolving the
+  /// region membership of any point inside the partition without re-scanning
+  /// all region polygons. Empty for unknown/non-walkable ids.
+  const std::vector<RegionId>& RegionCandidatesOfPartition(EntityId pid) const;
+
+  // ---- introspection (tests / benches) ----
+
+  /// Number of per-floor grids.
+  size_t FloorGridCount() const { return grids_.size(); }
+  /// Total grid cells across all floors.
+  size_t CellCount() const;
+  /// Cell edge length of `floor`'s grid, or 0 when the floor is not indexed.
+  double CellSize(geo::FloorId floor) const;
+
+ private:
+  // One indexed shape: the id it answers with plus the cached geometry the
+  // query comparisons need.
+  struct Shape {
+    int32_t id = -1;
+    double area = 0;
+    geo::BoundingBox bounds;  // padded by the polygon boundary epsilon
+    geo::Polygon polygon;
+  };
+
+  // CSR cell buckets: items of cell c are items[offsets[c] .. offsets[c+1]).
+  struct Buckets {
+    std::vector<uint32_t> offsets;
+    std::vector<int32_t> items;
+  };
+
+  struct FloorGrid {
+    geo::FloorId floor = 0;
+    geo::Point2 origin;
+    double cell = 1;
+    double inv_cell = 1;
+    int nx = 0, ny = 0;
+
+    std::vector<Shape> partitions;  // ascending entity id
+    std::vector<Shape> regions;     // ascending region id
+    // Walkable boundary edges in brute-force traversal order (entities
+    // ascending, polygon edge order within each); the index doubles as the
+    // tie-break rank.
+    std::vector<geo::Segment> edges;
+
+    Buckets partition_cells;
+    Buckets region_cells;
+    Buckets edge_cells;
+
+    int CellX(double x) const;
+    int CellY(double y) const;
+    int CellIndex(int ix, int iy) const { return iy * nx + ix; }
+  };
+
+  const FloorGrid* GridFor(geo::FloorId floor) const;
+
+  std::vector<FloorGrid> grids_;  // ascending floor id
+  // Indexed by EntityId (dense); empty vectors for non-walkable entities.
+  std::vector<std::vector<RegionId>> partition_region_candidates_;
+  bool built_ = false;
+};
+
+}  // namespace trips::dsm

@@ -99,11 +99,29 @@ TEST(MallDsmTest, RegionAdjacencyConnectsShopsToCorridors) {
 
 TEST(MallDsmTest, OptionValidation) {
   EXPECT_FALSE(BuildMallDsm({.floors = 0}).ok());
-  EXPECT_FALSE(BuildMallDsm({.floors = 1, .shops_per_arm = 9}).ok());
+  EXPECT_FALSE(BuildMallDsm({.floors = 1, .shops_per_arm = 0}).ok());
   auto no_corridor_regions =
       BuildMallDsm({.floors = 1, .shops_per_arm = 1, .corridor_regions = false});
   ASSERT_TRUE(no_corridor_regions.ok());
   EXPECT_EQ(no_corridor_regions->regions().size(), 4u);  // shops only
+}
+
+TEST(MallDsmTest, WideWingsScaleTheVenue) {
+  // shops_per_arm above the paper's 3 stretches the floor instead of failing
+  // (the venue-scaling knob of the spatial-index benches).
+  auto wide = BuildMallDsm({.floors = 1, .shops_per_arm = 9});
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  size_t shops = 0;
+  for (const Entity& e : wide->entities()) {
+    if (e.kind == EntityKind::kRoom) ++shops;
+  }
+  EXPECT_EQ(shops, 4u * 9u);
+  // The stretched venue stays internally connected: a west-wing shop reaches
+  // an east-wing shop.
+  auto planner = RoutePlanner::Build(&*wide);
+  ASSERT_TRUE(planner.ok());
+  double shift = 14.0 * (9 - 3);
+  EXPECT_TRUE(planner->Reachable({5, 45, 0}, {65 + shift, 10, 0}));
 }
 
 TEST(OfficeDsmTest, StructureAndRouting) {
