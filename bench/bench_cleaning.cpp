@@ -1,0 +1,159 @@
+// Columnar-cleaning benchmarks: the SoA RecordBlock pipeline (reused block +
+// CleanerScratch arena, combined SnapIfOutside pass 4) vs the retained AoS
+// reference implementation, at 1x / 4x / 16x venue scale, and the parallel
+// intra-sequence passes at 1–8 threads. Records/sec is reported as
+// items_per_second. Run through bench/run_benches.sh to capture
+// BENCH_cleaning.json.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace trips;
+
+namespace {
+
+constexpr int kFloors = 7;
+
+// state.range(0) is the venue scale factor (1, 4, 16): shops_per_arm = 3x.
+bench::MallContext& ContextFor(int scale) {
+  static std::map<int, bench::MallContext> contexts;
+  auto it = contexts.find(scale);
+  if (it == contexts.end()) {
+    it = contexts.emplace(scale, bench::MallContext::Make(kFloors, 3 * scale)).first;
+  }
+  return it->second;
+}
+
+// A long noisy corridor walk on the scaled venue: the input shape the cleaner
+// sees from heavy devices (outliers + floor errors + jitter force all four
+// passes to do real work). The corridor stretches with the venue scale.
+positioning::PositioningSequence NoisyWalk(const bench::MallContext& ctx, int n,
+                                           uint64_t seed) {
+  geo::BoundingBox bounds = ctx.dsm->FloorBounds(0);
+  double x_lo = bounds.min.x + 5, x_hi = bounds.max.x - 5;
+  positioning::PositioningSequence truth;
+  truth.device_id = "bench-walker";
+  double x = x_lo;
+  double dir = 3.0;
+  for (int i = 0; i < n; ++i) {
+    truth.records.emplace_back(x, 30.0, 0, static_cast<TimestampMs>(i) * 3000);
+    if (x + dir > x_hi || x + dir < x_lo) dir = -dir;
+    x += dir;
+  }
+  positioning::ErrorModelOptions noise = bench::DefaultNoise(kFloors);
+  noise.dropout_rate = 0;
+  noise.gaps_per_hour = 0;
+  Rng rng(seed);
+  return positioning::ApplyErrorModel(truth, noise, &rng);
+}
+
+cleaning::CleanerOptions BenchCleanerOptions() {
+  cleaning::CleanerOptions opt;
+  opt.smoothing_window = 3;  // the full-pipeline default
+  return opt;
+}
+
+void SetCounters(benchmark::State& state, const dsm::Dsm& dsm, size_t records) {
+  state.counters["entities"] = static_cast<double>(dsm.entities().size());
+  state.counters["records_per_seq"] = static_cast<double>(records);
+}
+
+// ---- AoS reference vs SoA block path, venue scaling ------------------------
+
+constexpr int kSeqRecords = 4096;
+
+void BM_Clean_AoSReference(benchmark::State& state) {
+  bench::MallContext& ctx = ContextFor(static_cast<int>(state.range(0)));
+  cleaning::RawDataCleaner cleaner(ctx.dsm.get(), ctx.planner.get(),
+                                   BenchCleanerOptions());
+  positioning::PositioningSequence raw = NoisyWalk(ctx, kSeqRecords, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cleaner.CleanReference(raw));
+  }
+  state.SetItemsProcessed(state.iterations() * raw.records.size());
+  SetCounters(state, *ctx.dsm, raw.records.size());
+}
+BENCHMARK(BM_Clean_AoSReference)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Clean_SoA(benchmark::State& state) {
+  bench::MallContext& ctx = ContextFor(static_cast<int>(state.range(0)));
+  cleaning::RawDataCleaner cleaner(ctx.dsm.get(), ctx.planner.get(),
+                                   BenchCleanerOptions());
+  positioning::PositioningSequence raw = NoisyWalk(ctx, kSeqRecords, 17);
+  // Steady-state block pipeline: the work block and scratch arena are reused
+  // across sequences (reserve-once), as a translation worker holds them.
+  positioning::RecordBlock block;
+  cleaning::CleanerScratch scratch;
+  for (auto _ : state) {
+    block.AssignFrom(raw);
+    cleaner.CleanBlock(&block, &scratch);
+    benchmark::DoNotOptimize(block.xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * raw.records.size());
+  SetCounters(state, *ctx.dsm, raw.records.size());
+}
+BENCHMARK(BM_Clean_SoA)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// ---- parallel intra-sequence cleaning, 1–8 threads --------------------------
+
+// state.range(0): venue scale; state.range(1): total threads (pool workers =
+// threads - 1; the calling thread participates in ParallelFor).
+void BM_Clean_SoA_Threads(benchmark::State& state) {
+  bench::MallContext& ctx = ContextFor(static_cast<int>(state.range(0)));
+  cleaning::CleanerOptions opt = BenchCleanerOptions();
+  opt.parallel_min_records = 2048;
+  cleaning::RawDataCleaner cleaner(ctx.dsm.get(), ctx.planner.get(), opt);
+  positioning::PositioningSequence raw = NoisyWalk(ctx, 32768, 23);
+  util::ThreadPool pool(static_cast<size_t>(state.range(1)) - 1);
+  positioning::RecordBlock block;
+  cleaning::CleanerScratch scratch;
+  for (auto _ : state) {
+    block.AssignFrom(raw);
+    cleaner.CleanBlock(&block, &scratch, nullptr, &pool);
+    benchmark::DoNotOptimize(block.xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * raw.records.size());
+  SetCounters(state, *ctx.dsm, raw.records.size());
+}
+BENCHMARK(BM_Clean_SoA_Threads)
+    ->ArgsProduct({{16}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- combined snap query ----------------------------------------------------
+
+void BM_SnapIfOutside_vs_Pair(benchmark::State& state) {
+  bench::MallContext& ctx = ContextFor(static_cast<int>(state.range(0)));
+  geo::BoundingBox bounds = ctx.dsm->FloorBounds(0);
+  Rng rng(29);
+  std::vector<geo::IndoorPoint> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back({rng.Uniform(bounds.min.x - 3, bounds.max.x + 3),
+                      rng.Uniform(bounds.min.y - 3, bounds.max.y + 3),
+                      static_cast<geo::FloorId>(rng.UniformInt(0, kFloors - 1))});
+  }
+  bool combined = state.range(1) != 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const geo::IndoorPoint& p = points[i++ % points.size()];
+    if (combined) {
+      bool snapped;
+      benchmark::DoNotOptimize(ctx.dsm->SnapIfOutside(p, &snapped));
+    } else {
+      benchmark::DoNotOptimize(ctx.dsm->IsWalkable(p)
+                                   ? p
+                                   : ctx.dsm->SnapToWalkable(p));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapIfOutside_vs_Pair)
+    ->ArgsProduct({{1, 16}, {0, 1}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,6 +4,9 @@
 #   BENCH_spatial.json  — spatial-index fast path (point location, snapping,
 #                         memoized routing, batch distances, venue scaling)
 #   BENCH_service.json  — end-to-end Service translation throughput
+#   BENCH_cleaning.json — columnar cleaning: SoA RecordBlock + scratch reuse
+#                         vs the AoS reference, parallel passes at 1-8
+#                         threads, combined SnapIfOutside vs the two-call pair
 #
 # Usage: bench/run_benches.sh [build_dir] [out_dir] [min_time]
 #   build_dir  where the bench binaries live        (default: build)
@@ -42,5 +45,6 @@ run_suite() {
 
 run_suite bench_spatial_index "$OUT_DIR/BENCH_spatial.json"
 run_suite bench_service_throughput "$OUT_DIR/BENCH_service.json"
+run_suite bench_cleaning "$OUT_DIR/BENCH_cleaning.json"
 
-echo "Wrote $OUT_DIR/BENCH_spatial.json and $OUT_DIR/BENCH_service.json"
+echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json and $OUT_DIR/BENCH_cleaning.json"

@@ -2,6 +2,9 @@
 
 namespace trips::annotation {
 
+using positioning::RecordCount;
+using positioning::TimeAt;
+
 namespace {
 
 // Shared post-processing: merge equal-adjacent triplets, drop short ones.
@@ -30,18 +33,41 @@ void Postprocess(const AnnotatorOptions& options,
 }
 
 // Builds one triplet from a snippet, or returns false to drop it.
-bool MakeTriplet(const positioning::PositioningSequence& seq, const Snippet& snip,
+template <typename Source>
+bool MakeTriplet(const Source& src, const Snippet& snip,
                  const SpatialMatcher& matcher, const AnnotatorOptions& options,
                  const std::string& event, core::MobilitySemantic* out) {
-  SpatialMatch match = matcher.Match(seq, snip.begin, snip.end);
+  SpatialMatch match = matcher.Match(src, snip.begin, snip.end);
   if (match.region == dsm::kInvalidRegion && options.drop_unmatched) return false;
   out->event = event;
   out->region = match.region;
   out->region_name = match.region_name;
-  out->range = {seq.records[snip.begin].timestamp,
-                seq.records[snip.end - 1].timestamp};
+  out->range = {TimeAt(src, snip.begin), TimeAt(src, snip.end - 1)};
   out->inferred = false;
   return true;
+}
+
+// The annotation loop over either layout: split, extract features per
+// snippet, pick the event through `event_of`, match the region, postprocess.
+template <typename Source, typename EventFn>
+core::MobilitySemanticsSequence AnnotateImpl(const Source& cleaned,
+                                             const AnnotatorOptions& options,
+                                             const SpatialMatcher& matcher,
+                                             const EventFn& event_of) {
+  core::MobilitySemanticsSequence out;
+  out.device_id = cleaned.device_id;
+  std::vector<Snippet> snippets = SplitSequence(cleaned, options.splitter);
+  for (const Snippet& snip : snippets) {
+    if (snip.Size() < 2) continue;
+    FeatureVector features = ExtractFeatures(cleaned, snip.begin, snip.end);
+    std::string event = event_of(features);
+    core::MobilitySemantic triplet;
+    if (MakeTriplet(cleaned, snip, matcher, options, event, &triplet)) {
+      out.semantics.push_back(std::move(triplet));
+    }
+  }
+  Postprocess(options, &out);
+  return out;
 }
 
 }  // namespace
@@ -55,20 +81,16 @@ Annotator::Annotator(const dsm::Dsm* dsm, const EventClassifier* classifier,
 
 core::MobilitySemanticsSequence Annotator::Annotate(
     const positioning::PositioningSequence& cleaned) const {
-  core::MobilitySemanticsSequence out;
-  out.device_id = cleaned.device_id;
-  std::vector<Snippet> snippets = SplitSequence(cleaned, options_.splitter);
-  for (const Snippet& snip : snippets) {
-    if (snip.Size() < 2) continue;
-    FeatureVector features = ExtractFeatures(cleaned, snip.begin, snip.end);
-    std::string event = classifier_->Identify(features);
-    core::MobilitySemantic triplet;
-    if (MakeTriplet(cleaned, snip, matcher_, options_, event, &triplet)) {
-      out.semantics.push_back(std::move(triplet));
-    }
-  }
-  Postprocess(options_, &out);
-  return out;
+  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
+    return classifier_->Identify(f);
+  });
+}
+
+core::MobilitySemanticsSequence Annotator::Annotate(
+    const positioning::RecordBlock& cleaned) const {
+  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
+    return classifier_->Identify(f);
+  });
 }
 
 StopMoveBaseline::StopMoveBaseline(const dsm::Dsm* dsm, AnnotatorOptions options,
@@ -80,22 +102,19 @@ StopMoveBaseline::StopMoveBaseline(const dsm::Dsm* dsm, AnnotatorOptions options
 
 core::MobilitySemanticsSequence StopMoveBaseline::Annotate(
     const positioning::PositioningSequence& cleaned) const {
-  core::MobilitySemanticsSequence out;
-  out.device_id = cleaned.device_id;
-  std::vector<Snippet> snippets = SplitSequence(cleaned, options_.splitter);
-  for (const Snippet& snip : snippets) {
-    if (snip.Size() < 2) continue;
-    FeatureVector features = ExtractFeatures(cleaned, snip.begin, snip.end);
-    // The two-pattern vocabulary of the prior GPS systems: stop or move.
-    std::string event =
-        features[kMeanSpeed] < stop_speed_ ? core::kEventStay : core::kEventPassBy;
-    core::MobilitySemantic triplet;
-    if (MakeTriplet(cleaned, snip, matcher_, options_, event, &triplet)) {
-      out.semantics.push_back(std::move(triplet));
-    }
-  }
-  Postprocess(options_, &out);
-  return out;
+  // The two-pattern vocabulary of the prior GPS systems: stop or move.
+  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
+    return std::string(f[kMeanSpeed] < stop_speed_ ? core::kEventStay
+                                                   : core::kEventPassBy);
+  });
+}
+
+core::MobilitySemanticsSequence StopMoveBaseline::Annotate(
+    const positioning::RecordBlock& cleaned) const {
+  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
+    return std::string(f[kMeanSpeed] < stop_speed_ ? core::kEventStay
+                                                   : core::kEventPassBy);
+  });
 }
 
 }  // namespace trips::annotation

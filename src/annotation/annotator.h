@@ -41,6 +41,12 @@ class Annotator {
   core::MobilitySemanticsSequence Annotate(
       const positioning::PositioningSequence& cleaned) const;
 
+  /// Columnar form: annotates a cleaned record block directly (the block
+  /// pipeline path — no AoS materialization; output identical to the AoS
+  /// form).
+  core::MobilitySemanticsSequence Annotate(
+      const positioning::RecordBlock& cleaned) const;
+
  private:
   const dsm::Dsm* dsm_;
   const EventClassifier* classifier_;
@@ -59,6 +65,10 @@ class StopMoveBaseline {
 
   core::MobilitySemanticsSequence Annotate(
       const positioning::PositioningSequence& cleaned) const;
+
+  /// Columnar form over a cleaned record block.
+  core::MobilitySemanticsSequence Annotate(
+      const positioning::RecordBlock& cleaned) const;
 
  private:
   const dsm::Dsm* dsm_;

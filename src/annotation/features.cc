@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "positioning/record_block.h"
+
 namespace trips::annotation {
 
 const std::vector<std::string>& FeatureNames() {
@@ -14,29 +16,38 @@ const std::vector<std::string>& FeatureNames() {
   return kNames;
 }
 
-FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq,
-                              size_t begin, size_t end) {
+namespace {
+
+// One algorithm, two layouts: instantiated for the AoS sequence and the SoA
+// block through the uniform accessors, so both paths compute bit-identical
+// features.
+template <typename Source>
+FeatureVector ExtractFeaturesImpl(const Source& src, size_t begin, size_t end) {
+  using positioning::FloorAt;
+  using positioning::RecordCount;
+  using positioning::TimeAt;
+  using positioning::XYAt;
+
   FeatureVector f{};
-  if (end > seq.records.size()) end = seq.records.size();
+  if (end > RecordCount(src)) end = RecordCount(src);
   if (begin >= end) return f;
   const size_t n = end - begin;
   f[kRecordCount] = static_cast<double>(n);
   if (n < 2) return f;
 
-  const auto& r = seq.records;
-  DurationMs duration = r[end - 1].timestamp - r[begin].timestamp;
+  DurationMs duration = TimeAt(src, end - 1) - TimeAt(src, begin);
   f[kDurationS] = static_cast<double>(duration) / 1000.0;
 
   // Centroid & variance.
   geo::Point2 centroid;
-  for (size_t i = begin; i < end; ++i) centroid = centroid + r[i].location.xy;
+  for (size_t i = begin; i < end; ++i) centroid = centroid + XYAt(src, i);
   centroid = centroid / static_cast<double>(n);
   double var = 0;
   geo::BoundingBox box;
   for (size_t i = begin; i < end; ++i) {
-    double d = r[i].location.xy.DistanceTo(centroid);
+    double d = XYAt(src, i).DistanceTo(centroid);
     var += d * d;
-    box.Extend(r[i].location.xy);
+    box.Extend(XYAt(src, i));
   }
   f[kLocationVariance] = var / static_cast<double>(n);
   f[kCoveringRange] =
@@ -52,15 +63,15 @@ FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq,
   bool have_heading = false;
   double prev_heading = 0;
   for (size_t i = begin + 1; i < end; ++i) {
-    geo::Point2 step = r[i].location.xy - r[i - 1].location.xy;
+    geo::Point2 step = XYAt(src, i) - XYAt(src, i - 1);
     double len = step.Norm();
     travel += len;
-    DurationMs dt = r[i].timestamp - r[i - 1].timestamp;
+    DurationMs dt = TimeAt(src, i) - TimeAt(src, i - 1);
     double speed = dt > 0 ? len / (static_cast<double>(dt) / 1000.0) : 0;
     if (speed > max_speed) max_speed = speed;
     ++steps;
     if (speed < 0.2) ++slow_steps;
-    if (r[i].location.floor != r[i - 1].location.floor) ++floor_changes;
+    if (FloorAt(src, i) != FloorAt(src, i - 1)) ++floor_changes;
     if (len > 0.05) {  // ignore jitter when computing headings
       double heading = std::atan2(step.y, step.x);
       if (have_heading) {
@@ -73,7 +84,7 @@ FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq,
     }
   }
   f[kTravelDistance] = travel;
-  f[kNetDisplacement] = r[begin].location.xy.DistanceTo(r[end - 1].location.xy);
+  f[kNetDisplacement] = XYAt(src, begin).DistanceTo(XYAt(src, end - 1));
   f[kMeanSpeed] = f[kDurationS] > 0 ? travel / f[kDurationS] : 0;
   f[kMaxStepSpeed] = max_speed;
   f[kStraightness] = travel > 1e-9 ? f[kNetDisplacement] / travel : 0;
@@ -83,6 +94,18 @@ FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq,
       steps > 0 ? static_cast<double>(slow_steps) / static_cast<double>(steps) : 0;
   f[kFloorChanges] = floor_changes;
   return f;
+}
+
+}  // namespace
+
+FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq,
+                              size_t begin, size_t end) {
+  return ExtractFeaturesImpl(seq, begin, end);
+}
+
+FeatureVector ExtractFeatures(const positioning::RecordBlock& block, size_t begin,
+                              size_t end) {
+  return ExtractFeaturesImpl(block, begin, end);
 }
 
 FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "positioning/record.h"
+#include "positioning/record_block.h"
 
 namespace trips::annotation {
 
@@ -40,6 +41,11 @@ const std::vector<std::string>& FeatureNames();
 /// counts filled in.
 FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq,
                               size_t begin, size_t end);
+
+/// Columnar form: the same features over a slice of a time-sorted record
+/// block (shared implementation — results are bit-identical to the AoS form).
+FeatureVector ExtractFeatures(const positioning::RecordBlock& block, size_t begin,
+                              size_t end);
 
 /// Convenience: features of a whole sequence.
 FeatureVector ExtractFeatures(const positioning::PositioningSequence& seq);

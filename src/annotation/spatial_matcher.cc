@@ -3,15 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "positioning/record_block.h"
+
 namespace trips::annotation {
+
+using positioning::LocationAt;
+using positioning::RecordCount;
+using positioning::TimeAt;
 
 SpatialMatcher::SpatialMatcher(const dsm::Dsm* dsm, SpatialMatcherOptions options)
     : dsm_(dsm), options_(options) {}
 
-SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
-                                   size_t begin, size_t end) const {
+template <typename Source>
+SpatialMatch SpatialMatcher::MatchImpl(const Source& src, size_t begin,
+                                       size_t end) const {
   SpatialMatch out;
-  if (end > seq.records.size()) end = seq.records.size();
+  if (end > RecordCount(src)) end = RecordCount(src);
   if (begin >= end) return out;
 
   // Flat per-region vote accumulator, reused across calls (thread-local: one
@@ -30,17 +37,13 @@ SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
   for (size_t i = begin; i < end; ++i) {
     double weight = 0;
     if (i > begin) {
-      weight +=
-          static_cast<double>(seq.records[i].timestamp - seq.records[i - 1].timestamp) /
-          2;
+      weight += static_cast<double>(TimeAt(src, i) - TimeAt(src, i - 1)) / 2;
     }
     if (i + 1 < end) {
-      weight +=
-          static_cast<double>(seq.records[i + 1].timestamp - seq.records[i].timestamp) /
-          2;
+      weight += static_cast<double>(TimeAt(src, i + 1) - TimeAt(src, i)) / 2;
     }
     if (weight <= 0) weight = 1;
-    dsm::RegionId rid = dsm_->RegionAt(seq.records[i].location);
+    dsm::RegionId rid = dsm_->RegionAt(LocationAt(src, i));
     if (rid != dsm::kInvalidRegion) {
       if (votes[rid] == 0) touched.push_back(rid);
       votes[rid] += weight;
@@ -71,6 +74,16 @@ SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
     out.region_name = r->name;
   }
   return out;
+}
+
+SpatialMatch SpatialMatcher::Match(const positioning::PositioningSequence& seq,
+                                   size_t begin, size_t end) const {
+  return MatchImpl(seq, begin, end);
+}
+
+SpatialMatch SpatialMatcher::Match(const positioning::RecordBlock& block,
+                                   size_t begin, size_t end) const {
+  return MatchImpl(block, begin, end);
 }
 
 }  // namespace trips::annotation

@@ -7,6 +7,7 @@
 
 #include "dsm/dsm.h"
 #include "positioning/record.h"
+#include "positioning/record_block.h"
 
 namespace trips::annotation {
 
@@ -34,7 +35,15 @@ class SpatialMatcher {
   SpatialMatch Match(const positioning::PositioningSequence& seq, size_t begin,
                      size_t end) const;
 
+  /// Columnar form over a record block (shared implementation — matches are
+  /// identical to the AoS form).
+  SpatialMatch Match(const positioning::RecordBlock& block, size_t begin,
+                     size_t end) const;
+
  private:
+  template <typename Source>
+  SpatialMatch MatchImpl(const Source& src, size_t begin, size_t end) const;
+
   const dsm::Dsm* dsm_;
   SpatialMatcherOptions options_;
 };

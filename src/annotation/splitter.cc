@@ -3,44 +3,52 @@
 #include <algorithm>
 #include <queue>
 
+#include "positioning/record_block.h"
+
 namespace trips::annotation {
 
+using positioning::FloorAt;
 using positioning::PositioningSequence;
+using positioning::RecordBlock;
+using positioning::RecordCount;
+using positioning::TimeAt;
+using positioning::XYAt;
 
 namespace {
 
 // Collects indices of the spatio-temporal neighbours of record i. Records are
-// time-sorted, so the temporal window bounds the scan.
-std::vector<size_t> Neighbours(const PositioningSequence& seq, size_t i,
+// time-sorted, so the temporal window bounds the scan. Templated over the
+// record layout (AoS sequence / SoA block); both instantiations run the same
+// arithmetic.
+template <typename Source>
+std::vector<size_t> Neighbours(const Source& src, size_t i,
                                const SplitterOptions& opt) {
   std::vector<size_t> out;
-  const auto& records = seq.records;
-  const auto& ri = records[i];
+  const size_t n = RecordCount(src);
+  const TimestampMs ti = TimeAt(src, i);
+  const geo::Point2 pi = XYAt(src, i);
+  const geo::FloorId fi = FloorAt(src, i);
   // Scan backwards (excluding self).
   for (size_t j = i; j-- > 0;) {
-    if (ri.timestamp - records[j].timestamp > opt.eps_time) break;
-    if (records[j].location.floor == ri.location.floor &&
-        records[j].location.PlanarDistanceTo(ri.location) <= opt.eps_space) {
+    if (ti - TimeAt(src, j) > opt.eps_time) break;
+    if (FloorAt(src, j) == fi && XYAt(src, j).DistanceTo(pi) <= opt.eps_space) {
       out.push_back(j);
     }
   }
   // Scan forwards.
-  for (size_t j = i + 1; j < records.size(); ++j) {
-    if (records[j].timestamp - ri.timestamp > opt.eps_time) break;
-    if (records[j].location.floor == ri.location.floor &&
-        records[j].location.PlanarDistanceTo(ri.location) <= opt.eps_space) {
+  for (size_t j = i + 1; j < n; ++j) {
+    if (TimeAt(src, j) - ti > opt.eps_time) break;
+    if (FloorAt(src, j) == fi && XYAt(src, j).DistanceTo(pi) <= opt.eps_space) {
       out.push_back(j);
     }
   }
   return out;
 }
 
-}  // namespace
-
-std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
-                                   const SplitterOptions& options) {
+template <typename Source>
+std::vector<Snippet> SplitImpl(const Source& src, const SplitterOptions& options) {
   std::vector<Snippet> snippets;
-  const size_t n = seq.records.size();
+  const size_t n = RecordCount(src);
   if (n < 2) return snippets;
 
   constexpr int kUnvisited = -2;
@@ -51,7 +59,7 @@ std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
   // Sequential DBSCAN.
   for (size_t i = 0; i < n; ++i) {
     if (label[i] != kUnvisited) continue;
-    std::vector<size_t> nb = Neighbours(seq, i, options);
+    std::vector<size_t> nb = Neighbours(src, i, options);
     if (nb.size() + 1 < options.min_pts) {
       label[i] = kNoise;
       continue;
@@ -66,7 +74,7 @@ std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
       if (label[j] == kNoise) label[j] = cluster;  // border point
       if (label[j] != kUnvisited) continue;
       label[j] = cluster;
-      std::vector<size_t> nb2 = Neighbours(seq, j, options);
+      std::vector<size_t> nb2 = Neighbours(src, j, options);
       if (nb2.size() + 1 >= options.min_pts) {
         for (size_t k : nb2) {
           if (label[k] == kUnvisited || label[k] == kNoise) frontier.push(k);
@@ -92,7 +100,7 @@ std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
   if (options.min_snippet > 0 && snippets.size() > 1) {
     std::vector<Snippet> merged;
     for (const Snippet& s : snippets) {
-      DurationMs dur = seq.records[s.end - 1].timestamp - seq.records[s.begin].timestamp;
+      DurationMs dur = TimeAt(src, s.end - 1) - TimeAt(src, s.begin);
       if (!merged.empty() && dur < options.min_snippet) {
         merged.back().end = s.end;
       } else {
@@ -102,6 +110,18 @@ std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
     snippets = std::move(merged);
   }
   return snippets;
+}
+
+}  // namespace
+
+std::vector<Snippet> SplitSequence(const PositioningSequence& seq,
+                                   const SplitterOptions& options) {
+  return SplitImpl(seq, options);
+}
+
+std::vector<Snippet> SplitSequence(const RecordBlock& block,
+                                   const SplitterOptions& options) {
+  return SplitImpl(block, options);
 }
 
 }  // namespace trips::annotation

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "positioning/record.h"
+#include "positioning/record_block.h"
 
 namespace trips::annotation {
 
@@ -45,6 +46,11 @@ struct Snippet {
 /// Splits a time-sorted sequence into snippets. Returns an empty vector for
 /// sequences with fewer than 2 records.
 std::vector<Snippet> SplitSequence(const positioning::PositioningSequence& seq,
+                                   const SplitterOptions& options = {});
+
+/// Columnar form over a time-sorted record block (shared implementation —
+/// snippets are identical to the AoS form).
+std::vector<Snippet> SplitSequence(const positioning::RecordBlock& block,
                                    const SplitterOptions& options = {});
 
 }  // namespace trips::annotation

@@ -8,10 +8,37 @@ namespace trips::cleaning {
 
 using positioning::PositioningSequence;
 using positioning::RawRecord;
+using positioning::RecordBlock;
+
+namespace {
+// Pass-4 records per parallel work item: coarse enough that the fork/join
+// bookkeeping stays negligible next to the per-record walkability query.
+constexpr size_t kSnapChunk = 1024;
+}  // namespace
 
 RawDataCleaner::RawDataCleaner(const dsm::Dsm* dsm, const dsm::RoutePlanner* planner,
                                CleanerOptions options)
-    : dsm_(dsm), planner_(planner), options_(options) {}
+    : dsm_(dsm), planner_(planner), options_(options) {
+  // Hoist the vertical-connector footprints once: the speed-constraint scan
+  // probes them for every floor-change record, and venues carry thousands of
+  // entities but only a handful of staircases/elevators. The padding exceeds
+  // the polygon boundary-containment epsilon, so the bbox prefilter can never
+  // reject a point the polygon tests would accept.
+  for (const dsm::Entity& e : dsm_->entities()) {
+    if (!dsm::IsVerticalKind(e.kind)) continue;
+    ConnectorShape c;
+    c.shape = e.shape;
+    c.padded = e.shape.Bounds();
+    if (!c.padded.Empty()) {
+      double pad = options_.vertical_connector_slack + 1e-6;
+      c.padded.min.x -= pad;
+      c.padded.min.y -= pad;
+      c.padded.max.x += pad;
+      c.padded.max.y += pad;
+    }
+    connectors_.push_back(c);
+  }
+}
 
 double RawDataCleaner::MinIndoorDistance(const geo::IndoorPoint& a,
                                          const geo::IndoorPoint& b) const {
@@ -22,6 +49,17 @@ double RawDataCleaner::MinIndoorDistance(const geo::IndoorPoint& a,
 }
 
 bool RawDataCleaner::NearVerticalConnector(const geo::Point2& p) const {
+  for (const ConnectorShape& c : connectors_) {
+    if (!c.padded.Contains(p)) continue;
+    if (c.shape.Contains(p) ||
+        c.shape.BoundaryDistanceTo(p) <= options_.vertical_connector_slack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RawDataCleaner::NearVerticalConnectorReference(const geo::Point2& p) const {
   for (const dsm::Entity& e : dsm_->entities()) {
     if (!dsm::IsVerticalKind(e.kind)) continue;
     if (e.shape.Contains(p) ||
@@ -51,8 +89,311 @@ bool RawDataCleaner::ViolatesSpeed(const geo::IndoorPoint& a, const geo::IndoorP
   return speed > options_.max_walking_speed;
 }
 
+bool RawDataCleaner::ViolatesSpeedReference(const geo::IndoorPoint& a,
+                                            const geo::IndoorPoint& b,
+                                            DurationMs dt_ms) const {
+  if (dt_ms <= 0) return false;
+  double dist = a.PlanarDistanceTo(b);
+  if (a.floor != b.floor) {
+    bool at_connector = NearVerticalConnectorReference(a.xy) &&
+                        NearVerticalConnectorReference(b.xy);
+    if (!at_connector) {
+      dist += options_.floor_change_penalty * std::abs(a.floor - b.floor);
+    }
+  }
+  double speed = dist / (static_cast<double>(dt_ms) / 1000.0);
+  return speed > options_.max_walking_speed;
+}
+
+void RawDataCleaner::ForItems(util::ThreadPool* pool, size_t record_count,
+                              size_t items,
+                              const std::function<void(size_t)>& fn) const {
+  if (pool != nullptr && pool->worker_count() > 0 && items > 1 &&
+      record_count >= options_.parallel_min_records) {
+    pool->ParallelFor(items, fn);
+    return;
+  }
+  for (size_t i = 0; i < items; ++i) fn(i);
+}
+
+// Pass 1: speed-constraint scan against the last accepted record. A floor
+// change is only accepted as a legitimate transition when it happens at a
+// vertical connector AND the new floor is corroborated by the next few
+// records; otherwise floor value correction adopts the anchor floor when
+// the local consensus supports it, and remaining violators lose their
+// validity bit for interpolation. Inherently sequential (each decision
+// depends on the last accepted anchor), so this pass always runs serial.
+void RawDataCleaner::ScanPass(RecordBlock* block, CleaningReport* rep) const {
+  const size_t n = block->Size();
+  const std::vector<TimestampMs>& ts = block->timestamps;
+  std::vector<geo::FloorId>& floors = block->floors;
+
+  // Majority floor of the (up to) three records following i; falls back to
+  // record i's own floor when no successors exist.
+  auto local_floor_consensus = [&](size_t i) {
+    std::map<geo::FloorId, int> votes;
+    for (size_t j = i + 1; j < std::min(n, i + 4); ++j) {
+      ++votes[floors[j]];
+    }
+    geo::FloorId best = floors[i];
+    int best_votes = 0;
+    for (const auto& [floor, v] : votes) {
+      if (v > best_votes) {
+        best_votes = v;
+        best = floor;
+      }
+    }
+    return best;
+  };
+
+  // Seed the anchor at the first record that is speed-consistent with its
+  // successor; everything before it (e.g. a bad first fix) is invalid.
+  size_t first_anchor = 0;
+  for (size_t s = 0; s + 1 < n && s < 8; ++s) {
+    if (!ViolatesSpeed(block->Location(s), block->Location(s + 1),
+                       ts[s + 1] - ts[s])) {
+      first_anchor = s;
+      break;
+    }
+    first_anchor = s + 1;
+  }
+  for (size_t i = 0; i < first_anchor; ++i) {
+    block->SetValid(i, false);
+    ++rep->speed_violations;
+  }
+  size_t last_ok = first_anchor;
+  for (size_t i = first_anchor + 1; i < n; ++i) {
+    DurationMs dt = ts[i] - ts[last_ok];
+    geo::Point2 prev_xy = block->XY(last_ok);
+    geo::Point2 cur_xy = block->XY(i);
+    double planar_speed =
+        dt > 0 ? prev_xy.DistanceTo(cur_xy) / (static_cast<double>(dt) / 1000.0)
+               : 0;
+    bool planar_ok = planar_speed <= options_.max_walking_speed;
+
+    if (floors[i] == floors[last_ok]) {
+      if (planar_ok) {
+        last_ok = i;
+      } else {
+        ++rep->speed_violations;
+        block->SetValid(i, false);
+      }
+      continue;
+    }
+
+    // Floor change against the anchor.
+    geo::FloorId consensus = local_floor_consensus(i);
+    bool at_connector =
+        NearVerticalConnector(prev_xy) && NearVerticalConnector(cur_xy);
+    if (at_connector && planar_ok && floors[i] == consensus) {
+      last_ok = i;  // legitimate, corroborated transition
+      continue;
+    }
+    ++rep->speed_violations;
+    if (planar_ok && consensus == floors[last_ok]) {
+      // The anchor and upcoming records agree: this record's floor is wrong.
+      floors[i] = floors[last_ok];
+      ++rep->floor_corrected;
+      last_ok = i;
+    } else if (planar_ok && floors[i] == consensus) {
+      // Upcoming records side with this record: the anchor's floor was the
+      // odd one out; accept and resume from here.
+      last_ok = i;
+    } else {
+      block->SetValid(i, false);
+    }
+  }
+}
+
+// Pass 2: location interpolation for invalid runs between accepted anchors,
+// along the indoor route between the anchors when available. The runs are
+// disjoint and only read their (valid, untouched) boundary anchors, so they
+// interpolate in parallel; the anchor snaps they share are precomputed into
+// the scratch so no two runs ever write the same cache slot.
+void RawDataCleaner::InterpolatePass(RecordBlock* block, CleanerScratch* scratch,
+                                     CleaningReport* rep,
+                                     util::ThreadPool* pool) const {
+  const size_t n = block->Size();
+  scratch->runs.clear();
+  size_t i = 0;
+  while (i < n) {
+    if (block->IsValid(i)) {
+      ++i;
+      continue;
+    }
+    size_t run_begin = i;
+    size_t run_end = i;
+    while (run_end + 1 < n && !block->IsValid(run_end + 1)) ++run_end;
+    scratch->runs.emplace_back(static_cast<uint32_t>(run_begin),
+                               static_cast<uint32_t>(run_end));
+    rep->interpolated += run_end - run_begin + 1;
+    i = run_end + 1;
+  }
+  if (scratch->runs.empty()) return;
+
+  // Anchor snaps, hoisted: an anchor record can border two runs (and
+  // SnapToWalkable is the priciest query this pass issues), so each anchor is
+  // snapped exactly once, in parallel over the deduplicated anchor list.
+  const bool use_routes = options_.interpolate_along_routes && planner_ != nullptr;
+  scratch->anchors.clear();
+  if (use_routes && options_.snap_to_walkable) {
+    for (const auto& [rb, re] : scratch->runs) {
+      if (rb > 0 && re + 1 < n) {
+        scratch->anchors.push_back(rb - 1);
+        scratch->anchors.push_back(re + 1);
+      }
+    }
+    std::sort(scratch->anchors.begin(), scratch->anchors.end());
+    scratch->anchors.erase(
+        std::unique(scratch->anchors.begin(), scratch->anchors.end()),
+        scratch->anchors.end());
+    scratch->anchor_snaps.resize(scratch->anchors.size());
+    ForItems(pool, n, scratch->anchors.size(), [&](size_t a) {
+      scratch->anchor_snaps[a] =
+          dsm_->SnapToWalkable(block->Location(scratch->anchors[a]));
+    });
+  }
+  auto snapped_anchor = [&](uint32_t idx) {
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(scratch->anchors.begin(), scratch->anchors.end(), idx) -
+        scratch->anchors.begin());
+    return scratch->anchor_snaps[pos];
+  };
+
+  const std::vector<TimestampMs>& ts = block->timestamps;
+  ForItems(pool, n, scratch->runs.size(), [&](size_t r) {
+    const auto [run_begin, run_end] = scratch->runs[r];
+    bool has_prev = run_begin > 0;
+    bool has_next = run_end + 1 < n;
+    if (has_prev && has_next) {
+      const uint32_t a = run_begin - 1;
+      const uint32_t b = run_end + 1;
+      dsm::Route route;
+      bool have_route = false;
+      if (use_routes) {
+        geo::IndoorPoint src = options_.snap_to_walkable ? snapped_anchor(a)
+                                                         : block->Location(a);
+        geo::IndoorPoint dst = options_.snap_to_walkable ? snapped_anchor(b)
+                                                         : block->Location(b);
+        Result<dsm::Route> found = planner_->FindRoute(src, dst);
+        if (found.ok()) {
+          route = std::move(found).ValueOrDie();
+          have_route = true;
+        }
+      }
+      DurationMs span = ts[b] - ts[a];
+      geo::Point2 a_xy = block->XY(a);
+      geo::Point2 b_xy = block->XY(b);
+      for (uint32_t k = run_begin; k <= run_end; ++k) {
+        double t = span > 0 ? static_cast<double>(ts[k] - ts[a]) /
+                                  static_cast<double>(span)
+                            : 0.5;
+        if (have_route) {
+          block->SetLocation(k, route.PointAtDistance(route.distance * t));
+        } else {
+          geo::Point2 xy = a_xy + (b_xy - a_xy) * t;
+          block->xs[k] = xy.x;
+          block->ys[k] = xy.y;
+          block->floors[k] = t < 0.5 ? block->floors[a] : block->floors[b];
+        }
+      }
+    } else {
+      // Leading/trailing run without both anchors: clamp to the one anchor.
+      geo::IndoorPoint anchor = has_prev ? block->Location(run_begin - 1)
+                                         : block->Location(run_end + 1);
+      for (uint32_t k = run_begin; k <= run_end; ++k) {
+        block->SetLocation(k, anchor);
+      }
+    }
+  });
+}
+
+// Pass 3: optional planar smoothing (centred moving average per floor run).
+// Columnar but serial: the window is a handful of records, so the pass is
+// memory-bound on the xy columns it streams anyway.
+void RawDataCleaner::SmoothPass(RecordBlock* block, CleanerScratch* scratch,
+                                CleaningReport* rep) const {
+  if (options_.smoothing_window <= 1) return;
+  const size_t n = block->Size();
+  scratch->smooth_x.resize(n);
+  scratch->smooth_y.resize(n);
+  size_t half = options_.smoothing_window / 2;
+  for (size_t k = 0; k < n; ++k) {
+    size_t lo = k >= half ? k - half : 0;
+    size_t hi = std::min(n - 1, k + half);
+    geo::Point2 sum;
+    int count = 0;
+    for (size_t j = lo; j <= hi; ++j) {
+      if (block->floors[j] != block->floors[k]) continue;
+      sum = sum + block->XY(j);
+      ++count;
+    }
+    geo::Point2 smoothed = count > 0 ? sum / count : block->XY(k);
+    scratch->smooth_x[k] = smoothed.x;
+    scratch->smooth_y[k] = smoothed.y;
+    if (count > 1) ++rep->smoothed;
+  }
+  std::copy(scratch->smooth_x.begin(), scratch->smooth_x.end(), block->xs.begin());
+  std::copy(scratch->smooth_y.begin(), scratch->smooth_y.end(), block->ys.begin());
+}
+
+// Pass 4: snap anything left outside walkable space back in. Per-record
+// independent, so the records fan out in fixed chunks; the combined
+// SnapIfOutside query resolves walkability and the snap with one grid lookup
+// instead of the IsWalkable + SnapToWalkable pair.
+void RawDataCleaner::SnapPass(RecordBlock* block, CleanerScratch* scratch,
+                              CleaningReport* rep, util::ThreadPool* pool) const {
+  if (!options_.snap_to_walkable) return;
+  const size_t n = block->Size();
+  scratch->snap_flags.assign(n, 0);
+  size_t chunks = (n + kSnapChunk - 1) / kSnapChunk;
+  ForItems(pool, n, chunks, [&](size_t c) {
+    size_t begin = c * kSnapChunk;
+    size_t end = std::min(n, begin + kSnapChunk);
+    for (size_t k = begin; k < end; ++k) {
+      bool snapped = false;
+      geo::IndoorPoint q = dsm_->SnapIfOutside(block->Location(k), &snapped);
+      if (snapped) {
+        block->SetLocation(k, q);
+        scratch->snap_flags[k] = 1;
+      }
+    }
+  });
+  for (size_t k = 0; k < n; ++k) rep->snapped += scratch->snap_flags[k];
+}
+
+void RawDataCleaner::CleanBlock(RecordBlock* block, CleanerScratch* scratch,
+                                CleaningReport* report,
+                                util::ThreadPool* pool) const {
+  CleaningReport local;
+  CleaningReport* rep = report != nullptr ? report : &local;
+  *rep = CleaningReport{};
+  rep->total_records = block->Size();
+
+  block->SortByTime();
+  block->MarkAllValid();
+  if (block->Size() < 2) return;
+
+  static thread_local CleanerScratch tls_scratch;
+  CleanerScratch* s = scratch != nullptr ? scratch : &tls_scratch;
+
+  ScanPass(block, rep);
+  InterpolatePass(block, s, rep, pool);
+  SmoothPass(block, s, rep);
+  SnapPass(block, s, rep, pool);
+}
+
 PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
-                                          CleaningReport* report) const {
+                                          CleaningReport* report,
+                                          util::ThreadPool* pool) const {
+  static thread_local RecordBlock block;
+  block.AssignFrom(raw);
+  CleanBlock(&block, nullptr, report, pool);
+  return block.ToSequence();
+}
+
+PositioningSequence RawDataCleaner::CleanReference(const PositioningSequence& raw,
+                                                   CleaningReport* report) const {
   CleaningReport local;
   CleaningReport* rep = report != nullptr ? report : &local;
   *rep = CleaningReport{};
@@ -66,15 +407,7 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
 
   const size_t n = out.records.size();
 
-  // Pass 1: speed-constraint scan against the last accepted record. A floor
-  // change is only accepted as a legitimate transition when it happens at a
-  // vertical connector AND the new floor is corroborated by the next few
-  // records; otherwise floor value correction adopts the anchor floor when
-  // the local consensus supports it, and remaining violators are marked
-  // invalid for interpolation.
-  //
-  // Majority floor of the (up to) three records following i; falls back to
-  // record i's own floor when no successors exist.
+  // Pass 1 (reference): anchor scan, as in ScanPass but over AoS records.
   auto local_floor_consensus = [&](size_t i) {
     std::map<geo::FloorId, int> votes;
     for (size_t j = i + 1; j < std::min(n, i + 4); ++j) {
@@ -91,13 +424,11 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
     return best;
   };
   std::vector<bool> invalid(n, false);
-  // Seed the anchor at the first record that is speed-consistent with its
-  // successor; everything before it (e.g. a bad first fix) is invalid.
   size_t first_anchor = 0;
   for (size_t s = 0; s + 1 < n && s < 8; ++s) {
     const RawRecord& a = out.records[s];
     const RawRecord& b = out.records[s + 1];
-    if (!ViolatesSpeed(a.location, b.location, b.timestamp - a.timestamp)) {
+    if (!ViolatesSpeedReference(a.location, b.location, b.timestamp - a.timestamp)) {
       first_anchor = s;
       break;
     }
@@ -128,34 +459,26 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
       continue;
     }
 
-    // Floor change against the anchor.
     geo::FloorId consensus = local_floor_consensus(i);
-    bool at_connector = NearVerticalConnector(prev.location.xy) &&
-                        NearVerticalConnector(cur.location.xy);
+    bool at_connector = NearVerticalConnectorReference(prev.location.xy) &&
+                        NearVerticalConnectorReference(cur.location.xy);
     if (at_connector && planar_ok && cur.location.floor == consensus) {
-      last_ok = i;  // legitimate, corroborated transition
+      last_ok = i;
       continue;
     }
     ++rep->speed_violations;
     if (planar_ok && consensus == prev.location.floor) {
-      // The anchor and upcoming records agree: this record's floor is wrong.
       cur.location.floor = prev.location.floor;
       ++rep->floor_corrected;
       last_ok = i;
     } else if (planar_ok && cur.location.floor == consensus) {
-      // Upcoming records side with this record: the anchor's floor was the
-      // odd one out; accept and resume from here.
       last_ok = i;
     } else {
       invalid[i] = true;
     }
   }
 
-  // Pass 2: location interpolation for invalid runs between accepted anchors,
-  // along the indoor route between the anchors when available. An anchor
-  // record can border two runs (and SnapToWalkable is the priciest query this
-  // pass issues), so each record is snapped at most once and the result
-  // cached — allocated lazily, only for sequences that hit a gap.
+  // Pass 2 (reference): interpolation with the lazy per-record snap cache.
   std::vector<geo::IndoorPoint> snapped;
   std::vector<char> snap_known;
   auto snapped_location = [&](size_t idx) {
@@ -214,7 +537,6 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
         ++rep->interpolated;
       }
     } else {
-      // Leading/trailing run without both anchors: clamp to the one anchor.
       const RawRecord& anchor =
           has_prev ? out.records[run_begin - 1] : out.records[run_end + 1];
       for (size_t k = run_begin; k <= run_end; ++k) {
@@ -225,7 +547,7 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
     i = run_end + 1;
   }
 
-  // Pass 3: optional planar smoothing (centred moving average per floor run).
+  // Pass 3 (reference): planar smoothing.
   if (options_.smoothing_window > 1) {
     std::vector<geo::Point2> smoothed(n);
     size_t half = options_.smoothing_window / 2;
@@ -245,7 +567,7 @@ PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,
     for (size_t k = 0; k < n; ++k) out.records[k].location.xy = smoothed[k];
   }
 
-  // Pass 4: snap anything left outside walkable space back in.
+  // Pass 4 (reference): the two-call walkability + snap sequence.
   if (options_.snap_to_walkable) {
     for (RawRecord& rec : out.records) {
       if (!dsm_->IsWalkable(rec.location)) {

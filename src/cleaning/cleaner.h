@@ -7,6 +7,16 @@
 // a location interpolation is performed by deriving the possible locations at
 // the time of that record based on the indoor geometrical and topological
 // information captured by the DSM."
+//
+// The cleaner runs columnar: CleanBlock repairs a positioning::RecordBlock in
+// place with four passes over its columns — (1) sequential speed-constraint
+// anchor scan, (2) DSM-guided interpolation of the invalid runs, (3) optional
+// planar smoothing, (4) snap-back into walkable space. Passes 2 and 4 operate
+// on disjoint records, so for long sequences they fan out over an optional
+// util::ThreadPool with bit-identical, worker-count-independent results. The
+// AoS Clean(PositioningSequence) entry point is a shim that delegates through
+// a per-thread block; CleanReference retains the original AoS implementation
+// for parity tests and before/after benchmarks.
 #pragma once
 
 #include <cstddef>
@@ -15,7 +25,9 @@
 #include "dsm/dsm.h"
 #include "dsm/routing.h"
 #include "positioning/record.h"
+#include "positioning/record_block.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace trips::cleaning {
 
@@ -43,6 +55,10 @@ struct CleanerOptions {
   /// records (0 or 1 disables). Reduces isotropic positioning noise without
   /// displacing dwell clusters.
   size_t smoothing_window = 0;
+  /// Sequences with at least this many records run cleaning passes 2
+  /// (interpolation) and 4 (snapping) in parallel when a thread pool is
+  /// passed to Clean/CleanBlock; shorter sequences always clean serially.
+  size_t parallel_min_records = 4096;
 };
 
 /// Counters describing what the cleaner did to one sequence.
@@ -55,6 +71,24 @@ struct CleaningReport {
   size_t smoothed = 0;           ///< records touched by the smoothing filter
 };
 
+/// Reusable per-worker scratch arena of the cleaning passes. All buffers are
+/// reserve-once: a worker that keeps one scratch across sequences reaches a
+/// steady state where CleanBlock allocates nothing. Pass nullptr to
+/// CleanBlock to use an internal per-thread arena (the common case).
+struct CleanerScratch {
+  /// Invalid runs found by pass 1, inclusive [begin, end] index pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> runs;
+  /// Anchor record indices pass 2 snaps before routing, ascending unique.
+  std::vector<uint32_t> anchors;
+  /// Snapped anchor locations, parallel to `anchors`.
+  std::vector<geo::IndoorPoint> anchor_snaps;
+  /// Pass-4 per-record snapped flags (reduced into the report serially).
+  std::vector<uint8_t> snap_flags;
+  /// Pass-3 smoothing output columns.
+  std::vector<double> smooth_x;
+  std::vector<double> smooth_y;
+};
+
 /// Cleans raw positioning sequences against a DSM.
 class RawDataCleaner {
  public:
@@ -63,10 +97,29 @@ class RawDataCleaner {
   RawDataCleaner(const dsm::Dsm* dsm, const dsm::RoutePlanner* planner,
                  CleanerOptions options = {});
 
+  /// Cleans `block` in place (records sorted by time, locations repaired,
+  /// validity bits of speed-constraint violators cleared by pass 1). `scratch`
+  /// may be null (per-thread arena used); `report` may be null. `pool` (may be
+  /// null) parallelizes passes 2 and 4 for sequences of at least
+  /// options().parallel_min_records records; the cleaned columns are
+  /// bit-identical for every worker count.
+  void CleanBlock(positioning::RecordBlock* block, CleanerScratch* scratch,
+                  CleaningReport* report = nullptr,
+                  util::ThreadPool* pool = nullptr) const;
+
   /// Returns the cleaned copy of `raw` (same record count and timestamps;
-  /// locations repaired). `report` may be null.
+  /// locations repaired). `report` may be null. AoS shim over CleanBlock; the
+  /// intermediate block and scratch are per-thread and reused across calls.
   positioning::PositioningSequence Clean(const positioning::PositioningSequence& raw,
-                                         CleaningReport* report = nullptr) const;
+                                         CleaningReport* report = nullptr,
+                                         util::ThreadPool* pool = nullptr) const;
+
+  /// Reference AoS implementation of Clean (the pre-columnar code path),
+  /// retained for the SoA==AoS parity suite and the before/after cleaning
+  /// benchmarks. Always serial.
+  positioning::PositioningSequence CleanReference(
+      const positioning::PositioningSequence& raw,
+      CleaningReport* report = nullptr) const;
 
   /// The minimum indoor walking distance between two located records,
   /// including the floor-change penalty — the quantity the speed constraint
@@ -76,15 +129,52 @@ class RawDataCleaner {
   const CleanerOptions& options() const { return options_; }
 
  private:
+  // One vertical-connector footprint, snapshotted at construction (polygon
+  // copied — like RoutePlanner, the cleaner holds a build-time snapshot, so
+  // later Dsm edits require a new cleaner) plus its bounds padded by the
+  // connector slack: a query point outside the padded box skips the polygon
+  // tests entirely.
+  struct ConnectorShape {
+    geo::Polygon shape;
+    geo::BoundingBox padded;
+  };
+
   // True iff moving a->b within `dt_ms` violates the speed constraint.
   bool ViolatesSpeed(const geo::IndoorPoint& a, const geo::IndoorPoint& b,
                      DurationMs dt_ms) const;
   // True iff the planar point sits on/near a vertical connector footprint.
+  // Checks the hoisted connector list (bbox prefilter + the original polygon
+  // tests) — identical answers to the full entity scan it replaces.
   bool NearVerticalConnector(const geo::Point2& p) const;
+  // Frozen legacy helpers for CleanReference: the original per-query scan
+  // over every DSM entity, kept as the before/after benchmark baseline.
+  bool NearVerticalConnectorReference(const geo::Point2& p) const;
+  bool ViolatesSpeedReference(const geo::IndoorPoint& a, const geo::IndoorPoint& b,
+                              DurationMs dt_ms) const;
+
+  // Pass 1: sequential speed-constraint anchor scan with floor correction;
+  // clears validity bits of the violators left for interpolation.
+  void ScanPass(positioning::RecordBlock* block, CleaningReport* report) const;
+  // Pass 2: DSM-guided interpolation of the invalid runs (parallel over runs).
+  void InterpolatePass(positioning::RecordBlock* block, CleanerScratch* scratch,
+                       CleaningReport* report, util::ThreadPool* pool) const;
+  // Pass 3: centred per-floor moving average (columnar, serial).
+  void SmoothPass(positioning::RecordBlock* block, CleanerScratch* scratch,
+                  CleaningReport* report) const;
+  // Pass 4: snap records outside walkable space (parallel over chunks).
+  void SnapPass(positioning::RecordBlock* block, CleanerScratch* scratch,
+                CleaningReport* report, util::ThreadPool* pool) const;
+
+  // Runs fn(0..items) on the pool when the sequence is long enough, else
+  // serially; item work must write disjoint state so results are identical.
+  void ForItems(util::ThreadPool* pool, size_t record_count, size_t items,
+                const std::function<void(size_t)>& fn) const;
 
   const dsm::Dsm* dsm_;
   const dsm::RoutePlanner* planner_;
   CleanerOptions options_;
+  // Vertical connector footprints (points into dsm_'s entities).
+  std::vector<ConnectorShape> connectors_;
 };
 
 }  // namespace trips::cleaning

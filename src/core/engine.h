@@ -85,6 +85,13 @@ class Engine {
   TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const {
     return translator_->CleanAndAnnotate(seq);
   }
+  /// Columnar Cleaning + Annotation: consumes `block` in place (no AoS
+  /// rematerialization between the stages). `pool` (may be null) parallelizes
+  /// cleaning inside long sequences with worker-count-independent output.
+  TranslationResult CleanAndAnnotate(positioning::RecordBlock* block,
+                                     util::ThreadPool* pool = nullptr) const {
+    return translator_->CleanAndAnnotate(block, pool);
+  }
   /// Aggregates annotated results into mobility knowledge.
   complement::MobilityKnowledge BuildKnowledge(
       const std::vector<TranslationResult>& results) const {
@@ -103,6 +110,15 @@ class Engine {
   TranslationResult TranslateWith(const positioning::PositioningSequence& seq,
                                   const complement::MobilityKnowledge& knowledge) const {
     TranslationResult result = CleanAndAnnotate(seq);
+    Complement(&result, knowledge);
+    return result;
+  }
+  /// Columnar full translation: consumes `block` in place (the streaming
+  /// path — buffers translate without ever materializing an input AoS copy).
+  TranslationResult TranslateBlockWith(positioning::RecordBlock* block,
+                                       const complement::MobilityKnowledge& knowledge,
+                                       util::ThreadPool* pool = nullptr) const {
+    TranslationResult result = CleanAndAnnotate(block, pool);
     Complement(&result, knowledge);
     return result;
   }

@@ -30,7 +30,7 @@ std::unique_ptr<StreamSession> Service::NewStreamSession() {
 }
 
 std::unique_ptr<StreamSession> Service::NewStreamSession(StreamOptions options) {
-  return std::make_unique<StreamSession>(engine_, options);
+  return std::make_unique<StreamSession>(engine_, options, &pool_);
 }
 
 Result<TranslationResponse> Service::Translate(const TranslationRequest& request) {

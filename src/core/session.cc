@@ -30,10 +30,16 @@ Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& reque
   }
 
   // Layers 1+2 on every sequence, fanned out; results land at their input
-  // index, so the outcome is independent of scheduling.
+  // index, so the outcome is independent of scheduling. Each worker converts
+  // into its own reused RecordBlock (per-thread, reserve-once) and runs the
+  // columnar pipeline; the pool is threaded through so very long sequences
+  // additionally parallelize their cleaning passes across idle workers.
   std::vector<TranslationResult>& results = response.results;
-  pool_->ParallelFor(seqs.size(), [&](size_t i) {
-    results[i] = engine_->CleanAndAnnotate(seqs[i]);
+  util::ThreadPool* pool = pool_;
+  pool_->ParallelFor(seqs.size(), [&, pool](size_t i) {
+    static thread_local positioning::RecordBlock block;
+    block.AssignFrom(seqs[i]);
+    results[i] = engine_->CleanAndAnnotate(&block, pool);
   });
 
   // Knowledge construction aggregates all annotated sequences (integer-count
@@ -67,13 +73,8 @@ Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& reque
 // ---- StreamSession ----------------------------------------------------------
 
 StreamSession::StreamSession(std::shared_ptr<const Engine> engine,
-                             StreamOptions options)
-    : engine_(std::move(engine)), options_(options) {
-  const Engine* raw = engine_.get();
-  translate_ = [raw](const positioning::PositioningSequence& seq) {
-    return Result<TranslationResult>(raw->Translate(seq));
-  };
-}
+                             StreamOptions options, util::ThreadPool* pool)
+    : engine_(std::move(engine)), options_(options), pool_(pool) {}
 
 StreamSession::StreamSession(TranslateFn translate, StreamOptions options)
     : translate_(std::move(translate)), options_(options) {}
@@ -92,7 +93,7 @@ size_t StreamSession::PendingRecords() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [device, buffer] : buffers_) {
-    total += buffer.sequence.records.size();
+    total += buffer.block.Size();
   }
   return total;
 }
@@ -102,30 +103,39 @@ size_t StreamSession::EmittedCount() const {
   return emitted_;
 }
 
-void StreamSession::PopDeviceLocked(
-    const std::string& device, std::vector<positioning::PositioningSequence>* out) {
+void StreamSession::PopDeviceLocked(const std::string& device,
+                                    std::vector<positioning::RecordBlock>* out) {
   auto it = buffers_.find(device);
   if (it == buffers_.end()) return;
   Buffer buffer = std::move(it->second);
   buffers_.erase(it);
-  if (buffer.sequence.records.size() < options_.min_flush_records) {
+  if (buffer.block.Size() < options_.min_flush_records) {
     return;  // stray fixes, no semantics to extract
   }
-  out->push_back(std::move(buffer.sequence));
+  out->push_back(std::move(buffer.block));
 }
 
 Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
-    std::vector<positioning::PositioningSequence> popped) {
+    std::vector<positioning::RecordBlock> popped) {
   // Fast path for the overwhelmingly common no-flush case (every Ingest that
   // doesn't hit the cap, every Poll with no idle device).
   if (popped.empty()) return std::vector<TranslationResult>{};
   // The map iterates in device-id order, so `popped` is already sorted; the
   // translation (the expensive part) runs without the session lock held.
+  // Engine-backed sessions feed the buffered columns straight into the block
+  // pipeline; hook-backed sessions (the deprecated OnlineTranslator adapter)
+  // materialize the AoS sequence their callback expects.
   std::vector<TranslationResult> out;
   out.reserve(popped.size());
-  for (positioning::PositioningSequence& seq : popped) {
-    TRIPS_ASSIGN_OR_RETURN(TranslationResult result, translate_(seq));
-    out.push_back(std::move(result));
+  for (positioning::RecordBlock& block : popped) {
+    if (engine_ != nullptr) {
+      out.push_back(
+          engine_->TranslateBlockWith(&block, engine_->knowledge(), pool_));
+    } else {
+      TRIPS_ASSIGN_OR_RETURN(TranslationResult result,
+                             translate_(block.ToSequence()));
+      out.push_back(std::move(result));
+    }
   }
   Sink sink;
   {
@@ -140,16 +150,16 @@ Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
 
 Result<std::vector<TranslationResult>> StreamSession::Ingest(
     const std::string& device, const positioning::RawRecord& record) {
-  std::vector<positioning::PositioningSequence> popped;
+  std::vector<positioning::RecordBlock> popped;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Buffer& buffer = buffers_[device];
-    if (buffer.sequence.records.empty()) {
-      buffer.sequence.device_id = device;
+    if (buffer.block.Empty()) {
+      buffer.block.device_id = device;
     }
-    buffer.sequence.records.push_back(record);
+    buffer.block.Append(record);
     if (record.timestamp > buffer.newest) buffer.newest = record.timestamp;
-    if (buffer.sequence.records.size() >= options_.max_buffer_records) {
+    if (buffer.block.Size() >= options_.max_buffer_records) {
       PopDeviceLocked(device, &popped);
     }
   }
@@ -157,15 +167,15 @@ Result<std::vector<TranslationResult>> StreamSession::Ingest(
 }
 
 Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
-  std::vector<positioning::PositioningSequence> popped;
+  std::vector<positioning::RecordBlock> popped;
   {
     // Single in-place sweep (map order = device-id order, like PopDeviceLocked
     // driven by a collected id list, but without copying any device ids).
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = buffers_.begin(); it != buffers_.end();) {
       if (now - it->second.newest >= options_.flush_after) {
-        if (it->second.sequence.records.size() >= options_.min_flush_records) {
-          popped.push_back(std::move(it->second.sequence));
+        if (it->second.block.Size() >= options_.min_flush_records) {
+          popped.push_back(std::move(it->second.block));
         }
         it = buffers_.erase(it);
       } else {
@@ -177,12 +187,12 @@ Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
 }
 
 Result<std::vector<TranslationResult>> StreamSession::FlushAll() {
-  std::vector<positioning::PositioningSequence> popped;
+  std::vector<positioning::RecordBlock> popped;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [device, buffer] : buffers_) {
-      if (buffer.sequence.records.size() >= options_.min_flush_records) {
-        popped.push_back(std::move(buffer.sequence));
+      if (buffer.block.Size() >= options_.min_flush_records) {
+        popped.push_back(std::move(buffer.block));
       }
     }
     buffers_.clear();

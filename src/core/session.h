@@ -96,7 +96,10 @@ struct StreamOptions {
 
 /// Incremental translation over a shared engine: records arrive one at a time
 /// from a live positioning feed; per-device buffers are translated and
-/// emitted once the device goes quiet or its buffer grows too large.
+/// emitted once the device goes quiet or its buffer grows too large. Buffers
+/// are columnar (positioning::RecordBlock): ingestion appends to the columns
+/// and a flushed buffer feeds the engine's block pipeline directly, so a
+/// streamed sequence is never materialized as AoS records on its way in.
 ///
 ///     auto stream = service.NewStreamSession();
 ///     for (const auto& [device, record] : feed) {
@@ -117,9 +120,11 @@ class StreamSession {
       std::function<Result<TranslationResult>(const positioning::PositioningSequence&)>;
 
   /// Engine-backed session: buffers are translated with the engine's baseline
-  /// knowledge.
+  /// knowledge. `pool` (may be null; normally the owning Service's pool)
+  /// parallelizes cleaning inside long flushed buffers.
   explicit StreamSession(std::shared_ptr<const Engine> engine,
-                         StreamOptions options = {});
+                         StreamOptions options = {},
+                         util::ThreadPool* pool = nullptr);
   /// Hook-backed session: buffers are translated by `translate`.
   explicit StreamSession(TranslateFn translate, StreamOptions options = {});
 
@@ -150,22 +155,23 @@ class StreamSession {
 
  private:
   struct Buffer {
-    positioning::PositioningSequence sequence;
+    positioning::RecordBlock block;
     TimestampMs newest = 0;
   };
 
-  // Removes one buffer and, unless too small, moves its sequence onto `out`
+  // Removes one buffer and, unless too small, moves its block onto `out`
   // for translation. Requires mu_ held.
   void PopDeviceLocked(const std::string& device,
-                       std::vector<positioning::PositioningSequence>* out);
+                       std::vector<positioning::RecordBlock>* out);
   // Translates popped buffers (lock released) and routes the results to the
   // sink when one is installed, else back to the caller.
   Result<std::vector<TranslationResult>> TranslateAndDeliver(
-      std::vector<positioning::PositioningSequence> popped);
+      std::vector<positioning::RecordBlock> popped);
 
   std::shared_ptr<const Engine> engine_;  // null for hook-backed sessions
-  TranslateFn translate_;
+  TranslateFn translate_;                 // set for hook-backed sessions only
   StreamOptions options_;
+  util::ThreadPool* pool_ = nullptr;      // may be null (serial cleaning)
   mutable std::mutex mu_;
   Sink sink_;
   std::map<std::string, Buffer> buffers_;

@@ -28,28 +28,39 @@ Status Translator::TrainEventModel(
 
 TranslationResult Translator::CleanAndAnnotate(
     const positioning::PositioningSequence& seq) const {
+  // Per-thread block, reused across sequences: each translation worker
+  // reaches a steady state where the AoS->SoA conversion allocates nothing.
+  static thread_local positioning::RecordBlock block;
+  block.AssignFrom(seq);
+  return CleanAndAnnotate(&block, nullptr);
+}
+
+TranslationResult Translator::CleanAndAnnotate(positioning::RecordBlock* block,
+                                               util::ThreadPool* pool) const {
   TranslationResult result;
-  result.raw = seq;
-  result.raw.SortByTime();
+  block->SortByTime();
+  block->MaterializeTo(&result.raw);
 
   if (options_.enable_cleaning) {
     if (cleaner_.has_value()) {
-      result.cleaned = cleaner_->Clean(result.raw, &result.cleaning_report);
+      cleaner_->CleanBlock(block, nullptr, &result.cleaning_report, pool);
     } else {
       // Uninitialized translator (no planner yet): clean without routes.
       cleaning::RawDataCleaner cleaner(dsm_, nullptr, options_.cleaner);
-      result.cleaned = cleaner.Clean(result.raw, &result.cleaning_report);
+      cleaner.CleanBlock(block, nullptr, &result.cleaning_report, pool);
     }
+    block->MaterializeTo(&result.cleaned);
   } else {
     result.cleaned = result.raw;
     result.cleaning_report.total_records = result.raw.records.size();
   }
 
+  // The annotation layer consumes the cleaned columns directly.
   if (annotator_.has_value()) {
-    result.original_semantics = annotator_->Annotate(result.cleaned);
+    result.original_semantics = annotator_->Annotate(*block);
   } else {
     annotation::Annotator annotator(dsm_, &classifier_, options_.annotator);
-    result.original_semantics = annotator.Annotate(result.cleaned);
+    result.original_semantics = annotator.Annotate(*block);
   }
   return result;
 }

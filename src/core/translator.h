@@ -17,6 +17,8 @@
 #include "core/semantics.h"
 #include "dsm/dsm.h"
 #include "dsm/routing.h"
+#include "positioning/record_block.h"
+#include "util/thread_pool.h"
 
 namespace trips::core {
 
@@ -96,8 +98,21 @@ class Translator {
   // the per-sequence phases out over threads. All three are const and safe to
   // call concurrently once Init() has succeeded.
 
-  /// Cleaning + Annotation layers for one sequence (no complementing).
+  /// Cleaning + Annotation layers for one sequence (no complementing). AoS
+  /// shim: copies the sequence into a per-thread RecordBlock and delegates to
+  /// the columnar form below, so both entry points produce byte-identical
+  /// results.
   TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const;
+
+  /// Columnar Cleaning + Annotation: sorts and cleans `block` in place and
+  /// annotates the cleaned columns directly — the stages never rematerialize
+  /// AoS records between each other (the result's raw/cleaned sequences are
+  /// materialized once, at the stage boundaries the TranslationResult
+  /// contract requires). On return the block holds the cleaned columns.
+  /// `pool` (may be null) parallelizes cleaning passes 2/4 inside long
+  /// sequences; output is identical for every worker count.
+  TranslationResult CleanAndAnnotate(positioning::RecordBlock* block,
+                                     util::ThreadPool* pool = nullptr) const;
 
   /// Builds mobility knowledge by aggregating the annotation-layer output of
   /// `results` (integer-count aggregation: independent of result order).

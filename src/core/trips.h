@@ -13,7 +13,12 @@
 //                   config::EventEditor
 //   Translator    — core::Translator, the three-layer algorithm core
 //                   (cleaning::RawDataCleaner, annotation::Annotator,
-//                   complement::Complementor)
+//                   complement::Complementor). The hot path is columnar:
+//                   positioning::RecordBlock (SoA columns + validity bitmap)
+//                   flows from the stream buffers through cleaning (reusable
+//                   per-worker CleanerScratch, parallel passes on long
+//                   sequences) and annotation without AoS rematerialization;
+//                   the AoS entry points remain as byte-identical shims
 //   Store         — store::TripStore, the persistent, indexed semantic-
 //                   trajectory store between translation and analytics:
 //                   append-only binary segments (store/segment_codec.h),
@@ -66,6 +71,7 @@
 #include "positioning/csv_io.h"
 #include "positioning/error_model.h"
 #include "positioning/record.h"
+#include "positioning/record_block.h"
 #include "store/segment_codec.h"
 #include "store/trip_store.h"
 #include "viewer/ascii_renderer.h"

@@ -238,16 +238,12 @@ Status Dsm::ComputeTopology() {
     topology_.region_adjacency[a].insert(b);
     topology_.region_adjacency[b].insert(a);
   };
+  // Point-proximity region lookups run on the just-built index's region
+  // buckets (same exact tests, candidate-filtered) instead of scanning every
+  // region per door/connector.
   auto regions_near = [this](const geo::Point2& p, geo::FloorId floor,
                              double max_dist) {
-    std::vector<RegionId> out;
-    for (const SemanticRegion& r : regions_) {
-      if (r.floor != floor) continue;
-      if (r.shape.Contains(p) || r.shape.BoundaryDistanceTo(p) <= max_dist) {
-        out.push_back(r.id);
-      }
-    }
-    return out;
+    return spatial_index_.RegionsNear(p, floor, max_dist);
   };
   // (a) doors.
   for (const Entity& door : entities_) {
@@ -260,26 +256,27 @@ Status Dsm::ComputeTopology() {
       }
     }
   }
-  // (b) shape contact.
-  for (size_t i = 0; i < regions_.size(); ++i) {
-    for (size_t j = i + 1; j < regions_.size(); ++j) {
-      const SemanticRegion& a = regions_[i];
-      const SemanticRegion& b = regions_[j];
-      if (a.floor != b.floor) continue;
-      geo::BoundingBox ba = a.shape.Bounds();
-      geo::BoundingBox bb = b.shape.Bounds();
-      if (!ba.Intersects(bb)) continue;
-      geo::BoundingBox inter;
-      inter.Extend({std::max(ba.min.x, bb.min.x), std::max(ba.min.y, bb.min.y)});
-      inter.Extend({std::min(ba.max.x, bb.max.x), std::min(ba.max.y, bb.max.y)});
-      for (const geo::Point2& c : {inter.Center(), a.Center(), b.Center()}) {
-        if (a.shape.Contains(c) && b.shape.Contains(c)) {
-          link(a.id, b.id);
-          break;
-        }
+  // (b) shape contact. The index's region buckets enumerate the same-floor
+  //     candidate pairs whose (padded) bounding boxes intersect; the original
+  //     unpadded bbox test and contact probes then run unchanged on each
+  //     candidate, so the links come out identical to the former
+  //     O(regions²) cross product.
+  spatial_index_.ForEachRegionBboxPair([&](RegionId ra, RegionId rb) {
+    const SemanticRegion& a = regions_[static_cast<size_t>(ra)];
+    const SemanticRegion& b = regions_[static_cast<size_t>(rb)];
+    geo::BoundingBox ba = a.shape.Bounds();
+    geo::BoundingBox bb = b.shape.Bounds();
+    if (!ba.Intersects(bb)) return;
+    geo::BoundingBox inter;
+    inter.Extend({std::max(ba.min.x, bb.min.x), std::max(ba.min.y, bb.min.y)});
+    inter.Extend({std::min(ba.max.x, bb.max.x), std::min(ba.max.y, bb.max.y)});
+    for (const geo::Point2& c : {inter.Center(), a.Center(), b.Center()}) {
+      if (a.shape.Contains(c) && b.shape.Contains(c)) {
+        link(a.id, b.id);
+        break;
       }
     }
-  }
+  });
   // (c) vertical connectors.
   for (const auto& [va, vb] : topology_.vertical_links) {
     const Entity* ea = GetEntity(va);
@@ -391,6 +388,25 @@ geo::IndoorPoint Dsm::SnapToWalkable(const geo::IndoorPoint& p) const {
   if (use_spatial_index_ && spatial_index_.built()) {
     return spatial_index_.SnapToWalkable(p);
   }
+  return SnapToWalkableBruteForce(p);
+}
+
+geo::IndoorPoint Dsm::SnapIfOutside(const geo::IndoorPoint& p, bool* snapped) const {
+  if (use_spatial_index_ && spatial_index_.built()) {
+    return spatial_index_.SnapIfOutside(p, snapped);
+  }
+  return SnapIfOutsideBruteForce(p, snapped);
+}
+
+geo::IndoorPoint Dsm::SnapIfOutsideBruteForce(const geo::IndoorPoint& p,
+                                              bool* snapped) const {
+  if (PartitionAtBruteForce(p) != kInvalidEntity) {
+    *snapped = false;
+    return p;
+  }
+  *snapped = true;
+  // Reference path: clarity over the saved lookup (SnapToWalkableBruteForce
+  // re-runs the partition check the line above already answered).
   return SnapToWalkableBruteForce(p);
 }
 

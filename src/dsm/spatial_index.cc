@@ -230,8 +230,34 @@ RegionId SpatialIndex::RegionAt(const geo::IndoorPoint& p) const {
 }
 
 geo::IndoorPoint SpatialIndex::SnapToWalkable(const geo::IndoorPoint& p) const {
-  if (IsWalkable(p)) return p;
+  bool snapped = false;
+  return SnapIfOutside(p, &snapped);
+}
+
+geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
+                                             bool* snapped) const {
   const FloorGrid* grid = GridFor(p.floor);
+
+  // Walkability is existence of a containing partition, so the probe stops at
+  // the first hit — it never needs PartitionAt's full smallest-area scan.
+  bool walkable = false;
+  if (grid != nullptr && !grid->partitions.empty()) {
+    int cell = grid->CellIndex(grid->CellX(p.xy.x), grid->CellY(p.xy.y));
+    uint32_t begin = grid->partition_cells.offsets[cell];
+    uint32_t end = grid->partition_cells.offsets[cell + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const Shape& shape = grid->partitions[grid->partition_cells.items[i]];
+      if (shape.bounds.Contains(p.xy) && shape.polygon.Contains(p.xy)) {
+        walkable = true;
+        break;
+      }
+    }
+  }
+  if (walkable) {
+    *snapped = false;
+    return p;
+  }
+  *snapped = true;
   if (grid == nullptr || grid->edges.empty()) return p;
 
   int cx = grid->CellX(p.xy.x);
@@ -290,6 +316,78 @@ geo::IndoorPoint SpatialIndex::SnapToWalkable(const geo::IndoorPoint& p) const {
   // Same inward nudge as the brute-force snap.
   geo::Point2 inward = best + (best - p.xy).Normalized() * 1e-6;
   return {inward, p.floor};
+}
+
+std::vector<RegionId> SpatialIndex::RegionsNear(const geo::Point2& p,
+                                                geo::FloorId floor,
+                                                double max_dist) const {
+  std::vector<RegionId> out;
+  const FloorGrid* grid = GridFor(floor);
+  if (grid == nullptr || grid->regions.empty()) return out;
+
+  // Any qualifying region's bounding box comes within max_dist of p, so its
+  // cells intersect the cells of the box p ± max_dist: gathering those
+  // buckets yields a correct candidate superset.
+  int x0 = grid->CellX(p.x - max_dist);
+  int x1 = grid->CellX(p.x + max_dist);
+  int y0 = grid->CellY(p.y - max_dist);
+  int y1 = grid->CellY(p.y + max_dist);
+  std::vector<int32_t> candidates;
+  for (int iy = y0; iy <= y1; ++iy) {
+    for (int ix = x0; ix <= x1; ++ix) {
+      int cell = grid->CellIndex(ix, iy);
+      uint32_t begin = grid->region_cells.offsets[cell];
+      uint32_t end = grid->region_cells.offsets[cell + 1];
+      for (uint32_t i = begin; i < end; ++i) {
+        candidates.push_back(grid->region_cells.items[i]);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Ascending region-vector index == ascending region id: the exact tests run
+  // in the same order as the linear scan this replaces.
+  for (int32_t idx : candidates) {
+    const Shape& shape = grid->regions[idx];
+    if (shape.polygon.Contains(p) || shape.polygon.BoundaryDistanceTo(p) <= max_dist) {
+      out.push_back(shape.id);
+    }
+  }
+  return out;
+}
+
+void SpatialIndex::ForEachRegionBboxPair(
+    const std::function<void(RegionId, RegionId)>& fn) const {
+  std::vector<int32_t> candidates;
+  for (const FloorGrid& grid : grids_) {
+    for (size_t i = 0; i < grid.regions.size(); ++i) {
+      const Shape& a = grid.regions[i];
+      int x0 = grid.CellX(a.bounds.min.x);
+      int x1 = grid.CellX(a.bounds.max.x);
+      int y0 = grid.CellY(a.bounds.min.y);
+      int y1 = grid.CellY(a.bounds.max.y);
+      candidates.clear();
+      for (int iy = y0; iy <= y1; ++iy) {
+        for (int ix = x0; ix <= x1; ++ix) {
+          int cell = grid.CellIndex(ix, iy);
+          uint32_t begin = grid.region_cells.offsets[cell];
+          uint32_t end = grid.region_cells.offsets[cell + 1];
+          for (uint32_t k = begin; k < end; ++k) {
+            int32_t j = grid.region_cells.items[k];
+            if (j > static_cast<int32_t>(i)) candidates.push_back(j);
+          }
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (int32_t j : candidates) {
+        const Shape& b = grid.regions[static_cast<size_t>(j)];
+        if (a.bounds.Intersects(b.bounds)) fn(a.id, b.id);
+      }
+    }
+  }
 }
 
 const std::vector<RegionId>& SpatialIndex::RegionCandidatesOfPartition(

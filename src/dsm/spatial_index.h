@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dsm/entity.h"
@@ -68,6 +69,27 @@ class SpatialIndex {
   /// Nearest walkable point to `p` on its floor (p itself when walkable),
   /// found by an expanding ring search over the edge buckets.
   geo::IndoorPoint SnapToWalkable(const geo::IndoorPoint& p) const;
+
+  /// Combined walkability + snap: one cell lookup answers both halves of the
+  /// IsWalkable/SnapToWalkable pair the cleaning hot loop used to issue. Sets
+  /// `*snapped` to false and returns `p` when `p` is walkable (the
+  /// walkability probe early-exits at the first containing partition instead
+  /// of finishing the smallest-area scan); otherwise sets `*snapped` to true
+  /// and returns the ring-search snap (identical to SnapToWalkable).
+  geo::IndoorPoint SnapIfOutside(const geo::IndoorPoint& p, bool* snapped) const;
+
+  /// Semantic regions on `floor` that contain `p` or whose boundary is within
+  /// `max_dist` of it, ascending region id — the index-backed equivalent of
+  /// the linear region scan Dsm::ComputeTopology's adjacency steps used.
+  std::vector<RegionId> RegionsNear(const geo::Point2& p, geo::FloorId floor,
+                                    double max_dist) const;
+
+  /// Invokes fn(a, b), a < b, for every same-floor region pair whose padded
+  /// bounding boxes intersect — the candidate superset of the contact-based
+  /// adjacency scan, enumerated through the region cell buckets instead of
+  /// the O(regions²) cross product.
+  void ForEachRegionBboxPair(
+      const std::function<void(RegionId, RegionId)>& fn) const;
 
   // ---- precomputed maps ----
 

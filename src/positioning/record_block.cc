@@ -1,0 +1,128 @@
+#include "positioning/record_block.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace trips::positioning {
+
+namespace {
+inline size_t WordsFor(size_t n) { return (n + 63) / 64; }
+}  // namespace
+
+void RecordBlock::Clear() {
+  timestamps.clear();
+  xs.clear();
+  ys.clear();
+  floors.clear();
+  validity.clear();
+}
+
+void RecordBlock::Reserve(size_t n) {
+  timestamps.reserve(n);
+  xs.reserve(n);
+  ys.reserve(n);
+  floors.reserve(n);
+  validity.reserve(WordsFor(n));
+}
+
+void RecordBlock::Append(double x, double y, geo::FloorId floor, TimestampMs t) {
+  size_t i = timestamps.size();
+  timestamps.push_back(t);
+  xs.push_back(x);
+  ys.push_back(y);
+  floors.push_back(floor);
+  if (validity.size() < WordsFor(i + 1)) validity.push_back(0);
+  SetValid(i, true);
+}
+
+void RecordBlock::MarkAllValid() {
+  validity.assign(WordsFor(Size()), ~uint64_t{0});
+  // Bits past Size() in the last word are never read, so no trim needed.
+}
+
+size_t RecordBlock::InvalidCount() const {
+  size_t invalid = 0;
+  for (size_t i = 0, n = Size(); i < n; ++i) {
+    if (!IsValid(i)) ++invalid;
+  }
+  return invalid;
+}
+
+void RecordBlock::SortByTime() {
+  const size_t n = Size();
+  if (n < 2) return;
+  bool sorted = true;
+  for (size_t i = 1; i < n; ++i) {
+    if (timestamps[i] < timestamps[i - 1]) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) return;
+
+  // Stable permutation by timestamp — index ties keep input order, exactly
+  // like std::stable_sort over AoS records compared by timestamp only.
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [this](uint32_t a, uint32_t b) {
+    return timestamps[a] < timestamps[b];
+  });
+
+  std::vector<TimestampMs> ts(n);
+  std::vector<double> px(n), py(n);
+  std::vector<geo::FloorId> pf(n);
+  std::vector<uint64_t> pv(WordsFor(n), 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t src = perm[i];
+    ts[i] = timestamps[src];
+    px[i] = xs[src];
+    py[i] = ys[src];
+    pf[i] = floors[src];
+    if (IsValid(src)) pv[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  timestamps = std::move(ts);
+  xs = std::move(px);
+  ys = std::move(py);
+  floors = std::move(pf);
+  validity = std::move(pv);
+}
+
+void RecordBlock::AssignFrom(const PositioningSequence& seq) {
+  device_id = seq.device_id;
+  const size_t n = seq.records.size();
+  timestamps.resize(n);
+  xs.resize(n);
+  ys.resize(n);
+  floors.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RawRecord& r = seq.records[i];
+    timestamps[i] = r.timestamp;
+    xs[i] = r.location.xy.x;
+    ys[i] = r.location.xy.y;
+    floors[i] = r.location.floor;
+  }
+  MarkAllValid();
+}
+
+void RecordBlock::MaterializeTo(PositioningSequence* out) const {
+  out->device_id = device_id;
+  const size_t n = Size();
+  out->records.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->records[i] = Record(i);
+  }
+}
+
+PositioningSequence RecordBlock::ToSequence() const {
+  PositioningSequence seq;
+  MaterializeTo(&seq);
+  return seq;
+}
+
+RecordBlock RecordBlock::FromSequence(const PositioningSequence& seq) {
+  RecordBlock block;
+  block.AssignFrom(seq);
+  return block;
+}
+
+}  // namespace trips::positioning

@@ -53,6 +53,79 @@ void GrowSpan(TimeRange* span, bool* has_span, const TimeRange& range) {
 
 }  // namespace
 
+// ---- RegionPostingsIndex ----------------------------------------------------
+
+void TripStore::RegionPostingsIndex::Add(dsm::RegionId region,
+                                         const RegionPosting& posting) {
+  tail.emplace_back(region, posting);
+  // Compact once the tail outgrows a quarter of the CSR body (amortized O(1)
+  // per append); the floor keeps tiny stores from compacting on every write.
+  constexpr size_t kMinCompactTail = 64;
+  if (tail.size() >= kMinCompactTail && tail.size() * 4 >= postings.size()) {
+    Compact();
+  }
+}
+
+void TripStore::RegionPostingsIndex::Compact() {
+  if (tail.empty()) return;
+  // Stable by region: postings of one region keep their append order, so the
+  // merged CSR enumerates exactly what the old per-region vectors held.
+  std::stable_sort(tail.begin(), tail.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<dsm::RegionId> merged_regions;
+  std::vector<uint32_t> merged_offsets;
+  std::vector<RegionPosting> merged_postings;
+  merged_regions.reserve(regions.size() + tail.size());
+  merged_offsets.reserve(regions.size() + tail.size() + 1);
+  merged_postings.reserve(postings.size() + tail.size());
+
+  size_t ri = 0;  // cursor over the existing CSR regions
+  size_t ti = 0;  // cursor over the sorted tail
+  merged_offsets.push_back(0);
+  while (ri < regions.size() || ti < tail.size()) {
+    dsm::RegionId next;
+    if (ri == regions.size()) {
+      next = tail[ti].first;
+    } else if (ti == tail.size()) {
+      next = regions[ri];
+    } else {
+      next = std::min(regions[ri], tail[ti].first);
+    }
+    if (ri < regions.size() && regions[ri] == next) {
+      merged_postings.insert(merged_postings.end(),
+                             postings.begin() + offsets[ri],
+                             postings.begin() + offsets[ri + 1]);
+      ++ri;
+    }
+    while (ti < tail.size() && tail[ti].first == next) {
+      merged_postings.push_back(tail[ti].second);
+      ++ti;
+    }
+    merged_regions.push_back(next);
+    merged_offsets.push_back(static_cast<uint32_t>(merged_postings.size()));
+  }
+  regions = std::move(merged_regions);
+  offsets = std::move(merged_offsets);
+  postings = std::move(merged_postings);
+  tail.clear();
+}
+
+void TripStore::RegionPostingsIndex::CollectInto(
+    dsm::RegionId region, std::vector<RegionPosting>* out) const {
+  auto it = std::lower_bound(regions.begin(), regions.end(), region);
+  if (it != regions.end() && *it == region) {
+    size_t i = static_cast<size_t>(it - regions.begin());
+    out->insert(out->end(), postings.begin() + offsets[i],
+                postings.begin() + offsets[i + 1]);
+  }
+  for (const auto& [r, posting] : tail) {
+    if (r == region) out->push_back(posting);
+  }
+}
+
+// ---- TripStore --------------------------------------------------------------
+
 TripStore::TripStore(StoreOptions options)
     : options_(std::move(options)), pool_(options_.worker_threads) {}
 
@@ -154,6 +227,18 @@ Result<TripStore::SequenceId> TripStore::AppendLocked(
   return id;
 }
 
+void TripStore::BumpFlowLocked(dsm::RegionId from, dsm::RegionId to) {
+  if (from < 0 || from >= kDenseFlowLimit || to < 0 || to >= kDenseFlowLimit) {
+    ++flow_overflow_[{from, to}];
+    return;
+  }
+  size_t row = static_cast<size_t>(from);
+  size_t col = static_cast<size_t>(to);
+  if (row >= flow_.size()) flow_.resize(row + 1);
+  if (col >= flow_[row].size()) flow_[row].resize(col + 1, 0);
+  ++flow_[row][col];
+}
+
 void TripStore::IndexSequenceLocked(SequenceId id,
                                     const core::MobilitySemanticsSequence& seq) {
   device_index_[seq.device_id].push_back(id);
@@ -167,11 +252,11 @@ void TripStore::IndexSequenceLocked(SequenceId id,
       it->second.begin = std::min(it->second.begin, s.range.begin);
       it->second.end = std::max(it->second.end, s.range.end);
     }
-    if (prev != dsm::kInvalidRegion && prev != s.region) ++flow_[prev][s.region];
+    if (prev != dsm::kInvalidRegion && prev != s.region) BumpFlowLocked(prev, s.region);
     prev = s.region;
   }
   for (const auto& [region, fence] : fences) {
-    region_index_[region].push_back({id, fence});
+    region_index_.Add(region, {id, fence});
   }
 }
 
@@ -319,9 +404,9 @@ std::vector<RegionVisit> TripStore::RegionVisitors(dsm::RegionId region,
   std::shared_lock lock(mu_);
   TimeRange window{t0, t1};
   std::vector<RegionVisit> visits;
-  auto it = region_index_.find(region);
-  if (it == region_index_.end()) return visits;
-  const std::vector<RegionPosting>& postings = it->second;
+  std::vector<RegionPosting> postings;
+  region_index_.CollectInto(region, &postings);
+  if (postings.empty()) return visits;
   std::vector<std::vector<RegionVisit>> partial(postings.size());
   pool_.ParallelFor(postings.size(), [&](size_t i) {
     const RegionPosting& posting = postings[i];
@@ -349,16 +434,34 @@ std::vector<RegionVisit> TripStore::RegionVisitors(dsm::RegionId region,
 
 size_t TripStore::FlowBetween(dsm::RegionId from, dsm::RegionId to) const {
   std::shared_lock lock(mu_);
-  auto row = flow_.find(from);
-  if (row == flow_.end()) return 0;
-  auto cell = row->second.find(to);
-  return cell == row->second.end() ? 0 : cell->second;
+  if (from < 0 || from >= kDenseFlowLimit || to < 0 || to >= kDenseFlowLimit) {
+    auto it = flow_overflow_.find({from, to});
+    return it == flow_overflow_.end() ? 0 : it->second;
+  }
+  size_t row = static_cast<size_t>(from);
+  size_t col = static_cast<size_t>(to);
+  if (row >= flow_.size() || col >= flow_[row].size()) return 0;
+  return flow_[row][col];
 }
 
 std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> TripStore::FlowMatrix()
     const {
   std::shared_lock lock(mu_);
-  return flow_;
+  // The public shape stays the nested map; only observed transitions appear,
+  // exactly as the former map-of-maps accumulated them.
+  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> out;
+  for (size_t row = 0; row < flow_.size(); ++row) {
+    for (size_t col = 0; col < flow_[row].size(); ++col) {
+      if (flow_[row][col] > 0) {
+        out[static_cast<dsm::RegionId>(row)][static_cast<dsm::RegionId>(col)] =
+            flow_[row][col];
+      }
+    }
+  }
+  for (const auto& [pair, count] : flow_overflow_) {
+    out[pair.first][pair.second] = count;
+  }
+  return out;
 }
 
 std::vector<core::MobilitySemanticsSequence> TripStore::SequencesInRange(

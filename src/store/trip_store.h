@@ -180,6 +180,27 @@ class TripStore {
     TimeRange fence;
   };
 
+  /// Region -> postings in the CSR bucket idiom of dsm::SpatialIndex: one
+  /// contiguous postings array grouped by region (regions/offsets/postings)
+  /// plus a small append tail that is merged in amortized-O(1) compactions.
+  /// A region's postings scan is then one cache-dense range (plus the short
+  /// tail) instead of a node-based map walk.
+  struct RegionPostingsIndex {
+    std::vector<dsm::RegionId> regions;   ///< ascending, unique
+    std::vector<uint32_t> offsets;        ///< postings of regions[i]: [offsets[i], offsets[i+1])
+    std::vector<RegionPosting> postings;  ///< grouped by region, append order within
+    std::vector<std::pair<dsm::RegionId, RegionPosting>> tail;  ///< not yet merged
+
+    /// Appends one posting (tail write; compacts when the tail outgrows a
+    /// quarter of the CSR body).
+    void Add(dsm::RegionId region, const RegionPosting& posting);
+    /// Merges the tail into the CSR arrays (stable: append order preserved).
+    void Compact();
+    /// Appends `region`'s postings — CSR range first, then tail hits, which
+    /// together enumerate them in append order — onto `out`.
+    void CollectInto(dsm::RegionId region, std::vector<RegionPosting>* out) const;
+  };
+
   explicit TripStore(StoreOptions options);
 
   Status LoadDirectoryLocked();
@@ -188,16 +209,28 @@ class TripStore {
   void AddToLastSegmentLocked(core::MobilitySemanticsSequence seq);
   Result<SequenceId> AppendLocked(core::MobilitySemanticsSequence seq);
   const core::MobilitySemanticsSequence& SequenceLocked(SequenceId id) const;
+  void BumpFlowLocked(dsm::RegionId from, dsm::RegionId to);
 
   StoreOptions options_;
   mutable util::ThreadPool pool_;
   mutable std::shared_mutex mu_;
   std::vector<Segment> segments_;
   size_t next_file_index_ = 0;
-  // Indexes (all guarded by mu_).
+  /// Region ids below this use the dense flow rows; anything else (negative
+  /// ids other than kInvalidRegion, or absurdly large ones from hand-written
+  /// imports) falls back to the sparse overflow map, so a stray id can never
+  /// force a giant row allocation — the old map-of-maps accepted any id.
+  static constexpr dsm::RegionId kDenseFlowLimit = 1 << 14;
+
+  // Indexes (all guarded by mu_: appends/compactions exclusive, reads shared).
   std::map<std::string, std::vector<SequenceId>> device_index_;
-  std::map<dsm::RegionId, std::vector<RegionPosting>> region_index_;
-  std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> flow_;
+  RegionPostingsIndex region_index_;
+  // Flow matrix as flat per-source rows (row = contiguous counts indexed by
+  // destination region id) instead of nested maps: FlowBetween is two bounds
+  // checks + one load, FlowMatrix one dense sweep. Out-of-band ids live in
+  // flow_overflow_.
+  std::vector<std::vector<size_t>> flow_;
+  std::map<std::pair<dsm::RegionId, dsm::RegionId>, size_t> flow_overflow_;
   size_t triplet_count_ = 0;
   size_t sequence_count_ = 0;
   size_t dropped_ = 0;

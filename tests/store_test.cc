@@ -256,6 +256,70 @@ TEST_F(StoreQueryFixture, RegionVisitorsMatchesBruteForce) {
   }
 }
 
+// High-volume append pass: enough region postings to trigger several CSR
+// tail compactions in the posting index, after which every region query and
+// flow cell must still match the brute-force scan.
+TEST_F(StoreQueryFixture, RegionIndexSurvivesCompactionPressure) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  for (int round = 0; round < 120; ++round) {
+    core::MobilitySemanticsSequence seq;
+    seq.device_id = "bulk-" + std::to_string(round);
+    TimestampMs t = round * 3 * kMillisPerMinute;
+    for (int v = 0; v < 6; ++v) {
+      dsm::RegionId region = (round + v * v) % 9;
+      // Built via append: same GCC 12 -Wrestrict false positive (PR105651)
+      // workaround as Corpus().
+      std::string region_name = "R";
+      region_name += std::to_string(region);
+      seq.semantics.push_back(Triplet(core::kEventStay, region, region_name, t,
+                                      t + 2 * kMillisPerMinute, false));
+      t += 3 * kMillisPerMinute;
+    }
+    ASSERT_TRUE(stored->Append(seq).ok());
+  }
+  TimeRange span = stored->Stats().span;
+  for (dsm::RegionId region = 0; region < 9; ++region) {
+    EXPECT_EQ(stored->RegionVisitors(region, span.begin, span.end),
+              BruteForceVisitors(*stored, region, span.begin, span.end))
+        << "region " << region;
+    EXPECT_EQ(stored->RegionVisitors(region, span.begin + 40 * kMillisPerMinute,
+                                     span.begin + 90 * kMillisPerMinute),
+              BruteForceVisitors(*stored, region,
+                                 span.begin + 40 * kMillisPerMinute,
+                                 span.begin + 90 * kMillisPerMinute))
+        << "region " << region;
+  }
+  core::MobilityAnalytics reference;
+  stored->ForEachSequence([&](TripStore::SequenceId,
+                              const core::MobilitySemanticsSequence& seq) {
+    reference.AddSequence(seq);
+  });
+  EXPECT_EQ(stored->FlowMatrix(), reference.FlowMatrix());
+}
+
+// Out-of-band region ids (negative, or far past any real venue) must index
+// and count like the old map-of-maps did — via the sparse overflow, never a
+// giant dense-row allocation.
+TEST_F(StoreQueryFixture, FlowHandlesOutOfBandRegionIds) {
+  std::unique_ptr<TripStore> stored = MakeStore();
+  core::MobilitySemanticsSequence odd;
+  odd.device_id = "odd";
+  odd.semantics.push_back(Triplet(core::kEventStay, -5, "neg", 0, kMillisPerMinute));
+  odd.semantics.push_back(Triplet(core::kEventStay, 2'000'000'000, "huge",
+                                  2 * kMillisPerMinute, 3 * kMillisPerMinute));
+  odd.semantics.push_back(
+      Triplet(core::kEventStay, 1, "R1", 4 * kMillisPerMinute, 5 * kMillisPerMinute));
+  ASSERT_TRUE(stored->Append(odd).ok());
+  EXPECT_EQ(stored->FlowBetween(-5, 2'000'000'000), 1u);
+  EXPECT_EQ(stored->FlowBetween(2'000'000'000, 1), 1u);
+  EXPECT_EQ(stored->FlowBetween(1, -5), 0u);
+  auto matrix = stored->FlowMatrix();
+  EXPECT_EQ(matrix[-5][2'000'000'000], 1u);
+  EXPECT_EQ(stored->RegionVisitors(-5, 0, kMillisPerMinute).size(), 1u);
+  EXPECT_EQ(stored->RegionVisitors(2'000'000'000, 0, 10 * kMillisPerMinute).size(),
+            1u);
+}
+
 TEST_F(StoreQueryFixture, FlowMatchesAnalytics) {
   std::unique_ptr<TripStore> stored = MakeStore();
   core::MobilityAnalytics reference;
