@@ -1,0 +1,175 @@
+// Routing-contraction benchmarks: queries over the CH-lite portal graph vs
+// the flat clique-graph reference, at 1x / 4x / 16x venue scale
+// (shops_per_arm 3 / 12 / 48 over the 7-floor mall). The contracted graph
+// shrinks with the hub-corridor cliques it collapses, so the gap widens with
+// venue scale — the axis where one multi-seed Dijkstra per query fell over.
+// Run through bench/run_benches.sh to capture BENCH_routing.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace trips;
+
+namespace {
+
+constexpr int kFloors = 7;
+
+int ShopsPerArm(int scale) { return 3 * scale; }
+
+bench::MallContext& ContextFor(int scale) {
+  static std::map<int, bench::MallContext> contexts;
+  auto it = contexts.find(scale);
+  if (it == contexts.end()) {
+    it = contexts.emplace(scale, bench::MallContext::Make(kFloors, ShopsPerArm(scale)))
+             .first;
+  }
+  return it->second;
+}
+
+// Planners per (scale, contraction, cached) tuple, built lazily and shared
+// across benchmarks (a 16x build takes a moment).
+const dsm::RoutePlanner& PlannerFor(int scale, bool contraction, bool cached) {
+  static std::map<std::tuple<int, bool, bool>, std::unique_ptr<dsm::RoutePlanner>>
+      planners;
+  auto key = std::make_tuple(scale, contraction, cached);
+  auto it = planners.find(key);
+  if (it == planners.end()) {
+    dsm::RoutePlannerOptions options;
+    options.use_contraction = contraction;
+    options.route_cache_capacity = cached ? 1024 : 0;
+    auto planner = dsm::RoutePlanner::Build(ContextFor(scale).dsm.get(), options);
+    if (!planner.ok()) std::abort();
+    it = planners
+             .emplace(key, std::make_unique<dsm::RoutePlanner>(
+                               std::move(planner).ValueOrDie()))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<geo::IndoorPoint, geo::IndoorPoint>> RoutePairs(
+    const dsm::Dsm& dsm, size_t count) {
+  geo::BoundingBox bounds;
+  for (const dsm::Entity& e : dsm.entities()) bounds.Extend(e.shape.Bounds());
+  Rng rng(14);
+  auto walkable_point = [&]() {
+    for (;;) {
+      geo::IndoorPoint p{rng.Uniform(bounds.min.x, bounds.max.x),
+                         rng.Uniform(bounds.min.y, bounds.max.y),
+                         static_cast<geo::FloorId>(rng.UniformInt(0, kFloors - 1))};
+      if (dsm.IsWalkable(p)) return p;
+    }
+  };
+  std::vector<std::pair<geo::IndoorPoint, geo::IndoorPoint>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(walkable_point(), walkable_point());
+  }
+  return pairs;
+}
+
+void SetGraphCounters(benchmark::State& state, const dsm::RoutePlanner& planner) {
+  state.counters["graph_nodes"] = static_cast<double>(planner.NodeCount());
+  state.counters["portals"] = static_cast<double>(planner.PortalCount());
+  state.counters["flat_edges"] = static_cast<double>(planner.FlatEdgeCount());
+  state.counters["shortcut_edges"] =
+      static_cast<double>(planner.ContractedEdgeCount());
+}
+
+void RunFindRoute(benchmark::State& state, bool contraction, bool cached) {
+  int scale = static_cast<int>(state.range(0));
+  bench::MallContext& ctx = ContextFor(scale);
+  const dsm::RoutePlanner& planner = PlannerFor(scale, contraction, cached);
+  planner.ClearCache();
+  auto pairs = RoutePairs(*ctx.dsm, 256);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(planner.FindRoute(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+  SetGraphCounters(state, planner);
+}
+
+void BM_FindRoute_Contracted(benchmark::State& state) {
+  RunFindRoute(state, /*contraction=*/true, /*cached=*/true);
+}
+BENCHMARK(BM_FindRoute_Contracted)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_FindRoute_Flat(benchmark::State& state) {
+  RunFindRoute(state, /*contraction=*/false, /*cached=*/true);
+}
+BENCHMARK(BM_FindRoute_Flat)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+// Uncached variants: the raw per-query Dijkstra cost, where the ~10x edge
+// shrink shows up undiluted by the memoized-tree LRU.
+void BM_FindRoute_Uncached_Contracted(benchmark::State& state) {
+  RunFindRoute(state, /*contraction=*/true, /*cached=*/false);
+}
+BENCHMARK(BM_FindRoute_Uncached_Contracted)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FindRoute_Uncached_Flat(benchmark::State& state) {
+  RunFindRoute(state, /*contraction=*/false, /*cached=*/false);
+}
+BENCHMARK(BM_FindRoute_Uncached_Flat)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void RunBatch(benchmark::State& state, bool contraction) {
+  int scale = static_cast<int>(state.range(0));
+  bench::MallContext& ctx = ContextFor(scale);
+  const dsm::RoutePlanner& planner = PlannerFor(scale, contraction, /*cached=*/true);
+  planner.ClearCache();
+  auto pairs = RoutePairs(*ctx.dsm, 257);
+  geo::IndoorPoint from = pairs[0].first;
+  std::vector<geo::IndoorPoint> targets;
+  for (size_t i = 1; i < pairs.size(); ++i) targets.push_back(pairs[i].second);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.IndoorDistances(from, targets));
+  }
+  state.SetItemsProcessed(state.iterations() * targets.size());
+  SetGraphCounters(state, planner);
+}
+
+void BM_IndoorDistances_Contracted(benchmark::State& state) {
+  RunBatch(state, /*contraction=*/true);
+}
+BENCHMARK(BM_IndoorDistances_Contracted)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndoorDistances_Flat(benchmark::State& state) {
+  RunBatch(state, /*contraction=*/false);
+}
+BENCHMARK(BM_IndoorDistances_Flat)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+// Graph + contraction build cost (the price paid once at Engine::Build).
+void BM_BuildPlanner(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  bench::MallContext& ctx = ContextFor(scale);
+  for (auto _ : state) {
+    auto planner = dsm::RoutePlanner::Build(ctx.dsm.get());
+    if (!planner.ok()) std::abort();
+    benchmark::DoNotOptimize(planner->PortalCount());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildPlanner)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

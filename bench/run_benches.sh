@@ -7,6 +7,9 @@
 #   BENCH_cleaning.json — columnar cleaning: SoA RecordBlock + scratch reuse
 #                         vs the AoS reference, parallel passes at 1-8
 #                         threads, combined SnapIfOutside vs the two-call pair
+#   BENCH_routing.json  — CH-lite contracted portal graph vs the flat clique
+#                         reference (FindRoute cached/uncached, batch
+#                         distances, planner build) at 1x/4x/16x venue scale
 #
 # Usage: bench/run_benches.sh [build_dir] [out_dir] [min_time]
 #   build_dir  where the bench binaries live        (default: build)
@@ -46,5 +49,6 @@ run_suite() {
 run_suite bench_spatial_index "$OUT_DIR/BENCH_spatial.json"
 run_suite bench_service_throughput "$OUT_DIR/BENCH_service.json"
 run_suite bench_cleaning "$OUT_DIR/BENCH_cleaning.json"
+run_suite bench_routing "$OUT_DIR/BENCH_routing.json"
 
-echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json and $OUT_DIR/BENCH_cleaning.json"
+echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json and $OUT_DIR/BENCH_routing.json"

@@ -10,7 +10,8 @@ Status Translator::Init() {
   if (!dsm_->topology_computed()) {
     return Status::FailedPrecondition("DSM topology not computed");
   }
-  TRIPS_ASSIGN_OR_RETURN(dsm::RoutePlanner planner, dsm::RoutePlanner::Build(dsm_));
+  TRIPS_ASSIGN_OR_RETURN(dsm::RoutePlanner planner,
+                         dsm::RoutePlanner::Build(dsm_, options_.routing));
   planner_.emplace(std::move(planner));
   knowledge_ = complement::MobilityKnowledge::Uniform(*dsm_);
   // Per-sequence layer state, hoisted: both objects are configuration-only

@@ -37,6 +37,10 @@ struct TranslatorOptions {
   annotation::AnnotatorOptions annotator;
   annotation::EventClassifierOptions classifier;
   complement::ComplementorOptions complementor;
+  /// Route planner knobs (memoization, contraction, vertical cost) for the
+  /// planner Init() builds; the cleaning layer's gap interpolation and every
+  /// Engine session route through it.
+  dsm::RoutePlannerOptions routing;
   /// Layer switches (ablations / baselines).
   bool enable_cleaning = true;
   bool enable_complementing = true;

@@ -33,7 +33,11 @@
 //                   plus store-backed views (viewer/store_view.h)
 //   Substrates    — dsm::Dsm (+ routing, JSON, sample spaces),
 //                   positioning::* (records, CSV, error model),
-//                   mobility::MobilityGenerator (ground-truth data)
+//                   mobility::MobilityGenerator (ground-truth data).
+//                   Indoor routing runs on a contracted (CH-lite)
+//                   portal-to-portal shortcut graph with memoized Dijkstra
+//                   trees; the flat clique graph stays as the bit-identical
+//                   parity reference (dsm/routing.h)
 //
 // Persist + query quickstart:
 //

@@ -2,6 +2,7 @@
 
 #include "dsm/routing.h"
 #include "dsm/sample_spaces.h"
+#include "testing/random_dsm.h"
 
 namespace trips::dsm {
 namespace {
@@ -9,9 +10,7 @@ namespace {
 class RoutingFixture : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto mall = BuildMallDsm({.floors = 3, .shops_per_arm = 2});
-    ASSERT_TRUE(mall.ok()) << mall.status().ToString();
-    dsm_ = std::make_unique<Dsm>(std::move(mall).ValueOrDie());
+    dsm_ = std::make_unique<Dsm>(testing::MakeMall(3, 2));
     auto planner = RoutePlanner::Build(dsm_.get());
     ASSERT_TRUE(planner.ok()) << planner.status().ToString();
     planner_ = std::make_unique<RoutePlanner>(std::move(planner).ValueOrDie());
@@ -117,6 +116,88 @@ TEST(RouteTest, EmptyRoute) {
   Route route;
   EXPECT_TRUE(route.Empty());
   EXPECT_EQ(route.PointAtDistance(5).xy, (geo::Point2{0, 0}));
+}
+
+// Regression: PointAtDistance used to hardcode 15 m/floor while the planner
+// charged RoutePlannerOptions::vertical_cost_per_floor into the distance, so
+// walking a route built with a different vertical cost drifted past (or short
+// of) every vertical transition.
+TEST(RouteTest, PointAtDistanceHonorsVerticalCost) {
+  Dsm office = testing::MakeOffice();
+  RoutePlannerOptions options;
+  options.vertical_cost_per_floor = 40.0;
+  auto planner = RoutePlanner::Build(&office, options);
+  ASSERT_TRUE(planner.ok());
+
+  geo::IndoorPoint a{10, 6, 0}, b{10, 6, 1};
+  auto route = planner->FindRoute(a, b);
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  EXPECT_EQ(route->vertical_cost_per_floor, 40.0);
+  EXPECT_GE(route->distance, 40.0);
+
+  // Walk up to the vertical transition, then 20 m "into" it: still less than
+  // half the 40 m transition, so the sample must stay on the origin floor.
+  double planar_prefix = 0;
+  size_t lift = 0;
+  for (size_t i = 1; i < route->waypoints.size(); ++i) {
+    if (route->waypoints[i].floor != route->waypoints[i - 1].floor) {
+      lift = i;
+      break;
+    }
+    planar_prefix +=
+        route->waypoints[i - 1].PlanarDistanceTo(route->waypoints[i]);
+  }
+  ASSERT_GT(lift, 0u) << "route should cross floors";
+  EXPECT_EQ(route->PointAtDistance(planar_prefix + 19.0).floor, 0);
+  EXPECT_EQ(route->PointAtDistance(planar_prefix + 21.0).floor, 1);
+  // The full charged distance lands exactly on the destination.
+  EXPECT_EQ(route->PointAtDistance(route->distance).xy, b.xy);
+}
+
+// Regression: ClearCache must drop the memoized trees AND reset the hit/miss
+// counters, so observability starts from a clean slate between bench phases.
+TEST_F(RoutingFixture, ClearCacheResetsStatsAndEntries) {
+  geo::IndoorPoint a{5, 45, 0}, b{65, 10, 2};
+  double before = planner_->IndoorDistance(a, b);
+  for (int i = 0; i < 4; ++i) planner_->IndoorDistance(a, b);
+  EXPECT_GT(planner_->cache_size(), 0u);
+  EXPECT_GT(planner_->cache_hits() + planner_->cache_misses(), 0u);
+
+  planner_->ClearCache();
+  EXPECT_EQ(planner_->cache_size(), 0u);
+  EXPECT_EQ(planner_->cache_hits(), 0u);
+  EXPECT_EQ(planner_->cache_misses(), 0u);
+
+  // Queries after the reset recompute and return identical results.
+  EXPECT_EQ(planner_->IndoorDistance(a, b), before);
+  EXPECT_GT(planner_->cache_misses(), 0u);
+}
+
+// The shared random venues stay routable: every pair of walkable points on
+// connected floors has a finite, symmetric distance.
+TEST(RoutingRandomVenueTest, RandomVenuesRouteSymmetrically) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    testing::RandomVenueOptions options;
+    options.seed = seed;
+    auto venue = testing::BuildRandomVenue(options);
+    ASSERT_TRUE(venue.ok()) << venue.status().ToString();
+    auto planner = RoutePlanner::Build(&*venue);
+    ASSERT_TRUE(planner.ok());
+    std::vector<geo::IndoorPoint> points =
+        testing::RoutingQueryPoints(*venue, 40, seed ^ 0xABC);
+    for (size_t i = 0; i + 1 < points.size(); i += 2) {
+      if (!venue->IsWalkable(points[i]) || !venue->IsWalkable(points[i + 1])) {
+        continue;
+      }
+      double ab = planner->IndoorDistance(points[i], points[i + 1]);
+      double ba = planner->IndoorDistance(points[i + 1], points[i]);
+      if (std::isinf(ab)) {
+        EXPECT_TRUE(std::isinf(ba));
+      } else {
+        EXPECT_NEAR(ab, ba, 1e-6);
+      }
+    }
+  }
 }
 
 }  // namespace

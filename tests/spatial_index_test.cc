@@ -15,58 +15,17 @@
 #include "dsm/sample_spaces.h"
 #include "mobility/generator.h"
 #include "positioning/error_model.h"
+#include "testing/random_dsm.h"
 #include "util/rng.h"
 
 namespace trips::dsm {
 namespace {
 
+using testing::BoundaryPoints;
+using testing::MakeMall;
+using testing::RandomPoints;
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-Dsm MakeMall(int floors = 3, int shops_per_arm = 3) {
-  auto mall = BuildMallDsm({.floors = floors, .shops_per_arm = shops_per_arm});
-  EXPECT_TRUE(mall.ok()) << mall.status().ToString();
-  return std::move(mall).ValueOrDie();
-}
-
-// Random points spanning the venue, its surroundings (to exercise snapping
-// and invalid lookups) and out-of-model floors.
-std::vector<geo::IndoorPoint> RandomPoints(const Dsm& dsm, size_t count,
-                                           uint64_t seed) {
-  Rng rng(seed);
-  geo::BoundingBox bounds;
-  for (const Entity& e : dsm.entities()) bounds.Extend(e.shape.Bounds());
-  double margin = 20.0;
-  int max_floor = static_cast<int>(dsm.FloorCount());
-  std::vector<geo::IndoorPoint> points;
-  points.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    points.push_back({rng.Uniform(bounds.min.x - margin, bounds.max.x + margin),
-                      rng.Uniform(bounds.min.y - margin, bounds.max.y + margin),
-                      static_cast<geo::FloorId>(rng.UniformInt(-1, max_floor))});
-  }
-  return points;
-}
-
-// Deliberate edge-of-polygon cases: every vertex, every edge midpoint, and
-// tiny inward/outward offsets of both, for every entity and region.
-std::vector<geo::IndoorPoint> BoundaryPoints(const Dsm& dsm) {
-  std::vector<geo::IndoorPoint> points;
-  auto add_polygon = [&points](const geo::Polygon& poly, geo::FloorId floor) {
-    geo::Point2 centroid = poly.Centroid();
-    for (const geo::Segment& edge : poly.Edges()) {
-      for (const geo::Point2& p : {edge.a, edge.Midpoint()}) {
-        points.push_back({p, floor});
-        geo::Point2 inward = p + (centroid - p).Normalized() * 1e-8;
-        geo::Point2 outward = p + (p - centroid).Normalized() * 1e-8;
-        points.push_back({inward, floor});
-        points.push_back({outward, floor});
-      }
-    }
-  };
-  for (const Entity& e : dsm.entities()) add_polygon(e.shape, e.floor);
-  for (const SemanticRegion& r : dsm.regions()) add_polygon(r.shape, r.floor);
-  return points;
-}
 
 void ExpectPointQueryParity(const Dsm& dsm,
                             const std::vector<geo::IndoorPoint>& points) {
@@ -94,9 +53,20 @@ TEST(SpatialIndexParityTest, RandomPointsMatchBruteForceOnLargerVenue) {
 }
 
 TEST(SpatialIndexParityTest, RandomPointsMatchBruteForceOnOffice) {
-  auto office = BuildOfficeDsm();
-  ASSERT_TRUE(office.ok());
-  ExpectPointQueryParity(*office, RandomPoints(*office, 2000, 0xC0FFEE));
+  Dsm office = testing::MakeOffice();
+  ExpectPointQueryParity(office, RandomPoints(office, 2000, 0xC0FFEE));
+}
+
+// Randomized venues, including every degenerate decoration the shared
+// fixture can produce (lone floors, doorless islands, zero-area hallways).
+TEST(SpatialIndexParityTest, RandomVenuesMatchBruteForce) {
+  for (const testing::RandomVenueOptions& options :
+       testing::DegenerateVenueSweep(0x5EED0)) {
+    auto venue = testing::BuildRandomVenue(options);
+    ASSERT_TRUE(venue.ok()) << venue.status().ToString();
+    ExpectPointQueryParity(*venue, RandomPoints(*venue, 800, options.seed ^ 0xF00));
+    ExpectPointQueryParity(*venue, BoundaryPoints(*venue));
+  }
 }
 
 TEST(SpatialIndexParityTest, EdgeOfPolygonPointsMatchBruteForce) {

@@ -1,0 +1,292 @@
+// Shared randomized-venue fixture for the DSM, spatial-index and routing
+// suites: canned mall/office builders, seeded random venue generation with
+// deliberately degenerate decorations (single-partition floors, portal-less
+// islands, zero-width corridors), and the query-point generators the parity
+// suites sample with. Header-only so every test TU shares one vocabulary of
+// venues instead of private ad-hoc builders.
+//
+// Generated geometry stays on an integer-metre lattice: collinear node
+// triples then produce exact floating-point distance ties (both path sums
+// round to the same double), which keeps the bit-exact parity contracts
+// (grid == brute force, contracted == flat) meaningful on randomized input.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "dsm/sample_spaces.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace trips::dsm::testing {
+
+/// The paper's mall venue at a given scale, topology computed; aborts the
+/// test on failure.
+inline Dsm MakeMall(int floors = 3, int shops_per_arm = 3) {
+  auto mall = BuildMallDsm({.floors = floors, .shops_per_arm = shops_per_arm});
+  EXPECT_TRUE(mall.ok()) << mall.status().ToString();
+  return std::move(mall).ValueOrDie();
+}
+
+/// The two-floor office venue, topology computed.
+inline Dsm MakeOffice() {
+  auto office = BuildOfficeDsm();
+  EXPECT_TRUE(office.ok()) << office.status().ToString();
+  return std::move(office).ValueOrDie();
+}
+
+/// Knobs of the seeded random venue: a spine corridor with randomly sized
+/// rooms on both sides, an optional crossing corridor with a staircase, and
+/// optional degenerate decorations.
+struct RandomVenueOptions {
+  uint64_t seed = 1;
+  int floors = 2;
+  /// Rooms along each side of the spine corridor (the venue-scale knob).
+  int rooms_per_side = 5;
+  /// Crossing corridor (creates a partition-overlap portal per floor).
+  bool cross_corridor = true;
+  /// Staircase in the crossing corridor linking all floors.
+  bool vertical_connector = true;
+  /// Chance that adjacent rooms share a direct door (room-chain topology).
+  double neighbor_door_chance = 0.35;
+  /// Extra floor carrying one lone partition and nothing else.
+  bool single_partition_floor = false;
+  /// Detached room with no doors — reachable by snapping, routable to nothing.
+  bool portal_less_island = false;
+  /// Zero-height hallway polygon (area 0) — degenerate geometry stress.
+  bool zero_width_corridor = false;
+};
+
+/// Builds a seeded random venue. All coordinates are integers; rooms are
+/// 8-14 m wide and 8-16 m deep with doors at random offsets, so every seed
+/// yields a distinct door/portal graph.
+inline Result<Dsm> BuildRandomVenue(const RandomVenueOptions& options) {
+  Rng rng(options.seed);
+  Dsm dsm;
+  dsm.set_name("random-venue-" + std::to_string(options.seed));
+
+  auto add_rect = [&dsm](EntityKind kind, const std::string& name,
+                         geo::FloorId floor, double x0, double y0, double x1,
+                         double y1) -> Result<EntityId> {
+    Entity e;
+    e.kind = kind;
+    e.name = name;
+    e.floor = floor;
+    e.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+    return dsm.AddEntity(std::move(e));
+  };
+  auto add_region = [&dsm](const std::string& name, const std::string& category,
+                           geo::FloorId floor, double x0, double y0, double x1,
+                           double y1) -> Result<RegionId> {
+    SemanticRegion r;
+    r.name = name;
+    r.category = category;
+    r.floor = floor;
+    r.shape = geo::Polygon::Rectangle(x0, y0, x1, y1);
+    return dsm.AddRegion(std::move(r));
+  };
+
+  // Spine corridor band: y in [20, 28]; rooms above and below. Pre-roll the
+  // room layout once so every floor shares the same footprint (vertical
+  // connectors need aligned walkable space) while doors still vary per floor.
+  struct RoomSlot {
+    int x0, x1;  // along the corridor
+  };
+  std::vector<RoomSlot> slots;
+  int x = 2;
+  for (int i = 0; i < options.rooms_per_side; ++i) {
+    int width = static_cast<int>(rng.UniformInt(8, 14));
+    slots.push_back({x, x + width});
+    x += width + static_cast<int>(rng.UniformInt(0, 2));
+  }
+  const int venue_w = x + 2;
+  const int cross_x = options.cross_corridor
+                          ? static_cast<int>(rng.UniformInt(4, venue_w - 12))
+                          : -100;
+
+  for (geo::FloorId f = 0; f < options.floors; ++f) {
+    Floor floor;
+    floor.id = f;
+    floor.name = std::to_string(f + 1) + "F";
+    floor.outline = geo::Polygon::Rectangle(0, 0, venue_w, 48);
+    TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(floor)));
+    const std::string suffix = "@" + std::to_string(f + 1) + "F";
+
+    TRIPS_RETURN_NOT_OK(
+        add_rect(EntityKind::kHallway, "spine" + suffix, f, 0, 20, venue_w, 28)
+            .status());
+    TRIPS_RETURN_NOT_OK(
+        add_region("Spine" + suffix, "corridor", f, 0, 20, venue_w, 28).status());
+    if (options.cross_corridor) {
+      TRIPS_RETURN_NOT_OK(add_rect(EntityKind::kHallway, "cross" + suffix, f,
+                                   cross_x, 0, cross_x + 8, 48)
+                              .status());
+      if (options.vertical_connector && options.floors > 1) {
+        // Same name on every floor => topology links the endpoints.
+        TRIPS_RETURN_NOT_OK(add_rect(EntityKind::kStaircase, "stair-R", f,
+                                     cross_x + 1, 44, cross_x + 7, 48)
+                                .status());
+      }
+    }
+
+    for (int side = 0; side < 2; ++side) {
+      const bool top = side == 0;
+      const int wall_y = top ? 28 : 20;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        const RoomSlot& slot = slots[i];
+        const int depth = static_cast<int>(rng.UniformInt(8, 16));
+        const int y0 = top ? wall_y : wall_y - depth;
+        const int y1 = top ? wall_y + depth : wall_y;
+        std::string name = std::string(top ? "room-t" : "room-b") +
+                           std::to_string(i) + suffix;
+        auto room = add_rect(EntityKind::kRoom, name, f, slot.x0, y0, slot.x1, y1);
+        TRIPS_RETURN_NOT_OK(room.status());
+        auto region = add_region(name, "room", f, slot.x0, y0, slot.x1, y1);
+        TRIPS_RETURN_NOT_OK(region.status());
+        TRIPS_RETURN_NOT_OK(
+            dsm.MapEntityToRegion(room.ValueOrDie(), region.ValueOrDie()));
+        // Corridor door at a random integer offset along the shared wall.
+        const int door_x =
+            static_cast<int>(rng.UniformInt(slot.x0 + 1, slot.x1 - 3));
+        TRIPS_RETURN_NOT_OK(add_rect(EntityKind::kDoor, name + "-door", f,
+                                     door_x, wall_y - 0.6, door_x + 2,
+                                     wall_y + 0.6)
+                                .status());
+        // Occasional direct door into the neighboring room (flush walls
+        // only), exercising room-chain topology with dead-end interiors.
+        if (i + 1 < slots.size() && slots[i + 1].x0 == slot.x1 &&
+            rng.Chance(options.neighbor_door_chance)) {
+          const int mid = top ? wall_y + 4 : wall_y - 4;
+          TRIPS_RETURN_NOT_OK(add_rect(EntityKind::kDoor, name + "-sidedoor", f,
+                                       slot.x1 - 0.6, mid - 1, slot.x1 + 0.6,
+                                       mid + 1)
+                                  .status());
+        }
+      }
+    }
+
+    if (options.portal_less_island && f == 0) {
+      TRIPS_RETURN_NOT_OK(
+          add_rect(EntityKind::kRoom, "island", f, venue_w + 10, 2, venue_w + 18, 10)
+              .status());
+      TRIPS_RETURN_NOT_OK(
+          add_region("Island", "room", f, venue_w + 10, 2, venue_w + 18, 10)
+              .status());
+    }
+    if (options.zero_width_corridor && f == 0) {
+      TRIPS_RETURN_NOT_OK(add_rect(EntityKind::kHallway, "zero-corridor", f,
+                                   venue_w + 10, 14, venue_w + 22, 14)
+                              .status());
+    }
+  }
+
+  if (options.single_partition_floor) {
+    Floor lone;
+    lone.id = options.floors;
+    lone.name = "attic";
+    lone.outline = geo::Polygon::Rectangle(0, 0, 20, 20);
+    TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(lone)));
+    TRIPS_RETURN_NOT_OK(add_rect(EntityKind::kRoom, "attic-room",
+                                 options.floors, 2, 2, 18, 18)
+                            .status());
+  }
+
+  TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  return dsm;
+}
+
+/// The degenerate-feature sweep the randomized suites iterate: every
+/// decoration on its own plus everything at once.
+inline std::vector<RandomVenueOptions> DegenerateVenueSweep(uint64_t seed_base) {
+  std::vector<RandomVenueOptions> sweep;
+  RandomVenueOptions plain{.seed = seed_base};
+  sweep.push_back(plain);
+  RandomVenueOptions lone_floor{.seed = seed_base + 1, .single_partition_floor = true};
+  sweep.push_back(lone_floor);
+  RandomVenueOptions island{.seed = seed_base + 2, .portal_less_island = true};
+  sweep.push_back(island);
+  RandomVenueOptions zero{.seed = seed_base + 3, .zero_width_corridor = true};
+  sweep.push_back(zero);
+  RandomVenueOptions flat_floor{.seed = seed_base + 4,
+                                .floors = 1,
+                                .cross_corridor = false,
+                                .vertical_connector = false};
+  sweep.push_back(flat_floor);
+  RandomVenueOptions all{.seed = seed_base + 5,
+                         .floors = 3,
+                         .single_partition_floor = true,
+                         .portal_less_island = true,
+                         .zero_width_corridor = true};
+  sweep.push_back(all);
+  return sweep;
+}
+
+/// Random points spanning the venue, its surroundings (to exercise snapping
+/// and invalid lookups) and out-of-model floors.
+inline std::vector<geo::IndoorPoint> RandomPoints(const Dsm& dsm, size_t count,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  geo::BoundingBox bounds;
+  for (const Entity& e : dsm.entities()) bounds.Extend(e.shape.Bounds());
+  double margin = 20.0;
+  int max_floor = static_cast<int>(dsm.FloorCount());
+  std::vector<geo::IndoorPoint> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    points.push_back({rng.Uniform(bounds.min.x - margin, bounds.max.x + margin),
+                      rng.Uniform(bounds.min.y - margin, bounds.max.y + margin),
+                      static_cast<geo::FloorId>(rng.UniformInt(-1, max_floor))});
+  }
+  return points;
+}
+
+/// Deliberate edge-of-polygon cases: every vertex, every edge midpoint, and
+/// tiny inward/outward offsets of both, for every entity and region.
+inline std::vector<geo::IndoorPoint> BoundaryPoints(const Dsm& dsm) {
+  std::vector<geo::IndoorPoint> points;
+  auto add_polygon = [&points](const geo::Polygon& poly, geo::FloorId floor) {
+    geo::Point2 centroid = poly.Centroid();
+    for (const geo::Segment& edge : poly.Edges()) {
+      for (const geo::Point2& p : {edge.a, edge.Midpoint()}) {
+        points.push_back({p, floor});
+        geo::Point2 inward = p + (centroid - p).Normalized() * 1e-8;
+        geo::Point2 outward = p + (p - centroid).Normalized() * 1e-8;
+        points.push_back({inward, floor});
+        points.push_back({outward, floor});
+      }
+    }
+  };
+  for (const Entity& e : dsm.entities()) add_polygon(e.shape, e.floor);
+  for (const SemanticRegion& r : dsm.regions()) add_polygon(r.shape, r.floor);
+  return points;
+}
+
+/// Routing query endpoints: mostly walkable points (snapped into rooms and
+/// corridors — both planner modes), some raw points that may fall outside
+/// every partition or on out-of-model floors (unroutable-endpoint paths).
+inline std::vector<geo::IndoorPoint> RoutingQueryPoints(const Dsm& dsm,
+                                                        size_t count,
+                                                        uint64_t seed) {
+  Rng rng(seed);
+  geo::BoundingBox bounds;
+  for (const Entity& e : dsm.entities()) bounds.Extend(e.shape.Bounds());
+  int max_floor = static_cast<int>(dsm.FloorCount());
+  std::vector<geo::IndoorPoint> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    geo::IndoorPoint p{rng.Uniform(bounds.min.x - 10, bounds.max.x + 10),
+                       rng.Uniform(bounds.min.y - 10, bounds.max.y + 10),
+                       static_cast<geo::FloorId>(rng.UniformInt(-1, max_floor))};
+    bool in_model = p.floor >= 0 && p.floor < max_floor;
+    if (in_model && !rng.Chance(0.15)) {
+      p = dsm.SnapToWalkable(p);  // bias walkable; keep ~15% raw
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace trips::dsm::testing
