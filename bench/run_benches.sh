@@ -10,6 +10,9 @@
 #   BENCH_routing.json  — CH-lite contracted portal graph vs the flat clique
 #                         reference (FindRoute cached/uncached, batch
 #                         distances, planner build) at 1x/4x/16x venue scale
+#   BENCH_cluster.json  — multi-venue Cluster ingest throughput at 1/2/4/8
+#                         venue shards, balanced and skewed feeds, plus
+#                         city-wide analytics fan-out
 #
 # Usage: bench/run_benches.sh [build_dir] [out_dir] [min_time]
 #   build_dir  where the bench binaries live        (default: build)
@@ -50,5 +53,6 @@ run_suite bench_spatial_index "$OUT_DIR/BENCH_spatial.json"
 run_suite bench_service_throughput "$OUT_DIR/BENCH_service.json"
 run_suite bench_cleaning "$OUT_DIR/BENCH_cleaning.json"
 run_suite bench_routing "$OUT_DIR/BENCH_routing.json"
+run_suite bench_cluster "$OUT_DIR/BENCH_cluster.json"
 
-echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json and $OUT_DIR/BENCH_routing.json"
+echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json, $OUT_DIR/BENCH_routing.json and $OUT_DIR/BENCH_cluster.json"

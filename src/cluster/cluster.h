@@ -1,0 +1,218 @@
+// trips::cluster — one process serving a city. A Cluster hosts many
+// independent venues (each its own immutable core::Engine: a mall, an office
+// tower, a transit hub, a stadium...) behind a single ingest front door. Each
+// venue is a shard with its own stream session and trip store; all shards
+// share one worker pool, so a flush burst on one venue steals idle capacity
+// from the others, and cross-venue queries fan out shard-parallel.
+//
+//     cluster::Cluster city({.worker_threads = 4});
+//     city.AddVenue({.venue_id = "mall-east", .engine = mall_engine});
+//     city.AddVenue({.venue_id = "hub-central", .engine = hub_engine,
+//                    .store_directory = "stores/hub-central"});
+//
+//     city.Ingest("mall-east", device, record);       // routed to its shard
+//     city.Poll(now);                                 // all venues, parallel
+//     city.FlushAll();
+//
+//     auto history = city.DeviceHistoryAcrossVenues(device);
+//     core::MobilityAnalytics a = city.BuildAnalytics();   // merged city-wide
+//
+// Determinism: every per-venue output (flush order, stored sequences,
+// analytics) is byte-identical to running that venue as a standalone
+// core::Service, regardless of the cluster's worker count or the sessions'
+// buffer shard count; cross-venue results merge in venue-id order.
+//
+// Thread-safety: Ingest/IngestBatch/Poll/queries may run concurrently from
+// any threads once the venue set is built. AddVenue is also safe concurrently
+// with ingestion (shared-mutex guarded), though typical use registers venues
+// up front.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analytics.h"
+#include "core/engine.h"
+#include "core/session.h"
+#include "store/trip_store.h"
+#include "util/thread_pool.h"
+
+namespace trips::cluster {
+
+/// One venue's registration: the engine that translates it plus its stream
+/// flush policy and persistence location.
+struct VenueConfig {
+  /// Cluster-unique venue key; routing and merge order both follow it.
+  std::string venue_id;
+  /// The venue's immutable translation model (dsm + planner + pipeline).
+  std::shared_ptr<const core::Engine> engine;
+  /// Flush policy of the venue's stream session.
+  core::StreamOptions stream = {};
+  /// Segment directory of the venue's trip store. Empty: memory-only (the
+  /// venue still answers history/analytics queries, nothing hits disk).
+  std::string store_directory;
+  /// Sequences per store segment before sealing.
+  size_t segment_max_sequences = 256;
+};
+
+/// Cluster-level options.
+struct ClusterOptions {
+  /// Workers in the pool shared by every shard (flush translation fan-out and
+  /// query fan-out). kAutoWorkerThreads sizes to the hardware; 0 runs
+  /// everything on calling threads (deterministic serial mode).
+  static constexpr size_t kAutoWorkerThreads = static_cast<size_t>(-1);
+  size_t worker_threads = kAutoWorkerThreads;
+};
+
+/// One positioning record addressed to a venue — the cluster's wire unit.
+struct ClusterRecord {
+  std::string venue_id;
+  std::string device_id;
+  positioning::RawRecord record;
+};
+
+/// One venue's slice of a cross-venue device history.
+struct VenueHistory {
+  std::string venue_id;
+  core::MobilitySemanticsSequence history;
+};
+
+/// Aggregate cluster counters.
+struct ClusterStats {
+  size_t venues = 0;
+  /// Records accepted across all venues.
+  size_t ingested = 0;
+  /// Records dropped because their venue id was unknown (batch/sink paths).
+  size_t dropped_unknown_venue = 0;
+  /// Sequences flushed and stored across all venues.
+  size_t stored_sequences = 0;
+  /// Per-venue ingested record counts, in venue-id order.
+  std::vector<std::pair<std::string, size_t>> per_venue_ingested;
+};
+
+/// A multi-venue sharded ingest service: one engine+session+store shard per
+/// venue, one shared worker pool, one front door.
+class Cluster {
+ public:
+  /// Receives every flushed result cluster-wide, tagged with its venue.
+  /// Invoked from whichever thread triggered the flush, results in device-id
+  /// order within one venue flush.
+  using Sink = std::function<void(const std::string& venue_id,
+                                  core::TranslationResult result)>;
+
+  explicit Cluster(ClusterOptions options = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ---- topology -------------------------------------------------------------
+
+  /// Registers a venue shard. Fails on an empty/duplicate venue id, a null
+  /// engine, or a store directory that cannot be opened.
+  Status AddVenue(VenueConfig config);
+
+  /// Registered venue ids, sorted.
+  std::vector<std::string> VenueIds() const;
+
+  /// The venue's trip store (nullptr for an unknown venue id). Stays valid
+  /// for the cluster's lifetime.
+  const store::TripStore* venue_store(const std::string& venue_id) const;
+
+  /// The venue's engine (nullptr for an unknown venue id).
+  std::shared_ptr<const core::Engine> venue_engine(const std::string& venue_id) const;
+
+  /// Workers in the shared pool (0 = serial).
+  size_t worker_count() const { return pool_.worker_count(); }
+
+  // ---- ingestion ------------------------------------------------------------
+
+  /// Buffers one record into its venue's shard. NotFound on an unknown venue
+  /// id. A record that fills the device's buffer triggers an inline flush
+  /// (translated + stored + delivered to the sink).
+  Status Ingest(const std::string& venue_id, const std::string& device,
+                const positioning::RawRecord& record);
+
+  /// Buffers a batch, routing each record to its venue. Unknown-venue records
+  /// are skipped and counted (Stats().dropped_unknown_venue); returns the
+  /// number accepted.
+  Result<size_t> IngestBatch(std::span<const ClusterRecord> records);
+
+  /// A self-contained ingest callable for feed pumps — the cluster analogue
+  /// of store::TripStore::MakeSink. Unknown-venue records are dropped and
+  /// counted. The cluster must outlive the callable.
+  std::function<void(const ClusterRecord&)> MakeSink();
+
+  /// Installs (or, with nullptr, removes) the cluster-wide delivery callback.
+  /// Flushed results are always appended to the venue's store regardless.
+  void SetSink(Sink sink);
+
+  /// Flushes idle devices of every venue (shard-parallel; venues complete
+  /// independently, each venue's results in device-id order).
+  Status Poll(TimestampMs now);
+
+  /// Flushes every buffered device of every venue (end of stream).
+  Status FlushAll();
+
+  /// Seals and persists every venue store that has a directory.
+  Status PersistAll();
+
+  // ---- cross-venue queries --------------------------------------------------
+
+  /// The device's stored history in every venue it visited, gathered
+  /// shard-parallel, returned in venue-id order (venues without any triplet
+  /// for the device are omitted).
+  std::vector<VenueHistory> DeviceHistoryAcrossVenues(const std::string& device) const;
+
+  /// City-wide analytics: per-venue analytics (each over that venue's dsm)
+  /// built shard-parallel, merged in venue-id order — deterministic for any
+  /// worker count, identical to feeding every venue's store to one
+  /// MobilityAnalytics in the same order.
+  core::MobilityAnalytics BuildAnalytics() const;
+
+  /// One venue's analytics over its own dsm (empty analytics for an unknown
+  /// venue id).
+  core::MobilityAnalytics VenueAnalytics(const std::string& venue_id) const;
+
+  /// Aggregate counters.
+  ClusterStats Stats() const;
+
+ private:
+  /// One venue: engine + stream session + store, all sharing the cluster
+  /// pool. The session's sink appends into the store and forwards to the
+  /// cluster sink.
+  struct VenueShard {
+    std::string venue_id;
+    std::shared_ptr<const core::Engine> engine;
+    std::unique_ptr<store::TripStore> store;     // always present (memory-only
+                                                 // when no directory)
+    std::unique_ptr<core::StreamSession> session;
+    std::atomic<size_t> ingested{0};
+  };
+
+  // The shard registered under `venue_id`, or nullptr. Requires venues_mu_
+  // held (any mode).
+  VenueShard* FindShardLocked(const std::string& venue_id) const;
+  // Snapshot of the shard list in venue-id order, for lock-free fan-out
+  // (shards are never removed, so the pointers stay valid).
+  std::vector<VenueShard*> SnapshotShards() const;
+
+  ClusterOptions options_;
+  mutable util::ThreadPool pool_;  // const queries fan out over it too
+
+  mutable std::shared_mutex venues_mu_;  // guards the maps, not the shards
+  std::map<std::string, std::unique_ptr<VenueShard>> venues_;  // venue-id order
+
+  mutable std::mutex sink_mu_;  // guards sink_ only
+  Sink sink_;
+
+  std::atomic<size_t> dropped_unknown_{0};
+};
+
+}  // namespace trips::cluster

@@ -74,26 +74,41 @@ Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& reque
 
 StreamSession::StreamSession(std::shared_ptr<const Engine> engine,
                              StreamOptions options, util::ThreadPool* pool)
-    : engine_(std::move(engine)), options_(options), pool_(pool) {}
+    : engine_(std::move(engine)),
+      options_(options),
+      pool_(pool),
+      shards_(std::max<size_t>(1, options.buffer_shards)) {}
 
 StreamSession::StreamSession(TranslateFn translate, StreamOptions options)
-    : translate_(std::move(translate)), options_(options) {}
+    : translate_(std::move(translate)),
+      options_(options),
+      shards_(std::max<size_t>(1, options.buffer_shards)) {}
 
 void StreamSession::SetSink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   sink_ = std::move(sink);
 }
 
+StreamSession::BufferShard& StreamSession::ShardFor(const std::string& device) {
+  return shards_[std::hash<std::string>{}(device) % shards_.size()];
+}
+
 size_t StreamSession::PendingDevices() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return buffers_.size();
+  size_t total = 0;
+  for (const BufferShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.buffers.size();
+  }
+  return total;
 }
 
 size_t StreamSession::PendingRecords() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (const auto& [device, buffer] : buffers_) {
-    total += buffer.block.Size();
+  for (const BufferShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [device, buffer] : shard.buffers) {
+      total += buffer.block.Size();
+    }
   }
   return total;
 }
@@ -103,16 +118,25 @@ size_t StreamSession::EmittedCount() const {
   return emitted_;
 }
 
-void StreamSession::PopDeviceLocked(const std::string& device,
+void StreamSession::PopDeviceLocked(BufferShard& shard, const std::string& device,
                                     std::vector<positioning::RecordBlock>* out) {
-  auto it = buffers_.find(device);
-  if (it == buffers_.end()) return;
+  auto it = shard.buffers.find(device);
+  if (it == shard.buffers.end()) return;
   Buffer buffer = std::move(it->second);
-  buffers_.erase(it);
+  shard.buffers.erase(it);
   if (buffer.block.Size() < options_.min_flush_records) {
     return;  // stray fixes, no semantics to extract
   }
   out->push_back(std::move(buffer.block));
+}
+
+void StreamSession::SortPoppedByDevice(
+    std::vector<positioning::RecordBlock>* popped) {
+  std::sort(popped->begin(), popped->end(),
+            [](const positioning::RecordBlock& a,
+               const positioning::RecordBlock& b) {
+              return a.device_id < b.device_id;
+            });
 }
 
 Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
@@ -120,8 +144,9 @@ Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
   // Fast path for the overwhelmingly common no-flush case (every Ingest that
   // doesn't hit the cap, every Poll with no idle device).
   if (popped.empty()) return std::vector<TranslationResult>{};
-  // The map iterates in device-id order, so `popped` is already sorted; the
-  // translation (the expensive part) runs without the session lock held.
+  // `popped` arrives in device-id order (callers re-sort after gathering from
+  // several buffer shards), so emission order is independent of the shard
+  // layout; the translation (the expensive part) runs without any lock held.
   // Engine-backed sessions feed the buffered columns straight into the block
   // pipeline; hook-backed sessions (the deprecated OnlineTranslator adapter)
   // materialize the AoS sequence their callback expects.
@@ -152,15 +177,16 @@ Result<std::vector<TranslationResult>> StreamSession::Ingest(
     const std::string& device, const positioning::RawRecord& record) {
   std::vector<positioning::RecordBlock> popped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    Buffer& buffer = buffers_[device];
+    BufferShard& shard = ShardFor(device);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Buffer& buffer = shard.buffers[device];
     if (buffer.block.Empty()) {
       buffer.block.device_id = device;
     }
     buffer.block.Append(record);
     if (record.timestamp > buffer.newest) buffer.newest = record.timestamp;
     if (buffer.block.Size() >= options_.max_buffer_records) {
-      PopDeviceLocked(device, &popped);
+      PopDeviceLocked(shard, device, &popped);
     }
   }
   return TranslateAndDeliver(std::move(popped));
@@ -168,35 +194,36 @@ Result<std::vector<TranslationResult>> StreamSession::Ingest(
 
 Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
   std::vector<positioning::RecordBlock> popped;
-  {
-    // Single in-place sweep (map order = device-id order, like PopDeviceLocked
-    // driven by a collected id list, but without copying any device ids).
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = buffers_.begin(); it != buffers_.end();) {
+  for (BufferShard& shard : shards_) {
+    // In-place sweep per shard; global device order is restored below.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.buffers.begin(); it != shard.buffers.end();) {
       if (now - it->second.newest >= options_.flush_after) {
         if (it->second.block.Size() >= options_.min_flush_records) {
           popped.push_back(std::move(it->second.block));
         }
-        it = buffers_.erase(it);
+        it = shard.buffers.erase(it);
       } else {
         ++it;
       }
     }
   }
+  SortPoppedByDevice(&popped);
   return TranslateAndDeliver(std::move(popped));
 }
 
 Result<std::vector<TranslationResult>> StreamSession::FlushAll() {
   std::vector<positioning::RecordBlock> popped;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [device, buffer] : buffers_) {
+  for (BufferShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [device, buffer] : shard.buffers) {
       if (buffer.block.Size() >= options_.min_flush_records) {
         popped.push_back(std::move(buffer.block));
       }
     }
-    buffers_.clear();
+    shard.buffers.clear();
   }
+  SortPoppedByDevice(&popped);
   return TranslateAndDeliver(std::move(popped));
 }
 

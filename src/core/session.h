@@ -92,6 +92,12 @@ struct StreamOptions {
   /// Buffers smaller than this are dropped, not translated, at flush time
   /// (a couple of stray fixes carry no semantics).
   size_t min_flush_records = 4;
+  /// Device-hash sub-maps the ingest buffers are split into, each with its
+  /// own mutex, so concurrent ingest threads touching different devices never
+  /// contend on one lock. 0 behaves as 1 (a single map). Flush output is
+  /// byte-identical across any shard count: flushes gather from every shard
+  /// and re-establish global device-id order before translating.
+  size_t buffer_shards = 8;
 };
 
 /// Incremental translation over a shared engine: records arrive one at a time
@@ -158,13 +164,26 @@ class StreamSession {
     positioning::RecordBlock block;
     TimestampMs newest = 0;
   };
+  /// One device-hash shard of the ingest buffers. Ingest locks only the
+  /// owning device's shard, so concurrent feeds on different devices proceed
+  /// in parallel; flush paths sweep the shards one at a time.
+  struct BufferShard {
+    mutable std::mutex mu;
+    std::map<std::string, Buffer> buffers;
+  };
 
-  // Removes one buffer and, unless too small, moves its block onto `out`
-  // for translation. Requires mu_ held.
-  void PopDeviceLocked(const std::string& device,
+  // The shard owning `device`'s buffer.
+  BufferShard& ShardFor(const std::string& device);
+  // Removes `device`'s buffer from `shard` and, unless too small, moves its
+  // block onto `out` for translation. Requires shard.mu held.
+  void PopDeviceLocked(BufferShard& shard, const std::string& device,
                        std::vector<positioning::RecordBlock>* out);
-  // Translates popped buffers (lock released) and routes the results to the
-  // sink when one is installed, else back to the caller.
+  // Restores global device-id order over blocks gathered from several shards
+  // (within one shard the map already yields device order).
+  static void SortPoppedByDevice(std::vector<positioning::RecordBlock>* popped);
+  // Translates popped buffers (no shard lock held) and routes the results to
+  // the sink when one is installed, else back to the caller. `popped` must be
+  // in device-id order.
   Result<std::vector<TranslationResult>> TranslateAndDeliver(
       std::vector<positioning::RecordBlock> popped);
 
@@ -172,9 +191,9 @@ class StreamSession {
   TranslateFn translate_;                 // set for hook-backed sessions only
   StreamOptions options_;
   util::ThreadPool* pool_ = nullptr;      // may be null (serial cleaning)
-  mutable std::mutex mu_;
+  std::vector<BufferShard> shards_;       // fixed size >= 1 after construction
+  mutable std::mutex mu_;                 // guards sink_ and emitted_
   Sink sink_;
-  std::map<std::string, Buffer> buffers_;
   size_t emitted_ = 0;
 };
 

@@ -8,7 +8,12 @@
 //                   event identifier + baseline mobility knowledge, built
 //                   once via Engine::Builder, shared across threads) and
 //                   core::Service (owns an Engine + worker pool, hands out
-//                   core::BatchSession / core::StreamSession per client)
+//                   core::BatchSession / core::StreamSession per client).
+//                   cluster::Cluster scales this to many venues in one
+//                   process: per-venue shards (engine + stream session +
+//                   trip store) behind a single venue-id-routed ingest
+//                   front door, sharing one worker pool, with cross-venue
+//                   device history and merged city-wide analytics
 //   Configurator  — config::DataSelector, config::SpaceModeler,
 //                   config::EventEditor
 //   Translator    — core::Translator, the three-layer algorithm core
@@ -52,6 +57,7 @@
 #include "annotation/annotator.h"
 #include "annotation/event_classifier.h"
 #include "cleaning/cleaner.h"
+#include "cluster/cluster.h"
 #include "complement/complementor.h"
 #include "complement/knowledge.h"
 #include "config/data_selector.h"

@@ -379,10 +379,27 @@ RoutePlanner::SourceTree RoutePlanner::ComputeMultiSeedTree(
   return tree;
 }
 
-RoutePlanner::PortalTree RoutePlanner::ComputePortalTree(
-    const std::vector<PortalSeed>& seeds) const {
-  const size_t m = portal_nodes_.size();
+// Per-thread scratch arena for portal Dijkstras. The tree member backs hub
+// queries (whose trees are query-local, never cached, and handed out
+// non-owning); the seed/rank/heap buffers back every portal Dijkstra, cached
+// or not, so their capacity is paid once per thread.
+struct RoutePlanner::PortalScratch {
   PortalTree tree;
+  std::vector<PortalSeed> seeds;
+  std::vector<double> seed_rank_w;
+  std::vector<int32_t> seed_rank_id;
+  std::vector<std::pair<double, int32_t>> heap;
+};
+
+RoutePlanner::PortalScratch& RoutePlanner::LocalPortalScratch() {
+  static thread_local PortalScratch scratch;
+  return scratch;
+}
+
+void RoutePlanner::ComputePortalTreeInto(PortalScratch* scratch,
+                                         PortalTree* out) const {
+  const size_t m = portal_nodes_.size();
+  PortalTree& tree = *out;
   tree.dist.assign(m, kInf);
   tree.prev.assign(m, -1);
   tree.seed_node.assign(m, -1);
@@ -390,11 +407,21 @@ RoutePlanner::PortalTree RoutePlanner::ComputePortalTree(
   // Seed tie-breaking: equal-value seeds resolve by (entry offset, entry
   // node) — the order the flat multi-seed Dijkstra's heap pops their writers
   // in — so the recorded entry node matches the flat tree's predecessor.
-  std::vector<double> seed_rank_w(m, kInf);
-  std::vector<int32_t> seed_rank_id(m, std::numeric_limits<int32_t>::max());
+  std::vector<double>& seed_rank_w = scratch->seed_rank_w;
+  std::vector<int32_t>& seed_rank_id = scratch->seed_rank_id;
+  seed_rank_w.assign(m, kInf);
+  seed_rank_id.assign(m, std::numeric_limits<int32_t>::max());
+  // Binary min-heap over (distance, portal) in the scratch vector — the same
+  // pop order as a std::priority_queue (the comparator totally orders items),
+  // without a fresh container per query.
   using QItem = std::pair<double, int32_t>;
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
-  for (const PortalSeed& s : seeds) {
+  std::vector<QItem>& heap = scratch->heap;
+  heap.clear();
+  auto heap_push = [&heap](QItem item) {
+    heap.push_back(item);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>());
+  };
+  for (const PortalSeed& s : scratch->seeds) {
     double cur = tree.dist[s.portal];
     bool better = s.value < cur;
     bool tie_wins = s.value == cur &&
@@ -406,12 +433,13 @@ RoutePlanner::PortalTree RoutePlanner::ComputePortalTree(
     tree.seed_node[s.portal] = s.via;
     seed_rank_w[s.portal] = s.rank_w;
     seed_rank_id[s.portal] = s.via;
-    if (better) queue.push({s.value, s.portal});
+    if (better) heap_push({s.value, s.portal});
   }
   int32_t settled = 0;
-  while (!queue.empty()) {
-    auto [d, u] = queue.top();
-    queue.pop();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    auto [d, u] = heap.back();
+    heap.pop_back();
     if (d > tree.dist[u]) continue;
     if (tree.settle[u] != std::numeric_limits<int32_t>::max()) continue;
     tree.settle[u] = settled++;
@@ -422,11 +450,10 @@ RoutePlanner::PortalTree RoutePlanner::ComputePortalTree(
         tree.dist[e.to] = nd;
         tree.prev[e.to] = u;
         tree.seed_node[e.to] = -1;
-        queue.push({nd, e.to});
+        heap_push({nd, e.to});
       }
     }
   }
-  return tree;
 }
 
 std::shared_ptr<const RoutePlanner::SourceTree> RoutePlanner::TreeFrom(
@@ -441,13 +468,18 @@ std::shared_ptr<const RoutePlanner::SourceTree> RoutePlanner::TreeFrom(
 std::shared_ptr<const RoutePlanner::PortalTree> RoutePlanner::PortalTreeFrom(
     int source) const {
   auto compute = [&] {
-    std::vector<PortalSeed> seeds;
+    // Memoized trees are owned (they outlive the query in the cache), but the
+    // seed/rank/heap working set still comes from the thread's scratch.
+    PortalScratch& scratch = LocalPortalScratch();
     std::span<const PortalLink> links = LinksOf(source);
-    seeds.reserve(links.size());
+    scratch.seeds.clear();
+    scratch.seeds.reserve(links.size());
     for (const PortalLink& link : links) {
-      seeds.push_back({link.portal, link.weight, link.weight, source});
+      scratch.seeds.push_back({link.portal, link.weight, link.weight, source});
     }
-    return ComputePortalTree(seeds);
+    PortalTree tree;
+    ComputePortalTreeInto(&scratch, &tree);
+    return tree;
   };
   if (cache_ == nullptr || cache_->capacity == 0) {
     return std::make_shared<const PortalTree>(compute());
@@ -528,9 +560,11 @@ void RoutePlanner::ExitResolution::Offer(double new_value, double new_rank_w,
   exit_portal = new_exit_portal;
 }
 
-RoutePlanner::PortalTree RoutePlanner::ComputeHubPortalTree(
+std::shared_ptr<const RoutePlanner::PortalTree> RoutePlanner::ComputeHubPortalTree(
     const std::vector<std::pair<int, double>>& from_nodes) const {
-  std::vector<PortalSeed> seeds;
+  PortalScratch& scratch = LocalPortalScratch();
+  std::vector<PortalSeed>& seeds = scratch.seeds;
+  seeds.clear();
   for (const auto& [a, wa] : from_nodes) {
     for (const PortalLink& link : LinksOf(a)) {
       // A portal local node seeds itself the way the flat Dijkstra assigns
@@ -541,7 +575,12 @@ RoutePlanner::PortalTree RoutePlanner::ComputeHubPortalTree(
       seeds.push_back({link.portal, wa + link.weight, rank_w, a});
     }
   }
-  return ComputePortalTree(seeds);
+  ComputePortalTreeInto(&scratch, &scratch.tree);
+  // Non-owning handle to the scratch-resident tree (aliasing constructor with
+  // an empty control block): hub trees are query-local and consumed before the
+  // calling thread runs its next hub portal Dijkstra, so no copy is needed.
+  return std::shared_ptr<const PortalTree>(std::shared_ptr<const PortalTree>(),
+                                           &scratch.tree);
 }
 
 RoutePlanner::SourceByPartition RoutePlanner::GroupSourcesByPartition(
@@ -619,8 +658,7 @@ bool RoutePlanner::BestCrossingContracted(
   };
 
   if (from_nodes.size() > options_.max_memoized_sources) {
-    auto tree = std::make_shared<const PortalTree>(
-        ComputeHubPortalTree(from_nodes));
+    std::shared_ptr<const PortalTree> tree = ComputeHubPortalTree(from_nodes);
     SourceByPartition sources = GroupSourcesByPartition(from_nodes);
     for (const auto& [b, wb] : to_nodes) {
       ExitResolution exit = ResolveExitHub(b, *tree, sources);
@@ -755,8 +793,7 @@ std::vector<double> RoutePlanner::IndoorDistancesImpl(
 
   if (contracted) {
     if (hub) {
-      portal_hub_tree =
-          std::make_shared<const PortalTree>(ComputeHubPortalTree(from_nodes));
+      portal_hub_tree = ComputeHubPortalTree(from_nodes);
       src_by_partition = GroupSourcesByPartition(from_nodes);
     } else {
       portal_trees.reserve(from_nodes.size());

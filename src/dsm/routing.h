@@ -215,6 +215,12 @@ class RoutePlanner {
     double weight;
   };
   struct TreeCache;  // bounded LRUs over SourceTree/PortalTree, internally locked
+  // Per-thread scratch arena for portal Dijkstras (the CleanerScratch idiom):
+  // the seed list, the heap, the seed-rank tie-break columns, and — for hub
+  // mode, whose trees are query-local rather than cached — the result tree
+  // itself, all reused across queries so a steady-state hub query allocates
+  // nothing. Defined in routing.cc.
+  struct PortalScratch;
 
   // Resolution of one contracted exit at local node `b`: the bit-exact flat
   // tree distance (min over the direct single-edge crossings and the portal
@@ -276,9 +282,13 @@ class RoutePlanner {
 
   // ---- contracted (portal graph) internals ----
 
-  // Dijkstra over the portal graph. Tie-breaking mirrors the flat Dijkstra's
-  // first-writer-in-pop-order rule so unpacked paths match it node for node.
-  PortalTree ComputePortalTree(const std::vector<PortalSeed>& seeds) const;
+  // The calling thread's scratch arena.
+  static PortalScratch& LocalPortalScratch();
+  // Dijkstra over the portal graph, written into `out` (capacity reused
+  // across calls via the scratch's rank/heap buffers). Tie-breaking mirrors
+  // the flat Dijkstra's first-writer-in-pop-order rule so unpacked paths
+  // match it node for node.
+  void ComputePortalTreeInto(PortalScratch* scratch, PortalTree* out) const;
   // Cached contracted tree rooted at local node `source` (seeds =
   // node_portal_links_ of the node, offsets relative to the node itself).
   std::shared_ptr<const PortalTree> PortalTreeFrom(int source) const;
@@ -293,8 +303,12 @@ class RoutePlanner {
                                 const SourceByPartition& sources) const;
   ExitResolution ResolveExitMemoized(int a, int b, const PortalTree& tree) const;
   // Portal tree seeded from every local node of a hub source partition,
-  // exactly as the flat multi-seed Dijkstra would first relax it.
-  PortalTree ComputeHubPortalTree(
+  // exactly as the flat multi-seed Dijkstra would first relax it. The tree
+  // lives in the calling thread's scratch arena (hub trees are query-local,
+  // never cached) and is returned non-owning: it stays valid until this
+  // thread's next hub portal Dijkstra, which every caller finishes with the
+  // tree before issuing.
+  std::shared_ptr<const PortalTree> ComputeHubPortalTree(
       const std::vector<std::pair<int, double>>& from_nodes) const;
   SourceByPartition GroupSourcesByPartition(
       const std::vector<std::pair<int, double>>& from_nodes) const;

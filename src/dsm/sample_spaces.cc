@@ -1,5 +1,6 @@
 #include "dsm/sample_spaces.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,202 @@ Result<Dsm> BuildOfficeDsm() {
     // Staircase at the east end of the corridor.
     TRIPS_RETURN_NOT_OK(
         AddRect(&dsm, EntityKind::kStaircase, "stair-1", f, 56, 10, 60, 14).status());
+  }
+
+  TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  return dsm;
+}
+
+Result<Dsm> BuildTransitHubDsm(const TransitHubOptions& options) {
+  if (options.platforms < 1) {
+    return Status::InvalidArgument("transit hub needs >= 1 platform");
+  }
+  if (options.shops < 0) {
+    return Status::InvalidArgument("shops must be >= 0");
+  }
+  Dsm dsm;
+  dsm.set_name("synthetic-transit-hub");
+
+  // Column grid shared by both levels: platforms (floor 0) and gates
+  // (floor 1) occupy aligned 12 m slots every 14 m; the hub widens with
+  // whichever of platforms/shops needs more columns.
+  const int cols = std::max(options.platforms, options.shops);
+  const double width = 8.0 + 14.0 * cols;
+
+  for (geo::FloorId f = 0; f < 2; ++f) {
+    Floor floor;
+    floor.id = f;
+    floor.name = f == 0 ? "platforms" : "concourse";
+    floor.outline = geo::Polygon::Rectangle(0, 0, width, 60);
+    TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(floor)));
+  }
+
+  // ---- floor 0: platform level ---------------------------------------------
+  TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kHallway, "access-corridor", 0,
+                              0, 26, width, 34, "corridor")
+                          .status());
+  TRIPS_RETURN_NOT_OK(
+      AddRectRegion(&dsm, "Access Corridor", "corridor", 0, 0, 26, width, 34)
+          .status());
+  for (int p = 0; p < options.platforms; ++p) {
+    double x = 4 + 14.0 * p;
+    std::string name = "Platform-" + std::to_string(p + 1);
+    auto strip =
+        AddRect(&dsm, EntityKind::kRoom, name, 0, x, 34, x + 12, 56, "platform");
+    TRIPS_RETURN_NOT_OK(strip.status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, name + "-door", 0,
+                                x + 5, 33.4, x + 7, 34.6)
+                            .status());
+    auto region = AddRectRegion(&dsm, name, "platform", 0, x, 34, x + 12, 56);
+    TRIPS_RETURN_NOT_OK(region.status());
+    TRIPS_RETURN_NOT_OK(
+        dsm.MapEntityToRegion(strip.ValueOrDie(), region.ValueOrDie()));
+  }
+
+  // ---- floor 1: concourse ---------------------------------------------------
+  TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kHallway, "concourse-hall", 1,
+                              0, 20, width, 40, "hall")
+                          .status());
+  TRIPS_RETURN_NOT_OK(
+      AddRectRegion(&dsm, "Concourse", "hall", 1, 0, 20, width, 40).status());
+  for (int g = 0; g < options.platforms; ++g) {
+    double x = 4 + 14.0 * g;
+    std::string name = "Gate-" + std::to_string(g + 1);
+    auto gate =
+        AddRect(&dsm, EntityKind::kRoom, name, 1, x, 40, x + 12, 56, "gate");
+    TRIPS_RETURN_NOT_OK(gate.status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, name + "-door", 1,
+                                x + 5, 39.4, x + 7, 40.6)
+                            .status());
+    auto region = AddRectRegion(&dsm, name, "gate", 1, x, 40, x + 12, 56);
+    TRIPS_RETURN_NOT_OK(region.status());
+    TRIPS_RETURN_NOT_OK(
+        dsm.MapEntityToRegion(gate.ValueOrDie(), region.ValueOrDie()));
+  }
+  for (int s = 0; s < options.shops; ++s) {
+    double x = 4 + 14.0 * s;
+    std::string brand = std::string(kBrands[s % kBrandCount]) + "-Hub";
+    auto shop =
+        AddRect(&dsm, EntityKind::kRoom, brand, 1, x, 4, x + 12, 20, "shop");
+    TRIPS_RETURN_NOT_OK(shop.status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, brand + "-door", 1,
+                                x + 5, 19.4, x + 7, 20.6)
+                            .status());
+    auto region = AddRectRegion(&dsm, brand, "shop", 1, x, 4, x + 12, 20);
+    TRIPS_RETURN_NOT_OK(region.status());
+    TRIPS_RETURN_NOT_OK(
+        dsm.MapEntityToRegion(shop.ValueOrDie(), region.ValueOrDie()));
+  }
+
+  // Vertical connectors inside the corridor/hall bands (same name on both
+  // floors so topology links them).
+  for (geo::FloorId f = 0; f < 2; ++f) {
+    TRIPS_RETURN_NOT_OK(
+        AddRect(&dsm, EntityKind::kStaircase, "stair-H", f, 1, 27, 7, 33)
+            .status());
+    TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kElevator, "elev-H", f,
+                                width - 7, 27, width - 1, 33)
+                            .status());
+  }
+
+  TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());
+  return dsm;
+}
+
+Result<Dsm> BuildStadiumDsm(const StadiumOptions& options) {
+  if (options.sections_per_side < 1) {
+    return Status::InvalidArgument("stadium needs >= 1 section per side");
+  }
+  if (options.floors < 1) {
+    return Status::InvalidArgument("stadium needs >= 1 floor");
+  }
+  Dsm dsm;
+  dsm.set_name("synthetic-stadium");
+
+  const double width = 32.0 + 14.0 * options.sections_per_side;
+  const double height = 72.0;
+
+  for (geo::FloorId f = 0; f < options.floors; ++f) {
+    Floor floor;
+    floor.id = f;
+    floor.name = std::to_string(f + 1) + "F";
+    floor.outline = geo::Polygon::Rectangle(0, 0, width, height);
+    TRIPS_RETURN_NOT_OK(dsm.AddFloor(std::move(floor)));
+    std::string suffix = "@" + std::to_string(f + 1) + "F";
+
+    // Ring concourse: four overlapping hallways whose corner overlaps become
+    // partition portals (the pitch in the middle stays unmodeled).
+    struct Band {
+      const char* name;
+      double x0, y0, x1, y1;
+    };
+    const Band bands[] = {
+        {"concourse-n", 0, 60, width, 72},
+        {"concourse-s", 0, 0, width, 12},
+        {"concourse-w", 0, 0, 12, 72},
+        {"concourse-e", width - 12, 0, width, 72},
+    };
+    for (const Band& b : bands) {
+      TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kHallway, b.name + suffix,
+                                  f, b.x0, b.y0, b.x1, b.y1, "corridor")
+                              .status());
+      TRIPS_RETURN_NOT_OK(AddRectRegion(&dsm, b.name + suffix, "corridor", f,
+                                        b.x0, b.y0, b.x1, b.y1)
+                              .status());
+    }
+
+    // Seating sections opening onto the north and south concourses.
+    for (int side = 0; side < 2; ++side) {
+      bool north = side == 0;
+      for (int s = 0; s < options.sections_per_side; ++s) {
+        double x = 16 + 14.0 * s;
+        double y0 = north ? 46 : 12;
+        double y1 = north ? 60 : 26;
+        double door_y = north ? 60 : 12;
+        std::string name = std::string(north ? "Section-N" : "Section-S") +
+                           std::to_string(s + 1) + suffix;
+        auto stand =
+            AddRect(&dsm, EntityKind::kRoom, name, f, x, y0, x + 12, y1, "stand");
+        TRIPS_RETURN_NOT_OK(stand.status());
+        TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, name + "-door", f,
+                                    x + 5, door_y - 0.6, x + 7, door_y + 0.6)
+                                .status());
+        auto region = AddRectRegion(&dsm, name, "stand", f, x, y0, x + 12, y1);
+        TRIPS_RETURN_NOT_OK(region.status());
+        TRIPS_RETURN_NOT_OK(
+            dsm.MapEntityToRegion(stand.ValueOrDie(), region.ValueOrDie()));
+      }
+    }
+
+    // Food stalls opening onto the west and east concourses.
+    for (int side = 0; side < 2; ++side) {
+      bool west = side == 0;
+      double x0 = west ? 12 : width - 26;
+      double x1 = west ? 26 : width - 12;
+      double door_x = west ? 12 : width - 12;
+      for (int s = 0; s < 2; ++s) {
+        double y = 30 + 14.0 * s;
+        std::string brand = std::string(kBrands[(2 * side + s) % kBrandCount]) +
+                            "-Stand" + suffix;
+        auto stall = AddRect(&dsm, EntityKind::kRoom, brand, f, x0, y, x1,
+                             y + 10, "shop");
+        TRIPS_RETURN_NOT_OK(stall.status());
+        TRIPS_RETURN_NOT_OK(AddRect(&dsm, EntityKind::kDoor, brand + "-door", f,
+                                    door_x - 0.6, y + 4, door_x + 0.6, y + 6)
+                                .status());
+        auto region = AddRectRegion(&dsm, brand, "shop", f, x0, y, x1, y + 10);
+        TRIPS_RETURN_NOT_OK(region.status());
+        TRIPS_RETURN_NOT_OK(
+            dsm.MapEntityToRegion(stall.ValueOrDie(), region.ValueOrDie()));
+      }
+    }
+
+    // Staircase inside the west concourse (same name on every floor).
+    if (options.floors > 1) {
+      TRIPS_RETURN_NOT_OK(
+          AddRect(&dsm, EntityKind::kStaircase, "stair-S", f, 2, 30, 10, 42)
+              .status());
+    }
   }
 
   TRIPS_RETURN_NOT_OK(dsm.ComputeTopology());

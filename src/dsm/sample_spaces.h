@@ -3,7 +3,10 @@
 // BuildMallDsm reproduces the shape of the paper's demonstration venue: a
 // 7-floor shopping mall (Hangzhou, §4) with shops along corridors, a center
 // hall, staircases and an elevator. BuildOfficeDsm is a smaller two-floor
-// office used by examples and tests.
+// office used by examples and tests. BuildTransitHubDsm and BuildStadiumDsm
+// are parameterized sibling venues with distinct shapes (platform strips
+// behind a concourse; a ring concourse around a pitch), so a multi-venue
+// cluster demo exercises genuinely different door/portal graphs per shard.
 #pragma once
 
 #include "dsm/dsm.h"
@@ -41,5 +44,40 @@ Result<Dsm> BuildMallDsm(const MallOptions& options = {});
 /// Builds a small two-floor office: six offices and a meeting room per floor
 /// along one corridor, one staircase. Topology computed.
 Result<Dsm> BuildOfficeDsm();
+
+/// Options for the synthetic transit hub.
+struct TransitHubOptions {
+  /// Platform strips on the platform level (floor 0), north of the access
+  /// corridor. The venue-scale knob: the hub widens with the platform count.
+  int platforms = 4;
+  /// Retail kiosks along the south edge of the concourse (floor 1).
+  int shops = 6;
+};
+
+/// Builds a two-level transit hub with topology computed.
+///
+/// Floor 0 (platform level): an east-west access corridor with `platforms`
+/// platform strips north of it, each with a gate door onto the corridor.
+/// Floor 1 (concourse): one large hall with boarding gates (north, aligned
+/// with the platforms below) and `shops` kiosks (south). A staircase at the
+/// west end and an elevator at the east end link the levels. Region
+/// categories: "platform", "gate", "shop", "hall".
+Result<Dsm> BuildTransitHubDsm(const TransitHubOptions& options = {});
+
+/// Options for the synthetic stadium.
+struct StadiumOptions {
+  /// Seating sections along the north and the south concourse (each side).
+  /// The venue-scale knob: the bowl widens with the section count.
+  int sections_per_side = 3;
+  /// Concourse levels (>= 1), linked by a staircase in the west concourse.
+  int floors = 2;
+};
+
+/// Builds a stadium with topology computed: four overlapping concourse
+/// hallways form a ring around the (unmodeled) pitch — their corner overlaps
+/// become routing portals — with seating sections opening onto the north and
+/// south concourses and food stalls onto the west and east ones. Region
+/// categories: "stand", "shop", "corridor".
+Result<Dsm> BuildStadiumDsm(const StadiumOptions& options = {});
 
 }  // namespace trips::dsm

@@ -148,5 +148,72 @@ TEST(OfficeDsmTest, MeetingRoomsTagged) {
   EXPECT_EQ(meetings, 2u);  // one per floor
 }
 
+TEST(TransitHubDsmTest, StructureAndRouting) {
+  auto hub = BuildTransitHubDsm({.platforms = 4, .shops = 6});
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  EXPECT_EQ(hub->FloorCount(), 2u);
+  EXPECT_EQ(hub->name(), "synthetic-transit-hub");
+  EXPECT_NE(hub->FindRegionByName("Platform-1"), nullptr);
+  EXPECT_NE(hub->FindRegionByName("Gate-4"), nullptr);
+  EXPECT_NE(hub->FindRegionByName("Concourse"), nullptr);
+  size_t platforms = 0, gates = 0, shops = 0;
+  for (const SemanticRegion& r : hub->regions()) {
+    if (r.category == "platform") ++platforms;
+    if (r.category == "gate") ++gates;
+    if (r.category == "shop") ++shops;
+  }
+  EXPECT_EQ(platforms, 4u);
+  EXPECT_EQ(gates, 4u);
+  EXPECT_EQ(shops, 6u);
+
+  // Every door connects two partitions; every region is reachable from the
+  // middle of the concourse, across the vertical connectors.
+  for (const Entity& e : hub->entities()) {
+    if (e.kind != EntityKind::kDoor) continue;
+    EXPECT_GE(hub->PartitionsOfDoor(e.id).size(), 2u) << "door " << e.name;
+  }
+  auto planner = RoutePlanner::Build(&hub.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  geo::IndoorPoint origin{30, 30, 1};  // concourse hall
+  for (const SemanticRegion& r : hub->regions()) {
+    EXPECT_TRUE(planner->Reachable(origin, {r.Center(), r.floor}))
+        << "unreachable region " << r.name;
+  }
+  EXPECT_FALSE(BuildTransitHubDsm({.platforms = 0}).ok());
+}
+
+TEST(StadiumDsmTest, StructureAndRouting) {
+  auto stadium = BuildStadiumDsm({.sections_per_side = 3, .floors = 2});
+  ASSERT_TRUE(stadium.ok()) << stadium.status().ToString();
+  EXPECT_EQ(stadium->FloorCount(), 2u);
+  EXPECT_EQ(stadium->name(), "synthetic-stadium");
+  size_t stands = 0, stalls = 0, corridors = 0;
+  for (const SemanticRegion& r : stadium->regions()) {
+    if (r.category == "stand") ++stands;
+    if (r.category == "shop") ++stalls;
+    if (r.category == "corridor") ++corridors;
+  }
+  EXPECT_EQ(stands, 2u * 2u * 3u);  // 2 floors x 2 sides x 3 sections
+  EXPECT_EQ(stalls, 2u * 2u * 2u);  // 2 floors x 2 sides x 2 stalls
+  EXPECT_EQ(corridors, 2u * 4u);    // the ring bands
+
+  for (const Entity& e : stadium->entities()) {
+    if (e.kind != EntityKind::kDoor) continue;
+    EXPECT_GE(stadium->PartitionsOfDoor(e.id).size(), 2u) << "door " << e.name;
+  }
+  auto planner = RoutePlanner::Build(&stadium.ValueOrDie());
+  ASSERT_TRUE(planner.ok());
+  geo::IndoorPoint origin{6, 6, 0};  // south-west ring corner
+  for (const SemanticRegion& r : stadium->regions()) {
+    EXPECT_TRUE(planner->Reachable(origin, {r.Center(), r.floor}))
+        << "unreachable region " << r.name;
+  }
+  // The ring itself routes around the pitch: north concourse to south.
+  auto route = planner->FindRoute({40, 66, 0}, {40, 6, 0});
+  ASSERT_TRUE(route.ok());
+  EXPECT_GT(route->distance, 60.0);  // around, not through, the pitch
+  EXPECT_FALSE(BuildStadiumDsm({.sections_per_side = 0}).ok());
+}
+
 }  // namespace
 }  // namespace trips::dsm

@@ -208,6 +208,43 @@ TEST_F(ServiceFixture, StreamFlushOnIdleAndCapMatchBatch) {
   EXPECT_EQ(DumpByDevice(cap_results), expected);
 }
 
+TEST_F(ServiceFixture, StreamFlushByteIdenticalAcrossBufferShards) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(6, 167);
+  Service service(engine_, Workers(2));
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> dumps;
+  for (size_t buffer_shards : {1u, 2u, 8u}) {
+    StreamOptions opt;
+    opt.buffer_shards = buffer_shards;
+    auto stream = service.NewStreamSession(opt);
+    // Concurrent ingest, one feed thread per device (records of one device
+    // must stay ordered; different devices land in different buffer shards).
+    std::vector<std::thread> feeds;
+    for (const auto& seq : fleet) {
+      feeds.emplace_back([&stream, &seq] {
+        for (const auto& record : seq.records) {
+          auto flushed = stream->Ingest(seq.device_id, record);
+          EXPECT_TRUE(flushed.ok());
+        }
+      });
+    }
+    for (std::thread& t : feeds) t.join();
+    EXPECT_EQ(stream->PendingDevices(), fleet.size());
+
+    auto results = stream->FlushAll();
+    ASSERT_TRUE(results.ok());
+    // FlushAll gathers from every shard and re-establishes global device-id
+    // order before translating.
+    for (size_t i = 1; i < results->size(); ++i) {
+      EXPECT_LE((*results)[i - 1].semantics.device_id,
+                (*results)[i].semantics.device_id);
+    }
+    dumps.push_back(DumpByDevice(*results));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
 TEST_F(ServiceFixture, StreamSinkReceivesFlushedResults) {
   std::vector<positioning::PositioningSequence> fleet = MakeFleet(2, 151);
   Service service(engine_, {});
