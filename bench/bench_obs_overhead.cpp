@@ -1,0 +1,116 @@
+// Observability overhead: the cost of the obs metrics subsystem on the
+// serving hot paths. Two layers of measurement:
+//
+//   * Micro: one Counter::Add / Histogram::Record — the primitive cost a
+//     recording site pays (a relaxed fetch_add on a thread-local shard),
+//     plus the disabled-registry early-return it pays when recording is off.
+//   * Macro: end-to-end Service batch throughput with metrics recording on
+//     vs off on the Fig. 5 workload — the acceptance gate is that recording
+//     costs < 2% of throughput.
+//
+//   ./bench_obs_overhead [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+
+using namespace trips;
+using bench::MallContext;
+
+namespace {
+
+// ---- micro: metric primitives ----------------------------------------------
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) counter.Add(1);
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_CounterAddDisabled(benchmark::State& state) {
+  obs::MetricsRegistry registry(/*enabled=*/false);
+  obs::Counter* counter = registry.counter("bench");
+  for (auto _ : state) counter->Add(1);
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = v * 6364136223846793005ull + 1442695040888963407ull;  // vary buckets
+    v &= (1ull << 22) - 1;                                    // ns..ms range
+  }
+  benchmark::DoNotOptimize(histogram.Summarize().count);
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_StageTimerDisabled(benchmark::State& state) {
+  obs::MetricsRegistry registry(/*enabled=*/false);
+  obs::Histogram* histogram = registry.histogram("bench");
+  for (auto _ : state) {
+    obs::StageTimer timer(histogram);  // must skip both clock reads
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_StageTimerDisabled);
+
+// ---- macro: end-to-end service overhead ------------------------------------
+
+std::shared_ptr<const core::Engine> SharedEngine(const MallContext& ctx) {
+  auto engine = core::Engine::Builder().BorrowDsm(ctx.dsm.get()).Build();
+  if (!engine.ok()) std::abort();
+  return engine.ValueOrDie();
+}
+
+// One Service batch run per iteration; metrics_on toggles recording on the
+// SAME code path (the registry gate), so the delta between the two arcs is
+// exactly the recording cost. The CI artifact (BENCH_obs_overhead.json)
+// tracks both counters; overhead = 1 - records/s(on) / records/s(off).
+void BM_ServiceBatchMetrics(benchmark::State& state) {
+  static MallContext ctx = MallContext::Make(7, 3);
+  static std::shared_ptr<const core::Engine> engine = SharedEngine(ctx);
+  static auto fleet = bench::MakeFleet(ctx, 32, bench::DefaultNoise(7), 461);
+
+  core::TranslationRequest request;
+  size_t records = 0;
+  for (const auto& nd : fleet) {
+    request.sequences.push_back(nd.raw);
+    records += nd.raw.records.size();
+  }
+
+  const bool metrics_on = state.range(0) != 0;
+  core::ServiceOptions options;
+  options.worker_threads = 3;
+  options.metrics = std::make_shared<obs::MetricsRegistry>(metrics_on);
+  core::Service service(engine, options);
+
+  size_t processed = 0;
+  for (auto _ : state) {
+    auto response = service.Translate(request);
+    if (!response.ok()) std::abort();
+    benchmark::DoNotOptimize(response);
+    processed += records;
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(processed), benchmark::Counter::kIsRate);
+  state.counters["metrics_on"] = metrics_on ? 1 : 0;
+}
+BENCHMARK(BM_ServiceBatchMetrics)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

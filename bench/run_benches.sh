@@ -13,6 +13,10 @@
 #   BENCH_cluster.json  — multi-venue Cluster ingest throughput at 1/2/4/8
 #                         venue shards, balanced and skewed feeds, plus
 #                         city-wide analytics fan-out
+#   BENCH_obs_overhead.json — metrics-subsystem cost: Counter/Histogram
+#                         primitives (enabled and gated off) and end-to-end
+#                         Service throughput with recording on vs off (the
+#                         < 2% overhead gate)
 #
 # Usage: bench/run_benches.sh [build_dir] [out_dir] [min_time]
 #   build_dir  where the bench binaries live        (default: build)
@@ -54,5 +58,6 @@ run_suite bench_service_throughput "$OUT_DIR/BENCH_service.json"
 run_suite bench_cleaning "$OUT_DIR/BENCH_cleaning.json"
 run_suite bench_routing "$OUT_DIR/BENCH_routing.json"
 run_suite bench_cluster "$OUT_DIR/BENCH_cluster.json"
+run_suite bench_obs_overhead "$OUT_DIR/BENCH_obs_overhead.json"
 
-echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json, $OUT_DIR/BENCH_routing.json and $OUT_DIR/BENCH_cluster.json"
+echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json, $OUT_DIR/BENCH_routing.json, $OUT_DIR/BENCH_cluster.json and $OUT_DIR/BENCH_obs_overhead.json"

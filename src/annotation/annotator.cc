@@ -1,5 +1,7 @@
 #include "annotation/annotator.h"
 
+#include <chrono>
+
 namespace trips::annotation {
 
 using positioning::RecordCount;
@@ -53,10 +55,21 @@ template <typename Source, typename EventFn>
 core::MobilitySemanticsSequence AnnotateImpl(const Source& cleaned,
                                              const AnnotatorOptions& options,
                                              const SpatialMatcher& matcher,
-                                             const EventFn& event_of) {
+                                             const EventFn& event_of,
+                                             AnnotateTimings* timings) {
   core::MobilitySemanticsSequence out;
   out.device_id = cleaned.device_id;
-  std::vector<Snippet> snippets = SplitSequence(cleaned, options.splitter);
+  std::vector<Snippet> snippets;
+  if (timings != nullptr) {
+    auto t0 = std::chrono::steady_clock::now();
+    snippets = SplitSequence(cleaned, options.splitter);
+    timings->split_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  } else {
+    snippets = SplitSequence(cleaned, options.splitter);
+  }
   for (const Snippet& snip : snippets) {
     if (snip.Size() < 2) continue;
     FeatureVector features = ExtractFeatures(cleaned, snip.begin, snip.end);
@@ -80,17 +93,20 @@ Annotator::Annotator(const dsm::Dsm* dsm, const EventClassifier* classifier,
       matcher_(dsm, options.matcher) {}
 
 core::MobilitySemanticsSequence Annotator::Annotate(
-    const positioning::PositioningSequence& cleaned) const {
-  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
-    return classifier_->Identify(f);
-  });
+    const positioning::PositioningSequence& cleaned,
+    AnnotateTimings* timings) const {
+  return AnnotateImpl(
+      cleaned, options_, matcher_,
+      [this](const FeatureVector& f) { return classifier_->Identify(f); },
+      timings);
 }
 
 core::MobilitySemanticsSequence Annotator::Annotate(
-    const positioning::RecordBlock& cleaned) const {
-  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
-    return classifier_->Identify(f);
-  });
+    const positioning::RecordBlock& cleaned, AnnotateTimings* timings) const {
+  return AnnotateImpl(
+      cleaned, options_, matcher_,
+      [this](const FeatureVector& f) { return classifier_->Identify(f); },
+      timings);
 }
 
 StopMoveBaseline::StopMoveBaseline(const dsm::Dsm* dsm, AnnotatorOptions options,
@@ -103,18 +119,24 @@ StopMoveBaseline::StopMoveBaseline(const dsm::Dsm* dsm, AnnotatorOptions options
 core::MobilitySemanticsSequence StopMoveBaseline::Annotate(
     const positioning::PositioningSequence& cleaned) const {
   // The two-pattern vocabulary of the prior GPS systems: stop or move.
-  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
-    return std::string(f[kMeanSpeed] < stop_speed_ ? core::kEventStay
-                                                   : core::kEventPassBy);
-  });
+  return AnnotateImpl(
+      cleaned, options_, matcher_,
+      [this](const FeatureVector& f) {
+        return std::string(f[kMeanSpeed] < stop_speed_ ? core::kEventStay
+                                                       : core::kEventPassBy);
+      },
+      nullptr);
 }
 
 core::MobilitySemanticsSequence StopMoveBaseline::Annotate(
     const positioning::RecordBlock& cleaned) const {
-  return AnnotateImpl(cleaned, options_, matcher_, [this](const FeatureVector& f) {
-    return std::string(f[kMeanSpeed] < stop_speed_ ? core::kEventStay
-                                                   : core::kEventPassBy);
-  });
+  return AnnotateImpl(
+      cleaned, options_, matcher_,
+      [this](const FeatureVector& f) {
+        return std::string(f[kMeanSpeed] < stop_speed_ ? core::kEventStay
+                                                       : core::kEventPassBy);
+      },
+      nullptr);
 }
 
 }  // namespace trips::annotation

@@ -4,6 +4,7 @@
 // the relevant contexts (i.e., semantic regions and mobility events)."
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "annotation/event_classifier.h"
@@ -29,6 +30,13 @@ struct AnnotatorOptions {
   DurationMs min_duration = 5 * kMillisPerSecond;
 };
 
+/// Optional timing breakdown of one Annotate call, filled by the annotator so
+/// callers (core::Translator) can attribute the split stage separately from
+/// the rest of annotation without this layer depending on trips::obs.
+struct AnnotateTimings {
+  uint64_t split_ns = 0;  ///< wall time of SplitSequence
+};
+
 /// Produces mobility semantics from cleaned positioning sequences.
 class Annotator {
  public:
@@ -38,14 +46,17 @@ class Annotator {
             AnnotatorOptions options = {});
 
   /// Annotates one cleaned sequence into its mobility semantics sequence.
+  /// When `timings` is non-null the per-stage breakdown is written to it.
   core::MobilitySemanticsSequence Annotate(
-      const positioning::PositioningSequence& cleaned) const;
+      const positioning::PositioningSequence& cleaned,
+      AnnotateTimings* timings = nullptr) const;
 
   /// Columnar form: annotates a cleaned record block directly (the block
   /// pipeline path — no AoS materialization; output identical to the AoS
   /// form).
   core::MobilitySemanticsSequence Annotate(
-      const positioning::RecordBlock& cleaned) const;
+      const positioning::RecordBlock& cleaned,
+      AnnotateTimings* timings = nullptr) const;
 
  private:
   const dsm::Dsm* dsm_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/statsz.h"
+
 namespace trips::cluster {
 
 namespace {
@@ -17,9 +19,103 @@ size_t ResolveWorkers(size_t requested) {
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options)
-    : options_(options), pool_(ResolveWorkers(options.worker_threads)) {}
+    : options_(options),
+      metrics_(options.metrics != nullptr
+                   ? options.metrics
+                   : std::make_shared<obs::MetricsRegistry>()),
+      pool_(ResolveWorkers(options.worker_threads)) {
+  pool_.SetMetrics(util::PoolMetrics{
+      metrics_->gauge("pool.queue_depth"),
+      metrics_->histogram("pool.task_wait_ns"),
+      metrics_->histogram("pool.task_run_ns"),
+      metrics_->counter("pool.tasks_run"),
+  });
+  metrics_->gauge("pool.workers")->Set(static_cast<int64_t>(pool_.worker_count()));
 
-Cluster::~Cluster() = default;
+  // Cluster-wide rollups plus routing/spatial cache gauges summed over every
+  // venue engine. The callbacks capture `this`, so the destructor removes
+  // them (a caller-supplied registry may outlive the cluster).
+  auto add = [this](const std::string& name, std::function<int64_t()> fn) {
+    metrics_->SetCallback(name, std::move(fn));
+    callback_names_.push_back(name);
+  };
+  add("cluster.venues", [this] {
+    std::shared_lock<std::shared_mutex> lock(venues_mu_);
+    return static_cast<int64_t>(venues_.size());
+  });
+  add("cluster.ingested", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total += static_cast<int64_t>(
+          shard->ingested.load(std::memory_order_relaxed));
+    }
+    return total;
+  });
+  add("cluster.stored_sequences", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total +=
+          static_cast<int64_t>(shard->stored.load(std::memory_order_relaxed));
+    }
+    return total;
+  });
+  add("cluster.dropped_unknown_venue", [this] {
+    return static_cast<int64_t>(
+        dropped_unknown_.load(std::memory_order_relaxed));
+  });
+  add("routing.cache_hits", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total += static_cast<int64_t>(shard->engine->routing_cache_stats().hits);
+    }
+    return total;
+  });
+  add("routing.cache_misses", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total +=
+          static_cast<int64_t>(shard->engine->routing_cache_stats().misses);
+    }
+    return total;
+  });
+  add("routing.cache_evictions", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total +=
+          static_cast<int64_t>(shard->engine->routing_cache_stats().evictions);
+    }
+    return total;
+  });
+  add("routing.cache_size", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total += static_cast<int64_t>(shard->engine->routing_cache_stats().size);
+    }
+    return total;
+  });
+  add("spatial.partition_probes", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total += static_cast<int64_t>(
+          shard->engine->spatial_probe_stats().partition_probes);
+    }
+    return total;
+  });
+  add("spatial.snap_probes", [this] {
+    int64_t total = 0;
+    for (VenueShard* shard : SnapshotShards()) {
+      total += static_cast<int64_t>(
+          shard->engine->spatial_probe_stats().snap_probes);
+    }
+    return total;
+  });
+}
+
+Cluster::~Cluster() {
+  for (const std::string& name : callback_names_) {
+    metrics_->RemoveCallback(name);
+  }
+}
 
 // ---- topology ---------------------------------------------------------------
 
@@ -38,37 +134,65 @@ Status Cluster::AddVenue(VenueConfig config) {
   auto store = store::TripStore::Open(
       {.directory = config.store_directory,
        .segment_max_sequences = config.segment_max_sequences,
-       .worker_threads = 0});
+       .worker_threads = 0,
+       .metrics = metrics_});
   TRIPS_RETURN_NOT_OK(store.status());
   shard->store = std::move(store).ValueOrDie();
+  // Seed the lock-free stored counter with what the reopened store already
+  // holds, so ClusterStats::stored_sequences keeps matching the store at
+  // quiescence after a restart.
+  shard->stored.store(shard->store->Stats().sequences,
+                      std::memory_order_relaxed);
   shard->session = std::make_unique<core::StreamSession>(
-      config.engine, config.stream, &pool_);
+      config.engine, config.stream, &pool_, metrics_);
   // Every flushed result lands in the venue's store; a cluster sink (looked
   // up at delivery time, so installation order doesn't matter) additionally
-  // receives it tagged with the venue.
-  core::StreamSession::Sink store_sink = shard->store->MakeSink();
+  // receives it tagged with the venue. The append is issued directly (not via
+  // TripStore::MakeSink) so the shard's stored counter can track success.
   VenueShard* shard_ptr = shard.get();
-  shard->session->SetSink(
-      [this, shard_ptr, store_sink = std::move(store_sink)](
-          core::TranslationResult result) {
-        Sink cluster_sink;
-        {
-          std::lock_guard<std::mutex> lock(sink_mu_);
-          cluster_sink = sink_;
-        }
-        if (cluster_sink) {
-          store_sink(result);  // the store keeps its own copy
-          cluster_sink(shard_ptr->venue_id, std::move(result));
-        } else {
-          store_sink(std::move(result));
-        }
-      });
+  shard->session->SetSink([this, shard_ptr](core::TranslationResult result) {
+    Sink cluster_sink;
+    {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      cluster_sink = sink_;
+    }
+    bool appended;
+    if (cluster_sink) {
+      appended = shard_ptr->store->Append(result.semantics).ok();  // keep a copy
+    } else {
+      appended = shard_ptr->store->Append(std::move(result.semantics)).ok();
+    }
+    if (appended) {
+      shard_ptr->stored.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cluster_sink) {
+      cluster_sink(shard_ptr->venue_id, std::move(result));
+    }
+  });
 
-  std::unique_lock<std::shared_mutex> lock(venues_mu_);
-  auto [it, inserted] = venues_.emplace(config.venue_id, std::move(shard));
-  if (!inserted) {
-    return Status::AlreadyExists("venue already registered: " + config.venue_id);
+  {
+    std::unique_lock<std::shared_mutex> lock(venues_mu_);
+    auto [it, inserted] = venues_.emplace(config.venue_id, std::move(shard));
+    if (!inserted) {
+      return Status::AlreadyExists("venue already registered: " +
+                                   config.venue_id);
+    }
+    callback_names_.push_back("venue." + shard_ptr->venue_id + ".ingested");
+    callback_names_.push_back("venue." + shard_ptr->venue_id +
+                              ".stored_sequences");
   }
+  // Per-venue pull gauges, registered outside venues_mu_ (the registry has
+  // its own lock). shard_ptr stays valid: shards are never removed.
+  metrics_->SetCallback("venue." + shard_ptr->venue_id + ".ingested",
+                        [shard_ptr] {
+                          return static_cast<int64_t>(shard_ptr->ingested.load(
+                              std::memory_order_relaxed));
+                        });
+  metrics_->SetCallback("venue." + shard_ptr->venue_id + ".stored_sequences",
+                        [shard_ptr] {
+                          return static_cast<int64_t>(shard_ptr->stored.load(
+                              std::memory_order_relaxed));
+                        });
   return Status::OK();
 }
 
@@ -231,10 +355,16 @@ ClusterStats Cluster::Stats() const {
   for (VenueShard* shard : shards) {
     size_t n = shard->ingested.load(std::memory_order_relaxed);
     stats.ingested += n;
-    stats.stored_sequences += shard->store->Stats().sequences;
+    // Lock-free: the shard's stored counter, not the store's locked Stats()
+    // (see the ClusterStats consistency contract in cluster.h).
+    stats.stored_sequences += shard->stored.load(std::memory_order_relaxed);
     stats.per_venue_ingested.emplace_back(shard->venue_id, n);
   }
   return stats;
+}
+
+void Cluster::DumpStatsz(std::ostream& out) const {
+  obs::DumpStatsz(*metrics_, out);
 }
 
 }  // namespace trips::cluster

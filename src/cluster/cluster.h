@@ -40,6 +40,7 @@
 #include "core/analytics.h"
 #include "core/engine.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "store/trip_store.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +69,12 @@ struct ClusterOptions {
   /// everything on calling threads (deterministic serial mode).
   static constexpr size_t kAutoWorkerThreads = static_cast<size_t>(-1);
   size_t worker_threads = kAutoWorkerThreads;
+  /// Metrics registry the cluster, its pool, and every venue's session and
+  /// store record into. Null (the default) makes the cluster create its own.
+  /// Venue shards share the registry, so "stream."/"store."/"translate."
+  /// metrics aggregate cluster-wide; per-venue counts are exported as
+  /// "venue.<id>." callback gauges. Recording never alters output.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// One positioning record addressed to a venue — the cluster's wire unit.
@@ -84,6 +91,18 @@ struct VenueHistory {
 };
 
 /// Aggregate cluster counters.
+///
+/// Consistency contract: every field is read from lock-free per-shard atomics
+/// maintained on the ingest/flush paths — Stats() never takes a venue store's
+/// lock, so it cannot stall (or be stalled by) a concurrent flush. Each
+/// counter is individually accurate, but the struct is NOT one atomic
+/// cross-shard snapshot: a record being ingested while Stats() runs may be
+/// counted in `ingested` and not yet in `stored_sequences` (never the
+/// reverse for one record's lifecycle: stored_sequences only grows after the
+/// store append succeeded). At quiescence — no in-flight Ingest/Poll/Flush —
+/// every field is exact, and stored_sequences equals the sum of the venue
+/// stores' Stats().sequences (including sequences reloaded from disk when a
+/// venue store reopened an existing directory).
 struct ClusterStats {
   size_t venues = 0;
   /// Records accepted across all venues.
@@ -180,8 +199,20 @@ class Cluster {
   /// venue id).
   core::MobilityAnalytics VenueAnalytics(const std::string& venue_id) const;
 
-  /// Aggregate counters.
+  /// Aggregate counters. Lock-free snapshot; see the ClusterStats
+  /// consistency contract.
   ClusterStats Stats() const;
+
+  /// The registry the cluster and all its venue shards record into (never
+  /// null). Exposes per-venue "venue.<id>." gauges, cluster-wide rollups
+  /// ("cluster.*"), and routing/spatial cache gauges summed over every
+  /// venue's engine.
+  const std::shared_ptr<obs::MetricsRegistry>& stats_registry() const {
+    return metrics_;
+  }
+
+  /// Writes the /statsz JSON snapshot of stats_registry() to `out`.
+  void DumpStatsz(std::ostream& out) const;
 
  private:
   /// One venue: engine + stream session + store, all sharing the cluster
@@ -194,6 +225,10 @@ class Cluster {
                                                  // when no directory)
     std::unique_ptr<core::StreamSession> session;
     std::atomic<size_t> ingested{0};
+    /// Sequences successfully appended to the store, seeded at AddVenue from
+    /// the reopened store's contents — the lock-free source of
+    /// ClusterStats::stored_sequences (satisfying the contract above).
+    std::atomic<size_t> stored{0};
   };
 
   // The shard registered under `venue_id`, or nullptr. Requires venues_mu_
@@ -204,10 +239,15 @@ class Cluster {
   std::vector<VenueShard*> SnapshotShards() const;
 
   ClusterOptions options_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;  // never null
   mutable util::ThreadPool pool_;  // const queries fan out over it too
 
   mutable std::shared_mutex venues_mu_;  // guards the maps, not the shards
   std::map<std::string, std::unique_ptr<VenueShard>> venues_;  // venue-id order
+  /// Callback-gauge names this cluster registered (removed in the destructor
+  /// because the callbacks capture `this`; a caller-supplied registry may
+  /// outlive the cluster). Mutated under venues_mu_ (unique).
+  std::vector<std::string> callback_names_;
 
   mutable std::mutex sink_mu_;  // guards sink_ only
   Sink sink_;

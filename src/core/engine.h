@@ -18,6 +18,19 @@
 
 namespace trips::core {
 
+/// One coherent view of the route planner's memoization cache plus the static
+/// graph sizes — Engine::routing_cache_stats() is the single observability
+/// surface for routing; the raw RoutePlanner accessors remain as shims
+/// underneath it.
+struct RoutingCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t size = 0;      ///< memoized trees currently held
+  size_t nodes = 0;     ///< static routing graph nodes
+  size_t portals = 0;   ///< portal nodes surviving contraction
+};
+
 /// Immutable, shareable translation model. Every const method is thread-safe.
 class Engine {
  public:
@@ -79,18 +92,54 @@ class Engine {
   /// The underlying (initialized, const-only) translator.
   const Translator* translator() const { return translator_.get(); }
 
+  // ---- observability --------------------------------------------------------
+
+  /// Snapshot of the route planner's cache counters and graph sizes. Each
+  /// counter is read atomically but the struct as a whole is not one atomic
+  /// snapshot (concurrent queries may land between reads) — fine for
+  /// monitoring, and exact at quiescence.
+  RoutingCacheStats routing_cache_stats() const {
+    const dsm::RoutePlanner& p = planner();
+    RoutingCacheStats stats;
+    stats.hits = p.cache_hits();
+    stats.misses = p.cache_misses();
+    stats.evictions = p.cache_evictions();
+    stats.size = p.cache_size();
+    stats.nodes = p.NodeCount();
+    stats.portals = p.PortalCount();
+    return stats;
+  }
+
+  /// Point-query counts of the DSM's spatial index (zeroes when the index is
+  /// not built).
+  dsm::SpatialProbeStats spatial_probe_stats() const {
+    return dsm().spatial_index().probes();
+  }
+
+  /// Drops the memoized routing trees and zeroes the cache counters. The
+  /// engine stays logically immutable: the cache is pure memoization, so
+  /// translation results are unaffected.
+  void ClearRoutingCache() const { planner().ClearCache(); }
+
+  /// Zeroes the spatial probe counters (benchmark phases, tests).
+  void ResetSpatialProbes() const { dsm().spatial_index().ResetProbes(); }
+
   // ---- stateless translation primitives (all thread-safe) -------------------
 
-  /// Cleaning + Annotation layers for one sequence.
-  TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const {
-    return translator_->CleanAndAnnotate(seq);
+  /// Cleaning + Annotation layers for one sequence. `stages` (may be null)
+  /// receives per-stage timings/counts without affecting the output.
+  TranslationResult CleanAndAnnotate(
+      const positioning::PositioningSequence& seq,
+      const TranslationStageMetrics* stages = nullptr) const {
+    return translator_->CleanAndAnnotate(seq, stages);
   }
   /// Columnar Cleaning + Annotation: consumes `block` in place (no AoS
   /// rematerialization between the stages). `pool` (may be null) parallelizes
   /// cleaning inside long sequences with worker-count-independent output.
-  TranslationResult CleanAndAnnotate(positioning::RecordBlock* block,
-                                     util::ThreadPool* pool = nullptr) const {
-    return translator_->CleanAndAnnotate(block, pool);
+  TranslationResult CleanAndAnnotate(
+      positioning::RecordBlock* block, util::ThreadPool* pool = nullptr,
+      const TranslationStageMetrics* stages = nullptr) const {
+    return translator_->CleanAndAnnotate(block, pool, stages);
   }
   /// Aggregates annotated results into mobility knowledge.
   complement::MobilityKnowledge BuildKnowledge(
@@ -99,8 +148,9 @@ class Engine {
   }
   /// Complementing layer for one result against the given knowledge.
   void Complement(TranslationResult* result,
-                  const complement::MobilityKnowledge& knowledge) const {
-    translator_->ComplementResult(result, knowledge);
+                  const complement::MobilityKnowledge& knowledge,
+                  const TranslationStageMetrics* stages = nullptr) const {
+    translator_->ComplementResult(result, knowledge, stages);
   }
   /// Full three-layer translation of one sequence with the baseline knowledge.
   TranslationResult Translate(const positioning::PositioningSequence& seq) const {
@@ -115,11 +165,13 @@ class Engine {
   }
   /// Columnar full translation: consumes `block` in place (the streaming
   /// path — buffers translate without ever materializing an input AoS copy).
-  TranslationResult TranslateBlockWith(positioning::RecordBlock* block,
-                                       const complement::MobilityKnowledge& knowledge,
-                                       util::ThreadPool* pool = nullptr) const {
-    TranslationResult result = CleanAndAnnotate(block, pool);
-    Complement(&result, knowledge);
+  TranslationResult TranslateBlockWith(
+      positioning::RecordBlock* block,
+      const complement::MobilityKnowledge& knowledge,
+      util::ThreadPool* pool = nullptr,
+      const TranslationStageMetrics* stages = nullptr) const {
+    TranslationResult result = CleanAndAnnotate(block, pool, stages);
+    Complement(&result, knowledge, stages);
     return result;
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/statsz.h"
+
 namespace trips::core {
 
 namespace {
@@ -19,10 +21,48 @@ size_t ResolveWorkers(size_t requested) {
 Service::Service(std::shared_ptr<const Engine> engine, ServiceOptions options)
     : engine_(std::move(engine)),
       options_(options),
-      pool_(ResolveWorkers(options.worker_threads)) {}
+      metrics_(options.metrics != nullptr
+                   ? options.metrics
+                   : std::make_shared<obs::MetricsRegistry>()),
+      pool_(ResolveWorkers(options.worker_threads)) {
+  pool_.SetMetrics(util::PoolMetrics{
+      metrics_->gauge("pool.queue_depth"),
+      metrics_->histogram("pool.task_wait_ns"),
+      metrics_->histogram("pool.task_run_ns"),
+      metrics_->counter("pool.tasks_run"),
+  });
+  metrics_->gauge("pool.workers")->Set(static_cast<int64_t>(pool_.worker_count()));
+  // Pull-style gauges over state the engine already maintains; the callbacks
+  // co-own the engine, so they stay valid as long as the registry lives.
+  std::shared_ptr<const Engine> eng = engine_;
+  metrics_->SetCallback("routing.cache_hits", [eng] {
+    return static_cast<int64_t>(eng->routing_cache_stats().hits);
+  });
+  metrics_->SetCallback("routing.cache_misses", [eng] {
+    return static_cast<int64_t>(eng->routing_cache_stats().misses);
+  });
+  metrics_->SetCallback("routing.cache_evictions", [eng] {
+    return static_cast<int64_t>(eng->routing_cache_stats().evictions);
+  });
+  metrics_->SetCallback("routing.cache_size", [eng] {
+    return static_cast<int64_t>(eng->routing_cache_stats().size);
+  });
+  metrics_->SetCallback("spatial.partition_probes", [eng] {
+    return static_cast<int64_t>(eng->spatial_probe_stats().partition_probes);
+  });
+  metrics_->SetCallback("spatial.region_probes", [eng] {
+    return static_cast<int64_t>(eng->spatial_probe_stats().region_probes);
+  });
+  metrics_->SetCallback("spatial.snap_probes", [eng] {
+    return static_cast<int64_t>(eng->spatial_probe_stats().snap_probes);
+  });
+  metrics_->SetCallback("spatial.snapped_outside", [eng] {
+    return static_cast<int64_t>(eng->spatial_probe_stats().snapped_outside);
+  });
+}
 
 std::unique_ptr<BatchSession> Service::NewBatchSession() {
-  return std::make_unique<BatchSession>(engine_, &pool_);
+  return std::make_unique<BatchSession>(engine_, &pool_, metrics_);
 }
 
 std::unique_ptr<StreamSession> Service::NewStreamSession() {
@@ -30,7 +70,11 @@ std::unique_ptr<StreamSession> Service::NewStreamSession() {
 }
 
 std::unique_ptr<StreamSession> Service::NewStreamSession(StreamOptions options) {
-  return std::make_unique<StreamSession>(engine_, options, &pool_);
+  return std::make_unique<StreamSession>(engine_, options, &pool_, metrics_);
+}
+
+void Service::DumpStatsz(std::ostream& out) const {
+  obs::DumpStatsz(*metrics_, out);
 }
 
 Result<TranslationResponse> Service::Translate(const TranslationRequest& request) {

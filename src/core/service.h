@@ -19,9 +19,11 @@
 #pragma once
 
 #include <memory>
+#include <ostream>
 
 #include "core/engine.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace trips::core {
@@ -36,6 +38,12 @@ struct ServiceOptions {
   /// Default flush policy for stream sessions created without explicit
   /// options.
   StreamOptions stream = {};
+  /// Metrics registry the service and its sessions record into. Null (the
+  /// default) makes the service create its own; pass one to share a registry
+  /// across services or to start with recording disabled
+  /// (std::make_shared<obs::MetricsRegistry>(false)). Recording never alters
+  /// translation output.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Facade over one engine: creates batch and stream sessions that share it.
@@ -59,9 +67,20 @@ class Service {
   /// One-shot convenience: a fresh batch session, one Submit.
   Result<TranslationResponse> Translate(const TranslationRequest& request);
 
+  /// The registry this service and its sessions record into (never null).
+  /// Callback gauges for the engine's routing cache and spatial index are
+  /// registered here at construction.
+  const std::shared_ptr<obs::MetricsRegistry>& stats_registry() const {
+    return metrics_;
+  }
+
+  /// Writes the /statsz JSON snapshot of stats_registry() to `out`.
+  void DumpStatsz(std::ostream& out) const;
+
  private:
   std::shared_ptr<const Engine> engine_;
   ServiceOptions options_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;  // never null
   util::ThreadPool pool_;
 };
 

@@ -2,14 +2,43 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 namespace trips::core {
+
+namespace {
+
+// Resolves the shared per-stage translation metrics out of `registry` (all
+// sessions of one registry aggregate into the same names). Null registry ->
+// all-null struct (recording disabled).
+TranslationStageMetrics ResolveStageMetrics(obs::MetricsRegistry* registry) {
+  TranslationStageMetrics stages;
+  if (registry == nullptr) return stages;
+  stages.clean_ns = registry->histogram("translate.clean_ns");
+  stages.split_ns = registry->histogram("translate.split_ns");
+  stages.annotate_ns = registry->histogram("translate.annotate_ns");
+  stages.complement_ns = registry->histogram("translate.complement_ns");
+  stages.sequences = registry->counter("translate.sequences");
+  stages.records = registry->counter("translate.records");
+  return stages;
+}
+
+}  // namespace
 
 // ---- BatchSession -----------------------------------------------------------
 
 BatchSession::BatchSession(std::shared_ptr<const Engine> engine,
-                           util::ThreadPool* pool)
-    : engine_(std::move(engine)), pool_(pool), knowledge_(engine_->knowledge()) {}
+                           util::ThreadPool* pool,
+                           std::shared_ptr<obs::MetricsRegistry> metrics)
+    : engine_(std::move(engine)),
+      pool_(pool),
+      metrics_(std::move(metrics)),
+      stages_(ResolveStageMetrics(metrics_.get())),
+      knowledge_(engine_->knowledge()) {
+  if (metrics_ != nullptr) {
+    submit_ns_ = metrics_->histogram("translate.batch_submit_ns");
+  }
+}
 
 void BatchSession::ResetKnowledge(complement::MobilityKnowledge knowledge) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -18,6 +47,7 @@ void BatchSession::ResetKnowledge(complement::MobilityKnowledge knowledge) {
 
 Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::StageTimer submit_timer(submit_ns_);
   using Clock = std::chrono::steady_clock;
   Clock::time_point start = Clock::now();
 
@@ -36,10 +66,11 @@ Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& reque
   // additionally parallelize their cleaning passes across idle workers.
   std::vector<TranslationResult>& results = response.results;
   util::ThreadPool* pool = pool_;
-  pool_->ParallelFor(seqs.size(), [&, pool](size_t i) {
+  const TranslationStageMetrics* stages = &stages_;
+  pool_->ParallelFor(seqs.size(), [&, pool, stages](size_t i) {
     static thread_local positioning::RecordBlock block;
     block.AssignFrom(seqs[i]);
-    results[i] = engine_->CleanAndAnnotate(&block, pool);
+    results[i] = engine_->CleanAndAnnotate(&block, pool, stages);
   });
 
   // Knowledge construction aggregates all annotated sequences (integer-count
@@ -53,7 +84,7 @@ Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& reque
 
   // Layer 3 on every sequence, fanned out.
   pool_->ParallelFor(results.size(), [&](size_t i) {
-    engine_->Complement(&results[i], knowledge_);
+    engine_->Complement(&results[i], knowledge_, &stages_);
   });
 
   // Deterministic output order: by device id, input order breaking ties.
@@ -73,16 +104,38 @@ Result<TranslationResponse> BatchSession::Submit(const TranslationRequest& reque
 // ---- StreamSession ----------------------------------------------------------
 
 StreamSession::StreamSession(std::shared_ptr<const Engine> engine,
-                             StreamOptions options, util::ThreadPool* pool)
+                             StreamOptions options, util::ThreadPool* pool,
+                             std::shared_ptr<obs::MetricsRegistry> metrics)
     : engine_(std::move(engine)),
       options_(options),
       pool_(pool),
-      shards_(std::max<size_t>(1, options.buffer_shards)) {}
+      metrics_(std::move(metrics)),
+      shards_(std::max<size_t>(1, options.buffer_shards)) {
+  WireMetrics();
+}
 
 StreamSession::StreamSession(TranslateFn translate, StreamOptions options)
     : translate_(std::move(translate)),
       options_(options),
       shards_(std::max<size_t>(1, options.buffer_shards)) {}
+
+void StreamSession::WireMetrics() {
+  if (metrics_ == nullptr) return;
+  stages_ = ResolveStageMetrics(metrics_.get());
+  stream_metrics_.records_ingested = metrics_->counter("stream.records_ingested");
+  stream_metrics_.buffered_records = metrics_->gauge("stream.buffered_records");
+  stream_metrics_.flushes = metrics_->counter("stream.flushes");
+  stream_metrics_.flush_records = metrics_->counter("stream.flush_records");
+  stream_metrics_.dropped_small_buffers =
+      metrics_->counter("stream.dropped_small_buffers");
+  stream_metrics_.ingest_to_result_ns =
+      metrics_->histogram("stream.ingest_to_result_ns");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "stream.shard%02zu.buffered_records", i);
+    shards_[i].buffered_records = metrics_->gauge(name);
+  }
+}
 
 void StreamSession::SetSink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -118,29 +171,38 @@ size_t StreamSession::EmittedCount() const {
   return emitted_;
 }
 
+void StreamSession::TrackBuffered(BufferShard& shard, int64_t delta) {
+  if (stream_metrics_.buffered_records != nullptr) {
+    stream_metrics_.buffered_records->Add(delta);
+  }
+  if (shard.buffered_records != nullptr) shard.buffered_records->Add(delta);
+}
+
 void StreamSession::PopDeviceLocked(BufferShard& shard, const std::string& device,
-                                    std::vector<positioning::RecordBlock>* out) {
+                                    std::vector<PoppedBuffer>* out) {
   auto it = shard.buffers.find(device);
   if (it == shard.buffers.end()) return;
   Buffer buffer = std::move(it->second);
   shard.buffers.erase(it);
+  TrackBuffered(shard, -static_cast<int64_t>(buffer.block.Size()));
   if (buffer.block.Size() < options_.min_flush_records) {
+    if (stream_metrics_.dropped_small_buffers != nullptr) {
+      stream_metrics_.dropped_small_buffers->Add(1);
+    }
     return;  // stray fixes, no semantics to extract
   }
-  out->push_back(std::move(buffer.block));
+  out->push_back(PoppedBuffer{std::move(buffer.block), buffer.ingest_ns});
 }
 
-void StreamSession::SortPoppedByDevice(
-    std::vector<positioning::RecordBlock>* popped) {
+void StreamSession::SortPoppedByDevice(std::vector<PoppedBuffer>* popped) {
   std::sort(popped->begin(), popped->end(),
-            [](const positioning::RecordBlock& a,
-               const positioning::RecordBlock& b) {
-              return a.device_id < b.device_id;
+            [](const PoppedBuffer& a, const PoppedBuffer& b) {
+              return a.block.device_id < b.block.device_id;
             });
 }
 
 Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
-    std::vector<positioning::RecordBlock> popped) {
+    std::vector<PoppedBuffer> popped) {
   // Fast path for the overwhelmingly common no-flush case (every Ingest that
   // doesn't hit the cap, every Poll with no idle device).
   if (popped.empty()) return std::vector<TranslationResult>{};
@@ -152,15 +214,29 @@ Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
   // materialize the AoS sequence their callback expects.
   std::vector<TranslationResult> out;
   out.reserve(popped.size());
-  for (positioning::RecordBlock& block : popped) {
+  for (PoppedBuffer& popped_buffer : popped) {
+    positioning::RecordBlock& block = popped_buffer.block;
+    size_t flushed_records = block.Size();
+    TranslationResult result;
     if (engine_ != nullptr) {
-      out.push_back(
-          engine_->TranslateBlockWith(&block, engine_->knowledge(), pool_));
+      result = engine_->TranslateBlockWith(&block, engine_->knowledge(), pool_,
+                                           &stages_);
     } else {
-      TRIPS_ASSIGN_OR_RETURN(TranslationResult result,
-                             translate_(block.ToSequence()));
-      out.push_back(std::move(result));
+      TRIPS_ASSIGN_OR_RETURN(result, translate_(block.ToSequence()));
     }
+    result.trace.ingest_steady_ns = popped_buffer.ingest_ns;
+    if (stream_metrics_.flushes != nullptr) stream_metrics_.flushes->Add(1);
+    if (stream_metrics_.flush_records != nullptr) {
+      stream_metrics_.flush_records->Add(flushed_records);
+    }
+    // True ingest-to-result latency: first raw record of the buffer arrived ->
+    // its translation is about to be delivered.
+    if (popped_buffer.ingest_ns != 0 &&
+        stream_metrics_.ingest_to_result_ns != nullptr) {
+      stream_metrics_.ingest_to_result_ns->Record(obs::NowNanos() -
+                                                  popped_buffer.ingest_ns);
+    }
+    out.push_back(std::move(result));
   }
   Sink sink;
   {
@@ -175,15 +251,25 @@ Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
 
 Result<std::vector<TranslationResult>> StreamSession::Ingest(
     const std::string& device, const positioning::RawRecord& record) {
-  std::vector<positioning::RecordBlock> popped;
+  std::vector<PoppedBuffer> popped;
   {
     BufferShard& shard = ShardFor(device);
     std::lock_guard<std::mutex> lock(shard.mu);
     Buffer& buffer = shard.buffers[device];
     if (buffer.block.Empty()) {
       buffer.block.device_id = device;
+      // Trace stamp: one clock read per device buffer (not per record), and
+      // only while the latency histogram is live.
+      if (stream_metrics_.ingest_to_result_ns != nullptr &&
+          stream_metrics_.ingest_to_result_ns->recording()) {
+        buffer.ingest_ns = obs::NowNanos();
+      }
     }
     buffer.block.Append(record);
+    if (stream_metrics_.records_ingested != nullptr) {
+      stream_metrics_.records_ingested->Add(1);
+    }
+    TrackBuffered(shard, 1);
     if (record.timestamp > buffer.newest) buffer.newest = record.timestamp;
     if (buffer.block.Size() >= options_.max_buffer_records) {
       PopDeviceLocked(shard, device, &popped);
@@ -193,14 +279,18 @@ Result<std::vector<TranslationResult>> StreamSession::Ingest(
 }
 
 Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
-  std::vector<positioning::RecordBlock> popped;
+  std::vector<PoppedBuffer> popped;
   for (BufferShard& shard : shards_) {
     // In-place sweep per shard; global device order is restored below.
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.buffers.begin(); it != shard.buffers.end();) {
       if (now - it->second.newest >= options_.flush_after) {
+        TrackBuffered(shard, -static_cast<int64_t>(it->second.block.Size()));
         if (it->second.block.Size() >= options_.min_flush_records) {
-          popped.push_back(std::move(it->second.block));
+          popped.push_back(PoppedBuffer{std::move(it->second.block),
+                                        it->second.ingest_ns});
+        } else if (stream_metrics_.dropped_small_buffers != nullptr) {
+          stream_metrics_.dropped_small_buffers->Add(1);
         }
         it = shard.buffers.erase(it);
       } else {
@@ -213,12 +303,15 @@ Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
 }
 
 Result<std::vector<TranslationResult>> StreamSession::FlushAll() {
-  std::vector<positioning::RecordBlock> popped;
+  std::vector<PoppedBuffer> popped;
   for (BufferShard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [device, buffer] : shard.buffers) {
+      TrackBuffered(shard, -static_cast<int64_t>(buffer.block.Size()));
       if (buffer.block.Size() >= options_.min_flush_records) {
-        popped.push_back(std::move(buffer.block));
+        popped.push_back(PoppedBuffer{std::move(buffer.block), buffer.ingest_ns});
+      } else if (stream_metrics_.dropped_small_buffers != nullptr) {
+        stream_metrics_.dropped_small_buffers->Add(1);
       }
     }
     shard.buffers.clear();

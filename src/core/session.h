@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace trips::core {
@@ -55,7 +56,10 @@ struct TranslationResponse {
 class BatchSession {
  public:
   /// `pool` must outlive the session (both normally owned by the Service).
-  BatchSession(std::shared_ptr<const Engine> engine, util::ThreadPool* pool);
+  /// `metrics` (may be null) receives the per-stage translation metrics;
+  /// sessions sharing a registry aggregate into the same named metrics.
+  BatchSession(std::shared_ptr<const Engine> engine, util::ThreadPool* pool,
+               std::shared_ptr<obs::MetricsRegistry> metrics = nullptr);
 
   /// Translates every sequence of the request. Thread-safe; concurrent
   /// Submit calls on the same session are serialized.
@@ -76,6 +80,9 @@ class BatchSession {
  private:
   std::shared_ptr<const Engine> engine_;
   util::ThreadPool* pool_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;  // may be null
+  TranslationStageMetrics stages_;   // resolved pointers; zeros when no registry
+  obs::Histogram* submit_ns_ = nullptr;  // whole-Submit wall time
   std::mutex mu_;  // serializes Submit
   complement::MobilityKnowledge knowledge_;
   std::atomic<size_t> translated_{0};
@@ -127,10 +134,15 @@ class StreamSession {
 
   /// Engine-backed session: buffers are translated with the engine's baseline
   /// knowledge. `pool` (may be null; normally the owning Service's pool)
-  /// parallelizes cleaning inside long flushed buffers.
+  /// parallelizes cleaning inside long flushed buffers. `metrics` (may be
+  /// null) receives the stream ingest metrics — including the true
+  /// ingest-to-result latency: each device buffer is stamped when its FIRST
+  /// record arrives, and the stamp-to-delivery time of every flushed buffer
+  /// lands in stream.ingest_to_result_ns.
   explicit StreamSession(std::shared_ptr<const Engine> engine,
                          StreamOptions options = {},
-                         util::ThreadPool* pool = nullptr);
+                         util::ThreadPool* pool = nullptr,
+                         std::shared_ptr<obs::MetricsRegistry> metrics = nullptr);
   /// Hook-backed session: buffers are translated by `translate`.
   explicit StreamSession(TranslateFn translate, StreamOptions options = {});
 
@@ -163,6 +175,8 @@ class StreamSession {
   struct Buffer {
     positioning::RecordBlock block;
     TimestampMs newest = 0;
+    /// Steady-clock stamp of the FIRST record's arrival (0 = not traced).
+    uint64_t ingest_ns = 0;
   };
   /// One device-hash shard of the ingest buffers. Ingest locks only the
   /// owning device's shard, so concurrent feeds on different devices proceed
@@ -170,27 +184,53 @@ class StreamSession {
   struct BufferShard {
     mutable std::mutex mu;
     std::map<std::string, Buffer> buffers;
+    /// Records currently buffered in this shard (maintained by ingest/flush;
+    /// exported as stream.shardNN.buffered_records). Null without a registry.
+    obs::Gauge* buffered_records = nullptr;
+  };
+  /// A buffer popped for translation: the columnar records plus the trace
+  /// stamp that rides along to the latency histogram.
+  struct PoppedBuffer {
+    positioning::RecordBlock block;
+    uint64_t ingest_ns = 0;
+  };
+  /// Resolved stream metric pointers (all null without a registry).
+  struct StreamMetrics {
+    obs::Counter* records_ingested = nullptr;
+    obs::Gauge* buffered_records = nullptr;  // across all shards
+    obs::Counter* flushes = nullptr;         // buffers translated+delivered
+    obs::Counter* flush_records = nullptr;   // records in those buffers
+    obs::Counter* dropped_small_buffers = nullptr;
+    obs::Histogram* ingest_to_result_ns = nullptr;
   };
 
+  // Shared ctor tail: resolves metric pointers out of metrics_.
+  void WireMetrics();
   // The shard owning `device`'s buffer.
   BufferShard& ShardFor(const std::string& device);
-  // Removes `device`'s buffer from `shard` and, unless too small, moves its
-  // block onto `out` for translation. Requires shard.mu held.
+  // Updates the occupancy gauges for `delta` records entering (positive) or
+  // leaving (negative) `shard`.
+  void TrackBuffered(BufferShard& shard, int64_t delta);
+  // Removes `device`'s buffer from `shard` and, unless too small, moves it
+  // onto `out` for translation. Requires shard.mu held.
   void PopDeviceLocked(BufferShard& shard, const std::string& device,
-                       std::vector<positioning::RecordBlock>* out);
-  // Restores global device-id order over blocks gathered from several shards
+                       std::vector<PoppedBuffer>* out);
+  // Restores global device-id order over buffers gathered from several shards
   // (within one shard the map already yields device order).
-  static void SortPoppedByDevice(std::vector<positioning::RecordBlock>* popped);
+  static void SortPoppedByDevice(std::vector<PoppedBuffer>* popped);
   // Translates popped buffers (no shard lock held) and routes the results to
   // the sink when one is installed, else back to the caller. `popped` must be
   // in device-id order.
   Result<std::vector<TranslationResult>> TranslateAndDeliver(
-      std::vector<positioning::RecordBlock> popped);
+      std::vector<PoppedBuffer> popped);
 
   std::shared_ptr<const Engine> engine_;  // null for hook-backed sessions
   TranslateFn translate_;                 // set for hook-backed sessions only
   StreamOptions options_;
   util::ThreadPool* pool_ = nullptr;      // may be null (serial cleaning)
+  std::shared_ptr<obs::MetricsRegistry> metrics_;  // may be null
+  StreamMetrics stream_metrics_;
+  TranslationStageMetrics stages_;        // per-stage translation metrics
   std::vector<BufferShard> shards_;       // fixed size >= 1 after construction
   mutable std::mutex mu_;                 // guards sink_ and emitted_
   Sink sink_;

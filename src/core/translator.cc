@@ -28,21 +28,28 @@ Status Translator::TrainEventModel(
 }
 
 TranslationResult Translator::CleanAndAnnotate(
-    const positioning::PositioningSequence& seq) const {
+    const positioning::PositioningSequence& seq,
+    const TranslationStageMetrics* stages) const {
   // Per-thread block, reused across sequences: each translation worker
   // reaches a steady state where the AoS->SoA conversion allocates nothing.
   static thread_local positioning::RecordBlock block;
   block.AssignFrom(seq);
-  return CleanAndAnnotate(&block, nullptr);
+  return CleanAndAnnotate(&block, nullptr, stages);
 }
 
-TranslationResult Translator::CleanAndAnnotate(positioning::RecordBlock* block,
-                                               util::ThreadPool* pool) const {
+TranslationResult Translator::CleanAndAnnotate(
+    positioning::RecordBlock* block, util::ThreadPool* pool,
+    const TranslationStageMetrics* stages) const {
   TranslationResult result;
   block->SortByTime();
   block->MaterializeTo(&result.raw);
+  if (stages != nullptr) {
+    if (stages->sequences != nullptr) stages->sequences->Add(1);
+    if (stages->records != nullptr) stages->records->Add(result.raw.records.size());
+  }
 
   if (options_.enable_cleaning) {
+    obs::StageTimer clean_timer(stages != nullptr ? stages->clean_ns : nullptr);
     if (cleaner_.has_value()) {
       cleaner_->CleanBlock(block, nullptr, &result.cleaning_report, pool);
     } else {
@@ -56,13 +63,25 @@ TranslationResult Translator::CleanAndAnnotate(positioning::RecordBlock* block,
     result.cleaning_report.total_records = result.raw.records.size();
   }
 
-  // The annotation layer consumes the cleaned columns directly.
-  if (annotator_.has_value()) {
-    result.original_semantics = annotator_->Annotate(*block);
-  } else {
-    annotation::Annotator annotator(dsm_, &classifier_, options_.annotator);
-    result.original_semantics = annotator.Annotate(*block);
+  // The annotation layer consumes the cleaned columns directly. The split
+  // phase is timed by the annotator itself (annotate_ns includes split_ns).
+  annotation::AnnotateTimings timings;
+  annotation::AnnotateTimings* timings_ptr =
+      (stages != nullptr && stages->split_ns != nullptr &&
+       stages->split_ns->recording())
+          ? &timings
+          : nullptr;
+  {
+    obs::StageTimer annotate_timer(stages != nullptr ? stages->annotate_ns
+                                                     : nullptr);
+    if (annotator_.has_value()) {
+      result.original_semantics = annotator_->Annotate(*block, timings_ptr);
+    } else {
+      annotation::Annotator annotator(dsm_, &classifier_, options_.annotator);
+      result.original_semantics = annotator.Annotate(*block, timings_ptr);
+    }
   }
+  if (timings_ptr != nullptr) stages->split_ns->Record(timings.split_ns);
   return result;
 }
 
@@ -76,7 +95,10 @@ complement::MobilityKnowledge Translator::BuildKnowledgeFrom(
 }
 
 void Translator::ComplementResult(TranslationResult* result,
-                                  const complement::MobilityKnowledge& knowledge) const {
+                                  const complement::MobilityKnowledge& knowledge,
+                                  const TranslationStageMetrics* stages) const {
+  obs::StageTimer complement_timer(stages != nullptr ? stages->complement_ns
+                                                     : nullptr);
   if (options_.enable_complementing) {
     complement::Complementor complementor(dsm_, &knowledge, options_.complementor);
     result->semantics =

@@ -17,6 +17,7 @@
 #include "core/semantics.h"
 #include "dsm/dsm.h"
 #include "dsm/routing.h"
+#include "obs/metrics.h"
 #include "positioning/record_block.h"
 #include "util/thread_pool.h"
 
@@ -48,6 +49,20 @@ struct TranslatorOptions {
   double knowledge_smoothing = 0.5;
 };
 
+/// Per-stage observability hooks of the translation pipeline. Every pointer
+/// may be null (that stage is simply not recorded); sessions resolve one of
+/// these from their Service's obs::MetricsRegistry and pass it into the
+/// stateless layer primitives below. Recording never changes translation
+/// output — results are byte-identical metrics on or off.
+struct TranslationStageMetrics {
+  obs::Histogram* clean_ns = nullptr;       ///< cleaning layer, per sequence
+  obs::Histogram* split_ns = nullptr;       ///< SplitSequence inside annotation
+  obs::Histogram* annotate_ns = nullptr;    ///< annotation layer (includes split)
+  obs::Histogram* complement_ns = nullptr;  ///< complementing layer, per sequence
+  obs::Counter* sequences = nullptr;        ///< sequences clean+annotated
+  obs::Counter* records = nullptr;          ///< raw records clean+annotated
+};
+
 /// Everything the Translator produced for one device — the material the
 /// Viewer traces ("the input, output and intermediate data involved in the
 /// translation", §1).
@@ -60,6 +75,9 @@ struct TranslationResult {
   MobilitySemanticsSequence semantics;
   cleaning::CleaningReport cleaning_report;
   complement::ComplementReport complement_report;
+  /// When the record batch was traced (stream ingest), the ingest stamp rides
+  /// along so the session can report true ingest-to-emit latency.
+  obs::TraceContext trace;
 };
 
 /// The three-layer translator. Typical use:
@@ -105,8 +123,10 @@ class Translator {
   /// Cleaning + Annotation layers for one sequence (no complementing). AoS
   /// shim: copies the sequence into a per-thread RecordBlock and delegates to
   /// the columnar form below, so both entry points produce byte-identical
-  /// results.
-  TranslationResult CleanAndAnnotate(const positioning::PositioningSequence& seq) const;
+  /// results. `stages` (may be null) receives per-stage timings/counts.
+  TranslationResult CleanAndAnnotate(
+      const positioning::PositioningSequence& seq,
+      const TranslationStageMetrics* stages = nullptr) const;
 
   /// Columnar Cleaning + Annotation: sorts and cleans `block` in place and
   /// annotates the cleaned columns directly — the stages never rematerialize
@@ -114,9 +134,11 @@ class Translator {
   /// materialized once, at the stage boundaries the TranslationResult
   /// contract requires). On return the block holds the cleaned columns.
   /// `pool` (may be null) parallelizes cleaning passes 2/4 inside long
-  /// sequences; output is identical for every worker count.
-  TranslationResult CleanAndAnnotate(positioning::RecordBlock* block,
-                                     util::ThreadPool* pool = nullptr) const;
+  /// sequences; output is identical for every worker count and with `stages`
+  /// (may be null) recording or not.
+  TranslationResult CleanAndAnnotate(
+      positioning::RecordBlock* block, util::ThreadPool* pool = nullptr,
+      const TranslationStageMetrics* stages = nullptr) const;
 
   /// Builds mobility knowledge by aggregating the annotation-layer output of
   /// `results` (integer-count aggregation: independent of result order).
@@ -125,9 +147,11 @@ class Translator {
 
   /// Complementing layer for one result: fills result->semantics from
   /// result->original_semantics using `knowledge` (or copies it verbatim when
-  /// complementing is disabled in the options).
+  /// complementing is disabled in the options). `stages` (may be null)
+  /// receives the complement-stage timing.
   void ComplementResult(TranslationResult* result,
-                        const complement::MobilityKnowledge& knowledge) const;
+                        const complement::MobilityKnowledge& knowledge,
+                        const TranslationStageMetrics* stages = nullptr) const;
 
   /// The current mobility knowledge (uniform prior before any batch run).
   const complement::MobilityKnowledge& knowledge() const { return knowledge_; }

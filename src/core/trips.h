@@ -34,6 +34,14 @@
 //   Adapters      — core::Pipeline and core::OnlineTranslator, the legacy
 //                   batch/streaming front-ends, now [[deprecated]] shims
 //                   over Service
+//   Observability — obs::MetricsRegistry, the unified metrics & stage-
+//                   tracing subsystem: lock-free thread-sharded counters/
+//                   gauges/log-bucketed latency histograms recorded by every
+//                   layer above (pool queues, translate stages, stream
+//                   ingest-to-result, store append/query, routing & spatial
+//                   caches, cluster rollups), exported as one deterministic
+//                   /statsz JSON snapshot (obs/statsz.h) via
+//                   Service::DumpStatsz / Cluster::DumpStatsz
 //   Viewer        — viewer::Timeline, viewer::MapRenderer, viewer::RenderHtml,
 //                   plus store-backed views (viewer/store_view.h)
 //   Substrates    — dsm::Dsm (+ routing, JSON, sample spaces),
@@ -78,6 +86,8 @@
 #include "dsm/sample_spaces.h"
 #include "dsm/validation.h"
 #include "mobility/generator.h"
+#include "obs/metrics.h"
+#include "obs/statsz.h"
 #include "positioning/csv_io.h"
 #include "positioning/error_model.h"
 #include "positioning/record.h"

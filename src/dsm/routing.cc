@@ -110,6 +110,7 @@ struct RoutePlanner::TreeCache {
     while (shard.entries.size() > capacity) {
       shard.entries.erase(shard.order.back());
       shard.order.pop_back();
+      evictions.fetch_add(1, std::memory_order_relaxed);
     }
     return tree;
   }
@@ -119,6 +120,7 @@ struct RoutePlanner::TreeCache {
   Shard<PortalTree> portal;
   std::atomic<size_t> hits{0};
   std::atomic<size_t> misses{0};
+  std::atomic<size_t> evictions{0};
 };
 
 Result<RoutePlanner> RoutePlanner::Build(const Dsm* dsm, RoutePlannerOptions options) {
@@ -930,6 +932,11 @@ size_t RoutePlanner::cache_misses() const {
   return cache_ != nullptr ? cache_->misses.load(std::memory_order_relaxed) : 0;
 }
 
+size_t RoutePlanner::cache_evictions() const {
+  return cache_ != nullptr ? cache_->evictions.load(std::memory_order_relaxed)
+                           : 0;
+}
+
 size_t RoutePlanner::cache_size() const {
   if (cache_ == nullptr) return 0;
   return cache_->flat.Size() + cache_->portal.Size();
@@ -941,6 +948,7 @@ void RoutePlanner::ClearCache() const {
   cache_->portal.Clear();
   cache_->hits.store(0, std::memory_order_relaxed);
   cache_->misses.store(0, std::memory_order_relaxed);
+  cache_->evictions.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace trips::dsm

@@ -160,9 +160,11 @@ class RoutePlanner {
   /// Directed shortcut-edge count of the contracted portal graph.
   size_t ContractedEdgeCount() const { return portal_adjacency_.size(); }
 
-  // Cache observability (tests / benches).
+  // Cache observability (tests / benches / obs callback gauges).
   size_t cache_hits() const;
   size_t cache_misses() const;
+  /// Trees dropped by the LRU capacity bound since the last ClearCache.
+  size_t cache_evictions() const;
   size_t cache_size() const;
   /// Drops every memoized tree and resets the hit/miss counters, so
   /// observability starts from a clean slate (benchmark phases, tests).

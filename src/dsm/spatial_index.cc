@@ -39,6 +39,7 @@ int SpatialIndex::FloorGrid::CellY(double y) const {
 void SpatialIndex::Clear() {
   grids_.clear();
   partition_region_candidates_.clear();
+  probes_.reset();
   built_ = false;
 }
 
@@ -180,6 +181,7 @@ void SpatialIndex::Build(const std::vector<Entity>& entities,
     }
   }
 
+  probes_ = std::make_shared<ProbeCounters>();
   built_ = true;
 }
 
@@ -191,7 +193,26 @@ const SpatialIndex::FloorGrid* SpatialIndex::GridFor(geo::FloorId floor) const {
   return &*it;
 }
 
+SpatialProbeStats SpatialIndex::probes() const {
+  SpatialProbeStats out;
+  if (probes_ == nullptr) return out;
+  out.partition_probes = probes_->partition_probes.Value();
+  out.region_probes = probes_->region_probes.Value();
+  out.snap_probes = probes_->snap_probes.Value();
+  out.snapped_outside = probes_->snapped_outside.Value();
+  return out;
+}
+
+void SpatialIndex::ResetProbes() const {
+  if (probes_ == nullptr) return;
+  probes_->partition_probes.Reset();
+  probes_->region_probes.Reset();
+  probes_->snap_probes.Reset();
+  probes_->snapped_outside.Reset();
+}
+
 EntityId SpatialIndex::PartitionAt(const geo::IndoorPoint& p) const {
+  if (probes_ != nullptr) probes_->partition_probes.Add(1);
   const FloorGrid* grid = GridFor(p.floor);
   if (grid == nullptr || grid->partitions.empty()) return kInvalidEntity;
   int cell = grid->CellIndex(grid->CellX(p.xy.x), grid->CellY(p.xy.y));
@@ -211,6 +232,7 @@ EntityId SpatialIndex::PartitionAt(const geo::IndoorPoint& p) const {
 }
 
 RegionId SpatialIndex::RegionAt(const geo::IndoorPoint& p) const {
+  if (probes_ != nullptr) probes_->region_probes.Add(1);
   const FloorGrid* grid = GridFor(p.floor);
   if (grid == nullptr || grid->regions.empty()) return kInvalidRegion;
   int cell = grid->CellIndex(grid->CellX(p.xy.x), grid->CellY(p.xy.y));
@@ -236,6 +258,7 @@ geo::IndoorPoint SpatialIndex::SnapToWalkable(const geo::IndoorPoint& p) const {
 
 geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
                                              bool* snapped) const {
+  if (probes_ != nullptr) probes_->snap_probes.Add(1);
   const FloorGrid* grid = GridFor(p.floor);
 
   // Walkability is existence of a containing partition, so the probe stops at
@@ -258,6 +281,7 @@ geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
     return p;
   }
   *snapped = true;
+  if (probes_ != nullptr) probes_->snapped_outside.Add(1);
   if (grid == nullptr || grid->edges.empty()) return p;
 
   int cx = grid->CellX(p.xy.x);

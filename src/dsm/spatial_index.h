@@ -16,11 +16,23 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "dsm/entity.h"
+#include "obs/metrics.h"
 
 namespace trips::dsm {
+
+/// Point-query counts of a SpatialIndex since Build (or ResetProbes) — the
+/// raw denominator data behind the per-record spatial cost numbers the obs
+/// registry exports ("how many grid probes did this workload issue").
+struct SpatialProbeStats {
+  uint64_t partition_probes = 0;  ///< PartitionAt / IsWalkable calls
+  uint64_t region_probes = 0;     ///< RegionAt calls
+  uint64_t snap_probes = 0;       ///< SnapToWalkable / SnapIfOutside calls
+  uint64_t snapped_outside = 0;   ///< snap probes whose point was NOT walkable
+};
 
 /// Grid construction knobs. The defaults target roughly one shape per cell on
 /// floorplan-shaped inputs; see the README "Performance" notes on tuning.
@@ -99,7 +111,7 @@ class SpatialIndex {
   /// all region polygons. Empty for unknown/non-walkable ids.
   const std::vector<RegionId>& RegionCandidatesOfPartition(EntityId pid) const;
 
-  // ---- introspection (tests / benches) ----
+  // ---- introspection (tests / benches / obs) ----
 
   /// Number of per-floor grids.
   size_t FloorGridCount() const { return grids_.size(); }
@@ -107,6 +119,14 @@ class SpatialIndex {
   size_t CellCount() const;
   /// Cell edge length of `floor`'s grid, or 0 when the floor is not indexed.
   double CellSize(geo::FloorId floor) const;
+
+  /// Point-query counts since Build/ResetProbes. Copies of an index share one
+  /// counter block (the counters live behind a shared_ptr so the class stays
+  /// copyable); Build allocates a fresh block. Zeroes before Build.
+  SpatialProbeStats probes() const;
+  /// Zeroes the probe counters (benchmark phases, tests). Not linearizable
+  /// against concurrent queries; call at quiescent points.
+  void ResetProbes() const;
 
  private:
   // One indexed shape: the id it answers with plus the cached geometry the
@@ -149,9 +169,19 @@ class SpatialIndex {
 
   const FloorGrid* GridFor(geo::FloorId floor) const;
 
+  // Always-on (ungated) lock-free counters; recording cost is one relaxed
+  // fetch_add per query, negligible next to the grid probe itself.
+  struct ProbeCounters {
+    obs::Counter partition_probes;
+    obs::Counter region_probes;
+    obs::Counter snap_probes;
+    obs::Counter snapped_outside;
+  };
+
   std::vector<FloorGrid> grids_;  // ascending floor id
   // Indexed by EntityId (dense); empty vectors for non-walkable entities.
   std::vector<std::vector<RegionId>> partition_region_candidates_;
+  std::shared_ptr<ProbeCounters> probes_;  // null until first Build
   bool built_ = false;
 };
 

@@ -1,0 +1,37 @@
+#include "obs/statsz.h"
+
+namespace trips::obs {
+
+json::Value StatszJson(const MetricsSnapshot& snapshot) {
+  json::Object counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters[name] = static_cast<int64_t>(value);
+  }
+  json::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges[name] = value;
+  }
+  json::Object histograms;
+  for (const auto& [name, summary] : snapshot.histograms) {
+    json::Object h;
+    h["count"] = static_cast<int64_t>(summary.count);
+    h["mean_ns"] = summary.mean;
+    h["p50_ns"] = static_cast<int64_t>(summary.p50);
+    h["p95_ns"] = static_cast<int64_t>(summary.p95);
+    h["p99_ns"] = static_cast<int64_t>(summary.p99);
+    h["max_ns"] = static_cast<int64_t>(summary.max);
+    h["sum_ns"] = static_cast<int64_t>(summary.sum);
+    histograms[name] = std::move(h);
+  }
+  json::Object root;
+  root["counters"] = std::move(counters);
+  root["gauges"] = std::move(gauges);
+  root["histograms"] = std::move(histograms);
+  return json::Value(std::move(root));
+}
+
+void DumpStatsz(const MetricsRegistry& registry, std::ostream& out) {
+  out << StatszJson(registry.Snap()).Pretty() << "\n";
+}
+
+}  // namespace trips::obs

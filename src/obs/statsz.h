@@ -1,0 +1,35 @@
+// /statsz — the machine-readable export of an obs::MetricsRegistry snapshot.
+// The JSON is deterministic: metrics appear in ascending name order (the
+// json::Object preserves insertion order and the snapshot is pre-sorted), so
+// two snapshots of identical recordings serialize byte-identically — the
+// golden test in tests/obs_test.cc pins the format.
+//
+// Shape:
+//   {
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <int>, ... },
+//     "histograms": { "<name>": { "count": n, "mean_ns": m, "p50_ns": ...,
+//                                 "p95_ns": ..., "p99_ns": ..., "max_ns": ...,
+//                                 "sum_ns": ... }, ... }
+//   }
+//
+// Histogram values are nanoseconds by convention (every built-in histogram
+// records ns); counters/gauges are unitless.
+#pragma once
+
+#include <ostream>
+
+#include "json/json.h"
+#include "obs/metrics.h"
+
+namespace trips::obs {
+
+/// Builds the /statsz JSON document from a snapshot.
+json::Value StatszJson(const MetricsSnapshot& snapshot);
+
+/// Snapshots `registry` and writes the pretty-printed JSON (with a trailing
+/// newline) to `out` — the one-call export used by Service::DumpStatsz and
+/// Cluster::DumpStatsz.
+void DumpStatsz(const MetricsRegistry& registry, std::ostream& out);
+
+}  // namespace trips::obs

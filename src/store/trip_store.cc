@@ -127,7 +127,19 @@ void TripStore::RegionPostingsIndex::CollectInto(
 // ---- TripStore --------------------------------------------------------------
 
 TripStore::TripStore(StoreOptions options)
-    : options_(std::move(options)), pool_(options_.worker_threads) {}
+    : options_(std::move(options)), pool_(options_.worker_threads) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    metrics_.append_ns = reg.histogram("store.append_ns");
+    metrics_.appended_sequences = reg.counter("store.appended_sequences");
+    metrics_.appended_triplets = reg.counter("store.appended_triplets");
+    metrics_.query_ns = reg.histogram("store.query_ns");
+    metrics_.queries = reg.counter("store.queries");
+    metrics_.segments = reg.gauge("store.segments");
+    metrics_.persisted_segments = reg.gauge("store.persisted_segments");
+    metrics_.persisted_bytes = reg.counter("store.persisted_bytes");
+  }
+}
 
 TripStore::~TripStore() = default;
 
@@ -195,6 +207,10 @@ Status TripStore::LoadDirectoryLocked() {
     segment.sealed = true;
     segment.persisted = true;
     segments_.push_back(std::move(segment));
+    if (metrics_.segments != nullptr) metrics_.segments->Add(1);
+    if (metrics_.persisted_segments != nullptr) {
+      metrics_.persisted_segments->Add(1);
+    }
     for (core::MobilitySemanticsSequence& seq : sequences) {
       AddToLastSegmentLocked(std::move(seq));
     }
@@ -221,6 +237,7 @@ Result<TripStore::SequenceId> TripStore::AppendLocked(
     Segment segment;
     segment.base = static_cast<SequenceId>(sequence_count_);
     segments_.push_back(std::move(segment));
+    if (metrics_.segments != nullptr) metrics_.segments->Add(1);
   }
   SequenceId id = static_cast<SequenceId>(sequence_count_);
   AddToLastSegmentLocked(std::move(seq));
@@ -271,8 +288,19 @@ Result<TripStore::SequenceId> TripStore::Append(
                                      seq.device_id);
     }
   }
+  obs::StageTimer append_timer(metrics_.append_ns);
+  size_t triplets = seq.semantics.size();
   std::unique_lock lock(mu_);
-  return AppendLocked(std::move(seq));
+  Result<SequenceId> id = AppendLocked(std::move(seq));
+  if (id.ok()) {
+    if (metrics_.appended_sequences != nullptr) {
+      metrics_.appended_sequences->Add(1);
+    }
+    if (metrics_.appended_triplets != nullptr) {
+      metrics_.appended_triplets->Add(triplets);
+    }
+  }
+  return id;
 }
 
 Status TripStore::AppendResponse(const core::TranslationResponse& response) {
@@ -326,6 +354,12 @@ Status TripStore::PersistSegmentLocked(size_t segment_index) {
   }
   ++next_file_index_;
   segment.persisted = true;
+  if (metrics_.persisted_segments != nullptr) {
+    metrics_.persisted_segments->Add(1);
+  }
+  if (metrics_.persisted_bytes != nullptr) {
+    metrics_.persisted_bytes->Add(blob.size());
+  }
   return Status::OK();
 }
 
@@ -384,6 +418,8 @@ const core::MobilitySemanticsSequence& TripStore::SequenceLocked(
 
 core::MobilitySemanticsSequence TripStore::DeviceHistory(
     const std::string& device) const {
+  obs::StageTimer query_timer(metrics_.query_ns);
+  if (metrics_.queries != nullptr) metrics_.queries->Add(1);
   std::shared_lock lock(mu_);
   core::MobilitySemanticsSequence history;
   history.device_id = device;
@@ -401,6 +437,8 @@ core::MobilitySemanticsSequence TripStore::DeviceHistory(
 std::vector<RegionVisit> TripStore::RegionVisitors(dsm::RegionId region,
                                                    TimestampMs t0,
                                                    TimestampMs t1) const {
+  obs::StageTimer query_timer(metrics_.query_ns);
+  if (metrics_.queries != nullptr) metrics_.queries->Add(1);
   std::shared_lock lock(mu_);
   TimeRange window{t0, t1};
   std::vector<RegionVisit> visits;
@@ -433,6 +471,8 @@ std::vector<RegionVisit> TripStore::RegionVisitors(dsm::RegionId region,
 }
 
 size_t TripStore::FlowBetween(dsm::RegionId from, dsm::RegionId to) const {
+  obs::StageTimer query_timer(metrics_.query_ns);
+  if (metrics_.queries != nullptr) metrics_.queries->Add(1);
   std::shared_lock lock(mu_);
   if (from < 0 || from >= kDenseFlowLimit || to < 0 || to >= kDenseFlowLimit) {
     auto it = flow_overflow_.find({from, to});
@@ -446,6 +486,8 @@ size_t TripStore::FlowBetween(dsm::RegionId from, dsm::RegionId to) const {
 
 std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> TripStore::FlowMatrix()
     const {
+  obs::StageTimer query_timer(metrics_.query_ns);
+  if (metrics_.queries != nullptr) metrics_.queries->Add(1);
   std::shared_lock lock(mu_);
   // The public shape stays the nested map; only observed transitions appear,
   // exactly as the former map-of-maps accumulated them.
@@ -466,6 +508,8 @@ std::map<dsm::RegionId, std::map<dsm::RegionId, size_t>> TripStore::FlowMatrix()
 
 std::vector<core::MobilitySemanticsSequence> TripStore::SequencesInRange(
     TimestampMs t0, TimestampMs t1) const {
+  obs::StageTimer query_timer(metrics_.query_ns);
+  if (metrics_.queries != nullptr) metrics_.queries->Add(1);
   std::shared_lock lock(mu_);
   TimeRange window{t0, t1};
   std::vector<std::vector<core::MobilitySemanticsSequence>> partial(
@@ -505,6 +549,8 @@ void TripStore::ForEachSequence(
 }
 
 core::MobilityAnalytics TripStore::BuildAnalytics(const dsm::Dsm* dsm) const {
+  obs::StageTimer query_timer(metrics_.query_ns);
+  if (metrics_.queries != nullptr) metrics_.queries->Add(1);
   std::shared_lock lock(mu_);
   std::vector<core::MobilityAnalytics> partial(segments_.size(),
                                                core::MobilityAnalytics(dsm));

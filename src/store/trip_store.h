@@ -37,6 +37,7 @@
 
 #include "core/analytics.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace trips::store {
@@ -51,6 +52,10 @@ struct StoreOptions {
   /// Worker threads for segment-parallel scans and Open-time decoding
   /// (0 = everything on the calling thread).
   size_t worker_threads = 0;
+  /// Metrics registry the store records into (append/query latency, segment
+  /// and byte counts — all under the "store." prefix). Null: no recording.
+  /// Stores sharing a registry aggregate into the same metrics.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// One triplet of one device matching a RegionVisitors query.
@@ -201,6 +206,18 @@ class TripStore {
     void CollectInto(dsm::RegionId region, std::vector<RegionPosting>* out) const;
   };
 
+  /// Resolved "store." metric pointers (all null when options.metrics is).
+  struct StoreMetrics {
+    obs::Histogram* append_ns = nullptr;   ///< Append call wall time
+    obs::Counter* appended_sequences = nullptr;
+    obs::Counter* appended_triplets = nullptr;
+    obs::Histogram* query_ns = nullptr;    ///< any public query's wall time
+    obs::Counter* queries = nullptr;
+    obs::Gauge* segments = nullptr;        ///< segments held (incl. active)
+    obs::Gauge* persisted_segments = nullptr;
+    obs::Counter* persisted_bytes = nullptr;  ///< encoded blob bytes written
+  };
+
   explicit TripStore(StoreOptions options);
 
   Status LoadDirectoryLocked();
@@ -212,6 +229,7 @@ class TripStore {
   void BumpFlowLocked(dsm::RegionId from, dsm::RegionId to);
 
   StoreOptions options_;
+  StoreMetrics metrics_;  // resolved once at construction
   mutable util::ThreadPool pool_;
   mutable std::shared_mutex mu_;
   std::vector<Segment> segments_;

@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -31,7 +31,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Sub(1);
+    if (task.enqueue_ns != 0 && metrics_.task_wait_ns != nullptr) {
+      metrics_.task_wait_ns->Record(obs::NowNanos() - task.enqueue_ns);
+    }
+    {
+      obs::StageTimer run_timer(metrics_.task_run_ns);
+      task.fn();
+    }
+    if (metrics_.tasks_run != nullptr) metrics_.tasks_run->Add(1);
   }
 }
 
@@ -66,9 +74,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // One helper task per worker (bounded by n); the caller drains too, so
   // progress is guaranteed even when every worker is busy elsewhere.
   size_t helpers = std::min(threads_.size(), n - 1);
+  uint64_t enqueue_ns =
+      (metrics_.task_wait_ns != nullptr && metrics_.task_wait_ns->recording())
+          ? obs::NowNanos()
+          : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < helpers; ++i) queue_.emplace_back(drain);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.push_back(Task{drain, enqueue_ns});
+    }
+    // Inside the lock so the gauge can never go transiently negative (a
+    // worker cannot dequeue-and-Sub before this Add).
+    if (metrics_.queue_depth != nullptr) {
+      metrics_.queue_depth->Add(static_cast<int64_t>(helpers));
+    }
   }
   for (size_t i = 0; i < helpers; ++i) work_cv_.notify_one();
 

@@ -14,7 +14,25 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace trips::util {
+
+/// Observability hooks of a ThreadPool. Every pointer may be null (that
+/// metric is simply not recorded); the pointed-to metrics must outlive the
+/// pool. Wired by core::Service / cluster::Cluster from their registries.
+struct PoolMetrics {
+  /// Helper tasks currently waiting in the shared FIFO queue.
+  obs::Gauge* queue_depth = nullptr;
+  /// Enqueue -> dequeue wall time of each helper task (how long work sat in
+  /// the queue before a worker picked it up — the saturation signal).
+  obs::Histogram* task_wait_ns = nullptr;
+  /// Execution wall time of each helper task (one task drains many
+  /// ParallelFor items, so this is per drain, not per item).
+  obs::Histogram* task_run_ns = nullptr;
+  /// Helper tasks executed by pool workers.
+  obs::Counter* tasks_run = nullptr;
+};
 
 /// Fixed pool of worker threads with a shared FIFO task queue. All public
 /// methods are thread-safe; ParallelFor may be called concurrently from many
@@ -32,19 +50,33 @@ class ThreadPool {
   /// Number of pool worker threads (excluding callers that join in).
   size_t worker_count() const { return threads_.size(); }
 
+  /// Installs the observability hooks. Call once, before the pool is shared
+  /// with other threads (not synchronized against in-flight ParallelFor).
+  /// The caller-drain path of ParallelFor is not queued and therefore not
+  /// measured; only helper tasks executed by pool workers are.
+  void SetMetrics(const PoolMetrics& metrics) { metrics_ = metrics; }
+
   /// Runs fn(i) once for every i in [0, n), spread over the pool workers and
   /// the calling thread, and returns when all n calls finished. `fn` must be
   /// safe to invoke concurrently with distinct arguments.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  /// One queued helper task plus its enqueue stamp (0 when wait timing is
+  /// off, so the fast path never reads the clock).
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> threads_;
+  PoolMetrics metrics_;
 };
 
 }  // namespace trips::util
