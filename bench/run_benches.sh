@@ -5,8 +5,11 @@
 #                         memoized routing, batch distances, venue scaling)
 #   BENCH_service.json  — end-to-end Service translation throughput
 #   BENCH_cleaning.json — columnar cleaning: SoA RecordBlock + scratch reuse
-#                         vs the AoS reference, parallel passes at 1-8
-#                         threads, combined SnapIfOutside vs the two-call pair
+#                         vs the AoS reference with the vectorized kernels on
+#                         and off, the snap-heavy high-noise configuration,
+#                         parallel passes at 1-8 threads, combined
+#                         SnapIfOutside vs the two-call pair, and the batched
+#                         vs per-record snap (with snap-probe counters)
 #   BENCH_routing.json  — CH-lite contracted portal graph vs the flat clique
 #                         reference (FindRoute cached/uncached, batch
 #                         distances, planner build) at 1x/4x/16x venue scale

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <span>
+#include <string_view>
 
 namespace trips::cleaning {
 
@@ -14,6 +17,26 @@ namespace {
 // Pass-4 records per parallel work item: coarse enough that the fork/join
 // bookkeeping stays negligible next to the per-record walkability query.
 constexpr size_t kSnapChunk = 1024;
+
+// Majority floor of the (up to) three records following i; falls back to
+// record i's own floor when no successors exist. Shared by both scan-pass
+// forms so floor correction ties break identically.
+geo::FloorId LocalFloorConsensus(const std::vector<geo::FloorId>& floors,
+                                 size_t n, size_t i) {
+  std::map<geo::FloorId, int> votes;
+  for (size_t j = i + 1; j < std::min(n, i + 4); ++j) {
+    ++votes[floors[j]];
+  }
+  geo::FloorId best = floors[i];
+  int best_votes = 0;
+  for (const auto& [floor, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best = floor;
+    }
+  }
+  return best;
+}
 }  // namespace
 
 RawDataCleaner::RawDataCleaner(const dsm::Dsm* dsm, const dsm::RoutePlanner* planner,
@@ -37,6 +60,13 @@ RawDataCleaner::RawDataCleaner(const dsm::Dsm* dsm, const dsm::RoutePlanner* pla
       c.padded.max.y += pad;
     }
     connectors_.push_back(c);
+  }
+  // Runtime kill switch for the vectorized kernels (parity triage, scalar
+  // baselines) — same idiom as TRIPS_OBS_DISABLED.
+  const char* no_vector = std::getenv("TRIPS_CLEAN_NO_VECTOR");
+  if (no_vector != nullptr && *no_vector != '\0' &&
+      std::string_view(no_vector) != "0") {
+    options_.vectorize = false;
   }
 }
 
@@ -121,29 +151,29 @@ void RawDataCleaner::ForItems(util::ThreadPool* pool, size_t record_count,
 // vertical connector AND the new floor is corroborated by the next few
 // records; otherwise floor value correction adopts the anchor floor when
 // the local consensus supports it, and remaining violators lose their
-// validity bit for interpolation. Inherently sequential (each decision
-// depends on the last accepted anchor), so this pass always runs serial.
-void RawDataCleaner::ScanPass(RecordBlock* block, CleaningReport* rep) const {
+// validity bit for interpolation. The anchor walk is inherently sequential
+// (each decision depends on the last accepted anchor), so this pass always
+// runs serial — what the vectorized form changes is that the per-pair
+// geometry and the connector probes are precomputed as columns the walk then
+// consumes.
+void RawDataCleaner::ScanPass(RecordBlock* block, CleanerScratch* scratch,
+                              CleaningReport* rep) const {
+  if (options_.vectorize) {
+    ScanPassVector(block, scratch, rep);
+  } else {
+    ScanPassScalar(block, rep);
+  }
+}
+
+// The original per-record scan, retained as the vectorize=false baseline.
+void RawDataCleaner::ScanPassScalar(RecordBlock* block,
+                                    CleaningReport* rep) const {
   const size_t n = block->Size();
   const std::vector<TimestampMs>& ts = block->timestamps;
   std::vector<geo::FloorId>& floors = block->floors;
 
-  // Majority floor of the (up to) three records following i; falls back to
-  // record i's own floor when no successors exist.
   auto local_floor_consensus = [&](size_t i) {
-    std::map<geo::FloorId, int> votes;
-    for (size_t j = i + 1; j < std::min(n, i + 4); ++j) {
-      ++votes[floors[j]];
-    }
-    geo::FloorId best = floors[i];
-    int best_votes = 0;
-    for (const auto& [floor, v] : votes) {
-      if (v > best_votes) {
-        best_votes = v;
-        best = floor;
-      }
-    }
-    return best;
+    return LocalFloorConsensus(floors, n, i);
   };
 
   // Seed the anchor at the first record that is speed-consistent with its
@@ -185,6 +215,141 @@ void RawDataCleaner::ScanPass(RecordBlock* block, CleaningReport* rep) const {
     geo::FloorId consensus = local_floor_consensus(i);
     bool at_connector =
         NearVerticalConnector(prev_xy) && NearVerticalConnector(cur_xy);
+    if (at_connector && planar_ok && floors[i] == consensus) {
+      last_ok = i;  // legitimate, corroborated transition
+      continue;
+    }
+    ++rep->speed_violations;
+    if (planar_ok && consensus == floors[last_ok]) {
+      // The anchor and upcoming records agree: this record's floor is wrong.
+      floors[i] = floors[last_ok];
+      ++rep->floor_corrected;
+      last_ok = i;
+    } else if (planar_ok && floors[i] == consensus) {
+      // Upcoming records side with this record: the anchor's floor was the
+      // odd one out; accept and resume from here.
+      last_ok = i;
+    } else {
+      block->SetValid(i, false);
+    }
+  }
+}
+
+// Mask-column form of pass 1. The per-pair planar geometry (dx/dy/dt/speed vs
+// max_walking_speed) is evaluated branch-free over the contiguous x/y/
+// timestamp columns — the loops the CI vectorization report gates on — and
+// the connector-footprint probes are hoisted into a pre-pass over the
+// floor-change candidates. The anchor walk then consumes the precomputed
+// masks: a pair mask answers the (overwhelmingly common) anchor==i-1 case,
+// and only a re-check against an older anchor recomputes geometry, with the
+// exact scalar expression. Kernel caveats that shaped the code: doubles are
+// the only mask element type the baseline x86-64 auto-vectorizer handles for
+// double compares (byte stores fall back to scalar), and int64->double has no
+// packed conversion, so the dt column is filled by its own scalar sweep.
+void RawDataCleaner::ScanPassVector(RecordBlock* block, CleanerScratch* scratch,
+                                    CleaningReport* rep) const {
+  const size_t n = block->Size();
+  const std::vector<TimestampMs>& ts = block->timestamps;
+  std::vector<geo::FloorId>& floors = block->floors;
+  const size_t pairs = n - 1;  // CleanBlock guarantees n >= 2
+
+  scratch->adj_dt_ms.resize(pairs);
+  scratch->adj_speed_ok.resize(pairs);
+  scratch->adj_floor_diff.resize(pairs);
+  double* dt_ms = scratch->adj_dt_ms.data();
+  double* speed_ok = scratch->adj_speed_ok.data();
+  uint8_t* floor_diff = scratch->adj_floor_diff.data();
+  const double* xs = block->xs.data();
+  const double* ys = block->ys.data();
+  const TimestampMs* tsd = ts.data();
+  const geo::FloorId* fl = floors.data();
+  const double max_speed = options_.max_walking_speed;
+
+  for (size_t i = 0; i < pairs; ++i) {
+    dt_ms[i] = static_cast<double>(tsd[i + 1] - tsd[i]);
+  }
+  // Co-timestamped pairs compare a zero speed against the limit in the
+  // scalar pass (not an unconditional accept) — that compare is loop-
+  // invariant, so it hoists and the kernel below is selects over computed
+  // doubles, which is what the if-converter handles.
+  const double zero_ok = 0.0 <= max_speed ? 1.0 : 0.0;
+  // VEC-KERNEL speed-mask (gated by tools/check_vectorization.sh)
+  for (size_t i = 0; i < pairs; ++i) {
+    double dx = xs[i] - xs[i + 1];
+    double dy = ys[i] - ys[i + 1];
+    double speed = std::sqrt(dx * dx + dy * dy) / (dt_ms[i] / 1000.0);
+    double pos_ok = speed <= max_speed ? 1.0 : 0.0;
+    speed_ok[i] = dt_ms[i] <= 0.0 ? zero_ok : pos_ok;
+  }
+  // VEC-KERNEL floor-mask (gated by tools/check_vectorization.sh)
+  for (size_t i = 0; i < pairs; ++i) {
+    floor_diff[i] = fl[i] != fl[i + 1];
+  }
+
+  // Connector pre-pass: probe the endpoints of every floor-change pair once.
+  // NearVerticalConnector depends only on xy, which pass 1 never mutates, so
+  // the memo stays valid while the anchor walk corrects floors[].
+  scratch->connector_near.assign(n, 0);
+  uint8_t* conn = scratch->connector_near.data();
+  for (size_t i = 0; i < pairs; ++i) {
+    if (!floor_diff[i]) continue;
+    if (conn[i] == 0) {
+      conn[i] = NearVerticalConnector({xs[i], ys[i]}) ? 2 : 1;
+    }
+    if (conn[i + 1] == 0) {
+      conn[i + 1] = NearVerticalConnector({xs[i + 1], ys[i + 1]}) ? 2 : 1;
+    }
+  }
+  // Lazy fill for anchors the pre-pass missed (a floor change checked against
+  // an anchor farther back than i-1).
+  auto near_connector = [&](size_t i) {
+    if (conn[i] == 0) conn[i] = NearVerticalConnector(block->XY(i)) ? 2 : 1;
+    return conn[i] == 2;
+  };
+  // Planar speed constraint of record i against an arbitrary anchor: the
+  // precomputed mask answers the adjacent case; the general case recomputes
+  // the scalar expression verbatim.
+  auto planar_ok_from = [&](size_t anchor, size_t i) {
+    if (anchor + 1 == i) return speed_ok[anchor] != 0.0;
+    DurationMs dt = ts[i] - ts[anchor];
+    double planar_speed = dt > 0 ? block->XY(anchor).DistanceTo(block->XY(i)) /
+                                       (static_cast<double>(dt) / 1000.0)
+                                 : 0;
+    return planar_speed <= max_speed;
+  };
+
+  // Anchor seeding, as in the scalar pass (ViolatesSpeed already runs the
+  // hoisted connector list; at most 8 records are involved).
+  size_t first_anchor = 0;
+  for (size_t s = 0; s + 1 < n && s < 8; ++s) {
+    if (!ViolatesSpeed(block->Location(s), block->Location(s + 1),
+                       ts[s + 1] - ts[s])) {
+      first_anchor = s;
+      break;
+    }
+    first_anchor = s + 1;
+  }
+  for (size_t i = 0; i < first_anchor; ++i) {
+    block->SetValid(i, false);
+    ++rep->speed_violations;
+  }
+  size_t last_ok = first_anchor;
+  for (size_t i = first_anchor + 1; i < n; ++i) {
+    bool planar_ok = planar_ok_from(last_ok, i);
+
+    if (floors[i] == floors[last_ok]) {
+      if (planar_ok) {
+        last_ok = i;
+      } else {
+        ++rep->speed_violations;
+        block->SetValid(i, false);
+      }
+      continue;
+    }
+
+    // Floor change against the anchor.
+    geo::FloorId consensus = LocalFloorConsensus(floors, n, i);
+    bool at_connector = near_connector(last_ok) && near_connector(i);
     if (at_connector && planar_ok && floors[i] == consensus) {
       last_ok = i;  // legitimate, corroborated transition
       continue;
@@ -309,8 +474,16 @@ void RawDataCleaner::InterpolatePass(RecordBlock* block, CleanerScratch* scratch
 }
 
 // Pass 3: optional planar smoothing (centred moving average per floor run).
-// Columnar but serial: the window is a handful of records, so the pass is
-// memory-bound on the xy columns it streams anyway.
+// Columnar and serial. The vectorized form finds the maximal same-floor runs
+// and, for every record whose whole window fits inside its run (count is then
+// exactly the window width — no floor filtering, no edge clipping), computes
+// the averages as `window` shifted-column accumulation sweeps plus one divide
+// sweep. Each sweep adds the same values in the same ascending-j per-element
+// order as the scalar window loop, starting from the same 0.0 accumulator, so
+// the result is byte-identical — unlike a prefix-sum formulation, whose
+// subtraction re-associates the adds and drifts in the last ulp. Run
+// boundaries (clipped or floor-mixed windows) fall back to the scalar
+// per-record window.
 void RawDataCleaner::SmoothPass(RecordBlock* block, CleanerScratch* scratch,
                                 CleaningReport* rep) const {
   if (options_.smoothing_window <= 1) return;
@@ -318,7 +491,8 @@ void RawDataCleaner::SmoothPass(RecordBlock* block, CleanerScratch* scratch,
   scratch->smooth_x.resize(n);
   scratch->smooth_y.resize(n);
   size_t half = options_.smoothing_window / 2;
-  for (size_t k = 0; k < n; ++k) {
+
+  auto smooth_one = [&](size_t k) {
     size_t lo = k >= half ? k - half : 0;
     size_t hi = std::min(n - 1, k + half);
     geo::Point2 sum;
@@ -332,39 +506,108 @@ void RawDataCleaner::SmoothPass(RecordBlock* block, CleanerScratch* scratch,
     scratch->smooth_x[k] = smoothed.x;
     scratch->smooth_y[k] = smoothed.y;
     if (count > 1) ++rep->smoothed;
+  };
+
+  if (!options_.vectorize) {
+    for (size_t k = 0; k < n; ++k) smooth_one(k);
+  } else {
+    const geo::FloorId* fl = block->floors.data();
+    const double* xs = block->xs.data();
+    const double* ys = block->ys.data();
+    double* sx = scratch->smooth_x.data();
+    double* sy = scratch->smooth_y.data();
+    const size_t w = 2 * half + 1;
+    const double divisor = static_cast<double>(static_cast<int>(w));
+
+    size_t run_begin = 0;
+    while (run_begin < n) {
+      size_t run_end = run_begin;
+      while (run_end + 1 < n && fl[run_end + 1] == fl[run_begin]) ++run_end;
+      size_t run_len = run_end - run_begin + 1;
+      if (run_len >= w) {
+        size_t lo = run_begin + half;  // first fully-interior window centre
+        size_t hi = run_end - half;    // last one
+        for (size_t k = run_begin; k < lo; ++k) smooth_one(k);
+        size_t m = hi - lo + 1;
+        for (size_t t = 0; t < m; ++t) {
+          sx[lo + t] = 0.0;
+          sy[lo + t] = 0.0;
+        }
+        for (size_t off = 0; off < w; ++off) {
+          const double* px = xs + (lo - half + off);
+          const double* py = ys + (lo - half + off);
+          double* ax = sx + lo;
+          double* ay = sy + lo;
+          // VEC-KERNEL smooth-sweep (gated by tools/check_vectorization.sh)
+          for (size_t t = 0; t < m; ++t) ax[t] += px[t];
+          for (size_t t = 0; t < m; ++t) ay[t] += py[t];
+        }
+        for (size_t t = 0; t < m; ++t) {
+          sx[lo + t] /= divisor;
+          sy[lo + t] /= divisor;
+        }
+        rep->smoothed += m;  // interior windows always average w > 1 records
+        for (size_t k = hi + 1; k <= run_end; ++k) smooth_one(k);
+      } else {
+        for (size_t k = run_begin; k <= run_end; ++k) smooth_one(k);
+      }
+      run_begin = run_end + 1;
+    }
   }
   std::copy(scratch->smooth_x.begin(), scratch->smooth_x.end(), block->xs.begin());
   std::copy(scratch->smooth_y.begin(), scratch->smooth_y.end(), block->ys.begin());
 }
 
 // Pass 4: snap anything left outside walkable space back in. Per-record
-// independent, so the records fan out in fixed chunks; the combined
-// SnapIfOutside query resolves walkability and the snap with one grid lookup
-// instead of the IsWalkable + SnapToWalkable pair.
+// independent, so the records fan out in fixed chunks. The vectorized form
+// gathers each chunk's locations into contiguous staging and issues one
+// Dsm::SnapIfOutsideBatch per chunk — the batch mask-tests walkability over
+// the whole chunk and cell-sorts the outside points so the ring searches walk
+// the edge buckets cache-coherently; per-point results are identical to the
+// per-record SnapIfOutside loop the scalar form runs.
 void RawDataCleaner::SnapPass(RecordBlock* block, CleanerScratch* scratch,
                               CleaningReport* rep, util::ThreadPool* pool) const {
   if (!options_.snap_to_walkable) return;
   const size_t n = block->Size();
   scratch->snap_flags.assign(n, 0);
   size_t chunks = (n + kSnapChunk - 1) / kSnapChunk;
-  ForItems(pool, n, chunks, [&](size_t c) {
-    size_t begin = c * kSnapChunk;
-    size_t end = std::min(n, begin + kSnapChunk);
-    for (size_t k = begin; k < end; ++k) {
-      bool snapped = false;
-      geo::IndoorPoint q = dsm_->SnapIfOutside(block->Location(k), &snapped);
-      if (snapped) {
-        block->SetLocation(k, q);
-        scratch->snap_flags[k] = 1;
+  if (options_.vectorize) {
+    scratch->snap_points.resize(n);
+    scratch->snap_results.resize(n);
+    geo::IndoorPoint* pts = scratch->snap_points.data();
+    geo::IndoorPoint* res = scratch->snap_results.data();
+    uint8_t* flags = scratch->snap_flags.data();
+    ForItems(pool, n, chunks, [&](size_t c) {
+      size_t begin = c * kSnapChunk;
+      size_t end = std::min(n, begin + kSnapChunk);
+      size_t len = end - begin;
+      block->GatherLocations(begin, end, pts + begin);
+      dsm_->SnapIfOutsideBatch({pts + begin, len}, {res + begin, len},
+                               {flags + begin, len});
+      for (size_t k = begin; k < end; ++k) {
+        if (flags[k]) block->SetLocation(k, res[k]);
       }
-    }
-  });
+    });
+  } else {
+    ForItems(pool, n, chunks, [&](size_t c) {
+      size_t begin = c * kSnapChunk;
+      size_t end = std::min(n, begin + kSnapChunk);
+      for (size_t k = begin; k < end; ++k) {
+        bool snapped = false;
+        geo::IndoorPoint q = dsm_->SnapIfOutside(block->Location(k), &snapped);
+        if (snapped) {
+          block->SetLocation(k, q);
+          scratch->snap_flags[k] = 1;
+        }
+      }
+    });
+  }
   for (size_t k = 0; k < n; ++k) rep->snapped += scratch->snap_flags[k];
 }
 
 void RawDataCleaner::CleanBlock(RecordBlock* block, CleanerScratch* scratch,
-                                CleaningReport* report,
-                                util::ThreadPool* pool) const {
+                                CleaningReport* report, util::ThreadPool* pool,
+                                const CleaningStageMetrics* stages) const {
   CleaningReport local;
   CleaningReport* rep = report != nullptr ? report : &local;
   *rep = CleaningReport{};
@@ -377,10 +620,22 @@ void RawDataCleaner::CleanBlock(RecordBlock* block, CleanerScratch* scratch,
   static thread_local CleanerScratch tls_scratch;
   CleanerScratch* s = scratch != nullptr ? scratch : &tls_scratch;
 
-  ScanPass(block, rep);
-  InterpolatePass(block, s, rep, pool);
-  SmoothPass(block, s, rep);
-  SnapPass(block, s, rep, pool);
+  {
+    obs::StageTimer timer(stages != nullptr ? stages->scan_ns : nullptr);
+    ScanPass(block, s, rep);
+  }
+  {
+    obs::StageTimer timer(stages != nullptr ? stages->interpolate_ns : nullptr);
+    InterpolatePass(block, s, rep, pool);
+  }
+  {
+    obs::StageTimer timer(stages != nullptr ? stages->smooth_ns : nullptr);
+    SmoothPass(block, s, rep);
+  }
+  {
+    obs::StageTimer timer(stages != nullptr ? stages->snap_ns : nullptr);
+    SnapPass(block, s, rep, pool);
+  }
 }
 
 PositioningSequence RawDataCleaner::Clean(const PositioningSequence& raw,

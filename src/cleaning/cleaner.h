@@ -13,17 +13,25 @@
 // anchor scan, (2) DSM-guided interpolation of the invalid runs, (3) optional
 // planar smoothing, (4) snap-back into walkable space. Passes 2 and 4 operate
 // on disjoint records, so for long sequences they fan out over an optional
-// util::ThreadPool with bit-identical, worker-count-independent results. The
-// AoS Clean(PositioningSequence) entry point is a shim that delegates through
-// a per-thread block; CleanReference retains the original AoS implementation
-// for parity tests and before/after benchmarks.
+// util::ThreadPool with bit-identical, worker-count-independent results. With
+// CleanerOptions::vectorize (the default) passes 1, 3 and 4 run through
+// SIMD-friendly kernels — branch-free mask columns, per-run window sweeps and
+// the cell-sorted batched snap — that evaluate the same arithmetic in the
+// same per-element order as the scalar loops, so their output stays
+// byte-identical (tests/cleaning_vector_test.cc enforces this; ci.yml checks
+// the kernels actually vectorize). The AoS Clean(PositioningSequence) entry
+// point is a shim that delegates through a per-thread block; CleanReference
+// retains the original AoS implementation for parity tests and before/after
+// benchmarks.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dsm/dsm.h"
 #include "dsm/routing.h"
+#include "obs/metrics.h"
 #include "positioning/record.h"
 #include "positioning/record_block.h"
 #include "util/result.h"
@@ -59,6 +67,27 @@ struct CleanerOptions {
   /// (interpolation) and 4 (snapping) in parallel when a thread pool is
   /// passed to Clean/CleanBlock; shorter sequences always clean serially.
   size_t parallel_min_records = 4096;
+  /// Run the passes through the vectorized kernels: pass 1's branch-free
+  /// speed/floor mask columns with the connector probes hoisted into a
+  /// pre-pass, pass 3's per-floor-run shifted-column window sweeps, and pass
+  /// 4's cell-sorted Dsm::SnapIfOutsideBatch. Byte-identical to the scalar
+  /// per-record path (the kernels evaluate the same arithmetic in the same
+  /// per-element order) — the toggle exists for the parity suites and the
+  /// before/after benchmarks. The TRIPS_CLEAN_NO_VECTOR environment variable
+  /// (any value except "" / "0") forces it off at cleaner construction.
+  bool vectorize = true;
+};
+
+/// Per-pass observability of CleanBlock (clean.scan_ns / clean.interpolate_ns
+/// / clean.smooth_ns / clean.snap_ns in the /statsz export). Every pointer may
+/// be null — that pass is simply not recorded — mirroring
+/// core::TranslationStageMetrics, which embeds one of these resolved from the
+/// service registry. Recording never changes cleaning output.
+struct CleaningStageMetrics {
+  obs::Histogram* scan_ns = nullptr;
+  obs::Histogram* interpolate_ns = nullptr;
+  obs::Histogram* smooth_ns = nullptr;
+  obs::Histogram* snap_ns = nullptr;
 };
 
 /// Counters describing what the cleaner did to one sequence.
@@ -87,6 +116,21 @@ struct CleanerScratch {
   /// Pass-3 smoothing output columns.
   std::vector<double> smooth_x;
   std::vector<double> smooth_y;
+  // ---- vectorized-kernel columns (options.vectorize; one slot per adjacent
+  // record pair unless noted) ----
+  /// Pair timestamp deltas, milliseconds as doubles.
+  std::vector<double> adj_dt_ms;
+  /// 1.0 where pair (i, i+1) satisfies the planar speed constraint, else 0.0
+  /// (a double column because double-compare -> double-select is what the
+  /// baseline x86-64 auto-vectorizer handles; byte masks fall back to scalar).
+  std::vector<double> adj_speed_ok;
+  /// 1 where the pair changes floor — pass 1's connector pre-pass candidates.
+  std::vector<uint8_t> adj_floor_diff;
+  /// Per-record memoized connector probes: 0 unknown, 1 clear, 2 near.
+  std::vector<uint8_t> connector_near;
+  /// Pass-4 batched snap staging (per record).
+  std::vector<geo::IndoorPoint> snap_points;
+  std::vector<geo::IndoorPoint> snap_results;
 };
 
 /// Cleans raw positioning sequences against a DSM.
@@ -102,10 +146,12 @@ class RawDataCleaner {
   /// may be null (per-thread arena used); `report` may be null. `pool` (may be
   /// null) parallelizes passes 2 and 4 for sequences of at least
   /// options().parallel_min_records records; the cleaned columns are
-  /// bit-identical for every worker count.
+  /// bit-identical for every worker count. `stages` (may be null) receives
+  /// per-pass wall times.
   void CleanBlock(positioning::RecordBlock* block, CleanerScratch* scratch,
                   CleaningReport* report = nullptr,
-                  util::ThreadPool* pool = nullptr) const;
+                  util::ThreadPool* pool = nullptr,
+                  const CleaningStageMetrics* stages = nullptr) const;
 
   /// Returns the cleaned copy of `raw` (same record count and timestamps;
   /// locations repaired). `report` may be null. AoS shim over CleanBlock; the
@@ -153,15 +199,25 @@ class RawDataCleaner {
                               DurationMs dt_ms) const;
 
   // Pass 1: sequential speed-constraint anchor scan with floor correction;
-  // clears validity bits of the violators left for interpolation.
-  void ScanPass(positioning::RecordBlock* block, CleaningReport* report) const;
+  // clears validity bits of the violators left for interpolation. Dispatches
+  // on options().vectorize between the original per-record scan and the
+  // mask-column form (precomputed pair masks + hoisted connector probes).
+  void ScanPass(positioning::RecordBlock* block, CleanerScratch* scratch,
+                CleaningReport* report) const;
+  void ScanPassScalar(positioning::RecordBlock* block,
+                      CleaningReport* report) const;
+  void ScanPassVector(positioning::RecordBlock* block, CleanerScratch* scratch,
+                      CleaningReport* report) const;
   // Pass 2: DSM-guided interpolation of the invalid runs (parallel over runs).
   void InterpolatePass(positioning::RecordBlock* block, CleanerScratch* scratch,
                        CleaningReport* report, util::ThreadPool* pool) const;
-  // Pass 3: centred per-floor moving average (columnar, serial).
+  // Pass 3: centred per-floor moving average (columnar, serial). The
+  // vectorized form sweeps shifted columns over each floor run's interior
+  // (same adds in the same per-element order as the scalar window loop).
   void SmoothPass(positioning::RecordBlock* block, CleanerScratch* scratch,
                   CleaningReport* report) const;
-  // Pass 4: snap records outside walkable space (parallel over chunks).
+  // Pass 4: snap records outside walkable space (parallel over chunks; the
+  // vectorized form feeds each chunk through Dsm::SnapIfOutsideBatch).
   void SnapPass(positioning::RecordBlock* block, CleanerScratch* scratch,
                 CleaningReport* report, util::ThreadPool* pool) const;
 

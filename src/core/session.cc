@@ -20,6 +20,12 @@ TranslationStageMetrics ResolveStageMetrics(obs::MetricsRegistry* registry) {
   stages.complement_ns = registry->histogram("translate.complement_ns");
   stages.sequences = registry->counter("translate.sequences");
   stages.records = registry->counter("translate.records");
+  // Per-pass breakdown inside the cleaning layer (/statsz shows where
+  // cleaning time goes: scan vs interpolate vs smooth vs snap).
+  stages.cleaning.scan_ns = registry->histogram("clean.scan_ns");
+  stages.cleaning.interpolate_ns = registry->histogram("clean.interpolate_ns");
+  stages.cleaning.smooth_ns = registry->histogram("clean.smooth_ns");
+  stages.cleaning.snap_ns = registry->histogram("clean.snap_ns");
   return stages;
 }
 

@@ -50,12 +50,16 @@ TranslationResult Translator::CleanAndAnnotate(
 
   if (options_.enable_cleaning) {
     obs::StageTimer clean_timer(stages != nullptr ? stages->clean_ns : nullptr);
+    const cleaning::CleaningStageMetrics* pass_stages =
+        stages != nullptr ? &stages->cleaning : nullptr;
     if (cleaner_.has_value()) {
-      cleaner_->CleanBlock(block, nullptr, &result.cleaning_report, pool);
+      cleaner_->CleanBlock(block, nullptr, &result.cleaning_report, pool,
+                           pass_stages);
     } else {
       // Uninitialized translator (no planner yet): clean without routes.
       cleaning::RawDataCleaner cleaner(dsm_, nullptr, options_.cleaner);
-      cleaner.CleanBlock(block, nullptr, &result.cleaning_report, pool);
+      cleaner.CleanBlock(block, nullptr, &result.cleaning_report, pool,
+                         pass_stages);
     }
     block->MaterializeTo(&result.cleaned);
   } else {

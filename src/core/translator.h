@@ -61,6 +61,10 @@ struct TranslationStageMetrics {
   obs::Histogram* complement_ns = nullptr;  ///< complementing layer, per sequence
   obs::Counter* sequences = nullptr;        ///< sequences clean+annotated
   obs::Counter* records = nullptr;          ///< raw records clean+annotated
+  /// Per-pass breakdown inside the cleaning layer (clean.scan_ns etc.),
+  /// forwarded into RawDataCleaner::CleanBlock; clean_ns is their sum plus
+  /// the block sort.
+  cleaning::CleaningStageMetrics cleaning;
 };
 
 /// Everything the Translator produced for one device — the material the

@@ -21,9 +21,12 @@
 //                   complement::Complementor). The hot path is columnar:
 //                   positioning::RecordBlock (SoA columns + validity bitmap)
 //                   flows from the stream buffers through cleaning (reusable
-//                   per-worker CleanerScratch, parallel passes on long
-//                   sequences) and annotation without AoS rematerialization;
-//                   the AoS entry points remain as byte-identical shims
+//                   per-worker CleanerScratch, SIMD mask/sweep kernels with a
+//                   CleanerOptions::vectorize scalar fallback, batched
+//                   snapping via Dsm::SnapIfOutsideBatch, parallel passes on
+//                   long sequences) and annotation without AoS
+//                   rematerialization; the AoS entry points remain as
+//                   byte-identical shims
 //   Store         — store::TripStore, the persistent, indexed semantic-
 //                   trajectory store between translation and analytics:
 //                   append-only binary segments (store/segment_codec.h),
@@ -50,7 +53,9 @@
 //                   Indoor routing runs on a contracted (CH-lite)
 //                   portal-to-portal shortcut graph with memoized Dijkstra
 //                   trees; the flat clique graph stays as the bit-identical
-//                   parity reference (dsm/routing.h)
+//                   parity reference (dsm/routing.h). Point queries run on
+//                   the grid spatial index, including the cell-sorted
+//                   SnapIfOutsideBatch the cleaner's vectorized pass 4 uses
 //
 // Persist + query quickstart:
 //

@@ -398,6 +398,20 @@ geo::IndoorPoint Dsm::SnapIfOutside(const geo::IndoorPoint& p, bool* snapped) co
   return SnapIfOutsideBruteForce(p, snapped);
 }
 
+void Dsm::SnapIfOutsideBatch(std::span<const geo::IndoorPoint> points,
+                             std::span<geo::IndoorPoint> out,
+                             std::span<uint8_t> snapped) const {
+  if (use_spatial_index_ && spatial_index_.built()) {
+    spatial_index_.SnapIfOutsideBatch(points, out, snapped);
+    return;
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool s = false;
+    out[i] = SnapIfOutsideBruteForce(points[i], &s);
+    snapped[i] = s ? 1 : 0;
+  }
+}
+
 geo::IndoorPoint Dsm::SnapIfOutsideBruteForce(const geo::IndoorPoint& p,
                                               bool* snapped) const {
   if (PartitionAtBruteForce(p) != kInvalidEntity) {

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,16 @@ class Dsm {
   /// snapped point — one point-location query instead of the two the pair
   /// costs. Bit-identical to calling IsWalkable then SnapToWalkable.
   geo::IndoorPoint SnapIfOutside(const geo::IndoorPoint& p, bool* snapped) const;
+
+  /// Batched SnapIfOutside: each (out[i], snapped[i], with snapped[i] in
+  /// {0,1}) is exactly the per-point call's result for points[i]. With the
+  /// index built this dispatches to SpatialIndex::SnapIfOutsideBatch, which
+  /// sorts the outside points by (floor, grid cell) so the ring searches are
+  /// cache-coherent; otherwise it loops the brute-force per-point query. All
+  /// spans must have equal length; `out` may alias `points`.
+  void SnapIfOutsideBatch(std::span<const geo::IndoorPoint> points,
+                          std::span<geo::IndoorPoint> out,
+                          std::span<uint8_t> snapped) const;
 
   /// Bounding box of everything on `floor`.
   geo::BoundingBox FloorBounds(geo::FloorId floor) const;

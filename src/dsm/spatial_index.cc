@@ -164,6 +164,47 @@ void SpatialIndex::Build(const std::vector<Entity>& entities,
           return box;
         });
 
+    // first_edge_ring: exact chessboard distance transform to the nearest
+    // non-empty edge-bucket cell (two-pass chamfer; the 8-neighbour unit mask
+    // is exact for the Chebyshev metric). Seeds the batched snap's ring
+    // searches past the rings that cannot contain a candidate.
+    {
+      constexpr int kFar = 0xFFFF;
+      std::vector<int> dist(cells, kFar);
+      for (size_t c = 0; c < cells; ++c) {
+        if (grid.edge_cells.offsets[c + 1] > grid.edge_cells.offsets[c]) {
+          dist[c] = 0;
+        }
+      }
+      auto relax = [&dist, &grid](int ix, int iy, int from_x, int from_y) {
+        if (from_x < 0 || from_x >= grid.nx || from_y < 0 || from_y >= grid.ny)
+          return;
+        int& d = dist[grid.CellIndex(ix, iy)];
+        d = std::min(d, dist[grid.CellIndex(from_x, from_y)] + 1);
+      };
+      for (int iy = 0; iy < grid.ny; ++iy) {
+        for (int ix = 0; ix < grid.nx; ++ix) {
+          relax(ix, iy, ix - 1, iy);
+          relax(ix, iy, ix - 1, iy - 1);
+          relax(ix, iy, ix, iy - 1);
+          relax(ix, iy, ix + 1, iy - 1);
+        }
+      }
+      for (int iy = grid.ny - 1; iy >= 0; --iy) {
+        for (int ix = grid.nx - 1; ix >= 0; --ix) {
+          relax(ix, iy, ix + 1, iy);
+          relax(ix, iy, ix + 1, iy + 1);
+          relax(ix, iy, ix, iy + 1);
+          relax(ix, iy, ix - 1, iy + 1);
+        }
+      }
+      grid.first_edge_ring.resize(cells);
+      for (size_t c = 0; c < cells; ++c) {
+        grid.first_edge_ring[c] =
+            static_cast<uint16_t>(std::min(dist[c], kFar));
+      }
+    }
+
     grids_.push_back(std::move(grid));
   }
 
@@ -256,6 +297,19 @@ geo::IndoorPoint SpatialIndex::SnapToWalkable(const geo::IndoorPoint& p) const {
   return SnapIfOutside(p, &snapped);
 }
 
+bool SpatialIndex::WalkableFirstHit(const FloorGrid& grid,
+                                    const geo::Point2& p) {
+  if (grid.partitions.empty()) return false;
+  int cell = grid.CellIndex(grid.CellX(p.x), grid.CellY(p.y));
+  uint32_t begin = grid.partition_cells.offsets[cell];
+  uint32_t end = grid.partition_cells.offsets[cell + 1];
+  for (uint32_t i = begin; i < end; ++i) {
+    const Shape& shape = grid.partitions[grid.partition_cells.items[i]];
+    if (shape.bounds.Contains(p) && shape.polygon.Contains(p)) return true;
+  }
+  return false;
+}
+
 geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
                                              bool* snapped) const {
   if (probes_ != nullptr) probes_->snap_probes.Add(1);
@@ -263,26 +317,22 @@ geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
 
   // Walkability is existence of a containing partition, so the probe stops at
   // the first hit — it never needs PartitionAt's full smallest-area scan.
-  bool walkable = false;
-  if (grid != nullptr && !grid->partitions.empty()) {
-    int cell = grid->CellIndex(grid->CellX(p.xy.x), grid->CellY(p.xy.y));
-    uint32_t begin = grid->partition_cells.offsets[cell];
-    uint32_t end = grid->partition_cells.offsets[cell + 1];
-    for (uint32_t i = begin; i < end; ++i) {
-      const Shape& shape = grid->partitions[grid->partition_cells.items[i]];
-      if (shape.bounds.Contains(p.xy) && shape.polygon.Contains(p.xy)) {
-        walkable = true;
-        break;
-      }
-    }
-  }
-  if (walkable) {
+  if (grid != nullptr && WalkableFirstHit(*grid, p.xy)) {
     *snapped = false;
     return p;
   }
   *snapped = true;
   if (probes_ != nullptr) probes_->snapped_outside.Add(1);
-  if (grid == nullptr || grid->edges.empty()) return p;
+  if (grid == nullptr) return p;
+  return SnapViaRings(*grid, p);
+}
+
+geo::IndoorPoint SpatialIndex::SnapViaRings(const FloorGrid& grid_ref,
+                                            const geo::IndoorPoint& p,
+                                            int start_ring,
+                                            bool batch_prune) const {
+  const FloorGrid* grid = &grid_ref;
+  if (grid->edges.empty()) return p;
 
   int cx = grid->CellX(p.xy.x);
   int cy = grid->CellY(p.xy.y);
@@ -291,6 +341,19 @@ geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
   int32_t best_rank = -1;
 
   auto consider_cell = [&](int ix, int iy) {
+    if (batch_prune && best_rank >= 0) {
+      // Skip cells strictly farther than the current best. Any edge bucketed
+      // here whose closest point lies elsewhere is also bucketed in the cell
+      // holding that closest point, and that cell's rectangle distance is at
+      // most the edge's — so it is never pruned before the edge is scored.
+      // Strict: a cell at exactly best_dist can hold an equal-distance edge
+      // with a lower tie-break rank and must still be scanned.
+      double cx0 = grid->origin.x + ix * grid->cell;
+      double cy0 = grid->origin.y + iy * grid->cell;
+      double dx = std::max({cx0 - p.xy.x, 0.0, p.xy.x - (cx0 + grid->cell)});
+      double dy = std::max({cy0 - p.xy.y, 0.0, p.xy.y - (cy0 + grid->cell)});
+      if (dx * dx + dy * dy > best_dist * best_dist) return;
+    }
     int cell = grid->CellIndex(ix, iy);
     uint32_t begin = grid->edge_cells.offsets[cell];
     uint32_t end = grid->edge_cells.offsets[cell + 1];
@@ -311,8 +374,11 @@ geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
   // Expanding ring search. After ring k every unvisited edge lies wholly
   // outside the ring's covered rectangle, so once the best distance is within
   // the point's margin to that rectangle no farther ring can improve it.
+  // Rings below start_ring are skipped outright: the caller guarantees they
+  // contain no edge-bucket cells, so their iterations would be no-ops (no
+  // candidates considered, early-exit unarmed while best_rank < 0).
   int ring_cap = std::max({cx, grid->nx - 1 - cx, cy, grid->ny - 1 - cy});
-  for (int k = 0; k <= ring_cap; ++k) {
+  for (int k = std::min(start_ring, ring_cap); k <= ring_cap; ++k) {
     int x0 = std::max(0, cx - k), x1 = std::min(grid->nx - 1, cx + k);
     int y0 = std::max(0, cy - k), y1 = std::min(grid->ny - 1, cy + k);
     for (int ix = x0; ix <= x1; ++ix) {
@@ -328,11 +394,43 @@ geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
       double rx1 = grid->origin.x + (cx + k + 1) * grid->cell;
       double ry0 = grid->origin.y + (cy - k) * grid->cell;
       double ry1 = grid->origin.y + (cy + k + 1) * grid->cell;
-      double margin = std::min(std::min(p.xy.x - rx0, rx1 - p.xy.x),
-                               std::min(p.xy.y - ry0, ry1 - p.xy.y));
-      // Strict: an unvisited edge touching the covered rectangle's boundary
-      // can lie at exactly `margin` with a lower tie-break rank.
-      if (margin > 0 && best_dist < margin) break;
+      double margin;
+      if (batch_prune) {
+        // Every unvisited edge lies inside the grid footprint G AND outside
+        // the covered rectangle [rx0,rx1]x[ry0,ry1]: its bucket cells are all
+        // unvisited, and cells exist only within G. The exit bound is the
+        // distance from p to that clipped region — the four side slabs of G
+        // left over after removing the rectangle.
+        double gx1 = grid->origin.x + grid->nx * grid->cell;
+        double gy1 = grid->origin.y + grid->ny * grid->cell;
+        auto rect_dist = [&p](double x0, double y0, double x1, double y1) {
+          double dx = std::max({x0 - p.xy.x, 0.0, p.xy.x - x1});
+          double dy = std::max({y0 - p.xy.y, 0.0, p.xy.y - y1});
+          return std::sqrt(dx * dx + dy * dy);
+        };
+        margin = 1e300;
+        if (rx0 > grid->origin.x) {
+          margin = std::min(margin, rect_dist(grid->origin.x, grid->origin.y,
+                                              rx0, gy1));
+        }
+        if (rx1 < gx1) {
+          margin = std::min(margin, rect_dist(rx1, grid->origin.y, gx1, gy1));
+        }
+        if (ry0 > grid->origin.y) {
+          margin = std::min(margin, rect_dist(grid->origin.x, grid->origin.y,
+                                              gx1, ry0));
+        }
+        if (ry1 < gy1) {
+          margin = std::min(margin, rect_dist(grid->origin.x, ry1, gx1, gy1));
+        }
+      } else {
+        margin = std::min(std::min(p.xy.x - rx0, rx1 - p.xy.x),
+                          std::min(p.xy.y - ry0, ry1 - p.xy.y));
+        if (margin <= 0) continue;
+      }
+      // Strict: an unvisited edge touching the pruned region's boundary can
+      // lie at exactly `margin` with a lower tie-break rank.
+      if (best_dist < margin) break;
     }
   }
 
@@ -340,6 +438,67 @@ geo::IndoorPoint SpatialIndex::SnapIfOutside(const geo::IndoorPoint& p,
   // Same inward nudge as the brute-force snap.
   geo::Point2 inward = best + (best - p.xy).Normalized() * 1e-6;
   return {inward, p.floor};
+}
+
+void SpatialIndex::SnapIfOutsideBatch(std::span<const geo::IndoorPoint> points,
+                                      std::span<geo::IndoorPoint> out,
+                                      std::span<uint8_t> snapped) const {
+  const size_t n = points.size();
+  if (n == 0) return;
+  if (probes_ != nullptr) probes_->snap_probes.Add(n);
+
+  // Phase 1: walkability mask over the whole block. Cleaned trajectories are
+  // floor-clustered, so the floor->grid lookup is memoized on the last floor.
+  geo::FloorId memo_floor = 0;
+  const FloorGrid* memo_grid = nullptr;
+  bool memo_valid = false;
+  auto grid_for = [&](geo::FloorId floor) {
+    if (!memo_valid || floor != memo_floor) {
+      memo_grid = GridFor(floor);
+      memo_floor = floor;
+      memo_valid = true;
+    }
+    return memo_grid;
+  };
+  // Outside points keyed by (floor, cell) for the sort; per-point results are
+  // independent, so processing order affects only cache behaviour, never
+  // output.
+  std::vector<std::pair<uint64_t, uint32_t>> outside;
+  for (size_t i = 0; i < n; ++i) {
+    const geo::IndoorPoint p = points[i];
+    const FloorGrid* grid = grid_for(p.floor);
+    if (grid != nullptr && WalkableFirstHit(*grid, p.xy)) {
+      out[i] = p;
+      snapped[i] = 0;
+      continue;
+    }
+    snapped[i] = 1;
+    uint64_t key = grid == nullptr
+                       ? ~uint64_t{0}
+                       : (static_cast<uint64_t>(static_cast<uint32_t>(p.floor))
+                              << 32) |
+                             static_cast<uint32_t>(grid->CellIndex(
+                                 grid->CellX(p.xy.x), grid->CellY(p.xy.y)));
+    outside.emplace_back(key, static_cast<uint32_t>(i));
+  }
+  if (outside.empty()) return;
+  if (probes_ != nullptr) probes_->snapped_outside.Add(outside.size());
+
+  // Phase 2: cell-sorted ring searches, scattered back by original index.
+  // Each search is seeded at its cell's first candidate ring — the batch
+  // path's structural win over the per-point reference for far-out points.
+  std::sort(outside.begin(), outside.end());
+  for (const auto& [key, idx] : outside) {
+    const geo::IndoorPoint p = points[idx];
+    const FloorGrid* grid = grid_for(p.floor);
+    if (grid == nullptr) {
+      out[idx] = p;
+      continue;
+    }
+    int cell = static_cast<int>(key & 0xFFFFFFFFu);
+    out[idx] = SnapViaRings(*grid, p, grid->first_edge_ring[cell],
+                            /*batch_prune=*/true);
+  }
 }
 
 std::vector<RegionId> SpatialIndex::RegionsNear(const geo::Point2& p,

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dsm/entity.h"
@@ -90,6 +91,20 @@ class SpatialIndex {
   /// and returns the ring-search snap (identical to SnapToWalkable).
   geo::IndoorPoint SnapIfOutside(const geo::IndoorPoint& p, bool* snapped) const;
 
+  /// Batched SnapIfOutside over a whole block of points: each (out[i],
+  /// snapped[i], with snapped[i] in {0,1}) is exactly what the per-point call
+  /// returns for points[i]. The batch first mask-tests walkability over all
+  /// points (one first-hit cell probe each), then sorts the outside points by
+  /// (floor, grid cell) so the expanding-ring edge searches run
+  /// cache-coherently through the buckets, scattering results back in the
+  /// original order. Each ring search starts at the cell's precomputed
+  /// first-candidate ring (see FloorGrid::first_edge_ring) instead of ring 0,
+  /// which is what makes far-outside batches cheap. All three spans must have
+  /// equal length; `out` may alias `points`.
+  void SnapIfOutsideBatch(std::span<const geo::IndoorPoint> points,
+                          std::span<geo::IndoorPoint> out,
+                          std::span<uint8_t> snapped) const;
+
   /// Semantic regions on `floor` that contain `p` or whose boundary is within
   /// `max_dist` of it, ascending region id — the index-backed equivalent of
   /// the linear region scan Dsm::ComputeTopology's adjacency steps used.
@@ -161,6 +176,12 @@ class SpatialIndex {
     Buckets partition_cells;
     Buckets region_cells;
     Buckets edge_cells;
+    // Per cell: chessboard (Chebyshev) distance to the nearest cell with a
+    // non-empty edge bucket — i.e. the first expanding-search ring that can
+    // contain an edge candidate. Rings below it are provably empty, so a
+    // search seeded here visits exactly the same candidates as one seeded at
+    // ring 0. 0xFFFF when the floor has no edges at all.
+    std::vector<uint16_t> first_edge_ring;
 
     int CellX(double x) const;
     int CellY(double y) const;
@@ -168,6 +189,34 @@ class SpatialIndex {
   };
 
   const FloorGrid* GridFor(geo::FloorId floor) const;
+
+  // First-hit walkability probe: true iff some partition in p's cell bucket
+  // contains p (existence only — never PartitionAt's full smallest-area scan).
+  static bool WalkableFirstHit(const FloorGrid& grid, const geo::Point2& p);
+  // The expanding-ring edge search SnapIfOutside falls back to for an
+  // unwalkable point; shared verbatim by the batched form so both produce
+  // identical snaps. `grid` must be p's floor grid.
+  //
+  // The two extra knobs are the batch path's structural optimisations; both
+  // are pure search-space prunes, so results stay byte-identical. The
+  // per-point query always passes the defaults and so doubles as the
+  // reference the prunes are tested against.
+  //  - `start_ring` skips the leading rings; the caller must guarantee they
+  //    hold no edge-bucket cells (first_edge_ring[cell] does).
+  //  - `batch_prune` enables two bound tightenings. The early-exit margin
+  //    becomes the distance from p to the part of the grid's footprint
+  //    outside the covered rectangle — the region every unvisited edge
+  //    actually lies in; for points beyond the grid (clamped to a border
+  //    cell) the plain rectangle margin stays negative until the rectangle
+  //    has grown past the point, which forces O((d/cell)^2) populated border
+  //    cells to be scanned, while the clipped bound exits after a couple of
+  //    rings. And each visited cell is skipped outright when its rectangle is
+  //    strictly farther than the current best — strictly, so an equal-
+  //    distance cell that could hold a lower-rank tie-break winner is always
+  //    still scanned.
+  geo::IndoorPoint SnapViaRings(const FloorGrid& grid, const geo::IndoorPoint& p,
+                                int start_ring = 0,
+                                bool batch_prune = false) const;
 
   // Always-on (ungated) lock-free counters; recording cost is one relaxed
   // fetch_add per query, negligible next to the grid probe itself.

@@ -61,6 +61,16 @@ struct RecordBlock {
   }
   RawRecord Record(size_t i) const { return {Location(i), timestamps[i]}; }
 
+  /// Gathers records [begin, end) out of the columns into a contiguous
+  /// IndoorPoint staging array (out[k] = Location(begin + k), so `out` must
+  /// hold end - begin points) — the column->batch transposition the cleaner's
+  /// batched snap query feeds from.
+  void GatherLocations(size_t begin, size_t end, geo::IndoorPoint* out) const {
+    for (size_t i = begin; i < end; ++i) {
+      out[i - begin] = {xs[i], ys[i], floors[i]};
+    }
+  }
+
   // ---- validity bitmap ----
 
   bool IsValid(size_t i) const {
