@@ -20,6 +20,12 @@
 #                         primitives (enabled and gated off) and end-to-end
 #                         Service throughput with recording on vs off (the
 #                         < 2% overhead gate)
+#   BENCH_store.json    — TripStore storage axes on the tiled ~100x corpus
+#                         (TRIPS_BENCH_STORE_SCALE tiles, one day each):
+#                         cold open + first window with eager decode vs the
+#                         mmap/lazy path, windowed scans on the partitioned
+#                         vs flat layout, plus append/history/visitor
+#                         latencies
 #
 # Usage: bench/run_benches.sh [build_dir] [out_dir] [min_time]
 #   build_dir  where the bench binaries live        (default: build)
@@ -62,5 +68,9 @@ run_suite bench_cleaning "$OUT_DIR/BENCH_cleaning.json"
 run_suite bench_routing "$OUT_DIR/BENCH_routing.json"
 run_suite bench_cluster "$OUT_DIR/BENCH_cluster.json"
 run_suite bench_obs_overhead "$OUT_DIR/BENCH_obs_overhead.json"
+# Filtered to the registered benchmarks so the default latency-study payload
+# (meant for humans) doesn't slow the JSON capture down.
+run_suite bench_store_query "$OUT_DIR/BENCH_store.json" \
+  'BM_StoreAppend|BM_DeviceHistory|BM_RegionVisitors|BM_ColdOpenFirstWindow|BM_WindowScan'
 
-echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json, $OUT_DIR/BENCH_routing.json, $OUT_DIR/BENCH_cluster.json and $OUT_DIR/BENCH_obs_overhead.json"
+echo "Wrote $OUT_DIR/BENCH_spatial.json, $OUT_DIR/BENCH_service.json, $OUT_DIR/BENCH_cleaning.json, $OUT_DIR/BENCH_routing.json, $OUT_DIR/BENCH_cluster.json, $OUT_DIR/BENCH_obs_overhead.json and $OUT_DIR/BENCH_store.json"

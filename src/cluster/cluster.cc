@@ -131,10 +131,17 @@ Status Cluster::AddVenue(VenueConfig config) {
   auto shard = std::make_unique<VenueShard>();
   shard->venue_id = config.venue_id;
   shard->engine = config.engine;
+  // Shards lean on the cluster's shared pool for scans and background
+  // compaction instead of spawning per-venue workers (venues_ is destroyed
+  // before pool_, so the pool outlives every store).
   auto store = store::TripStore::Open(
       {.directory = config.store_directory,
        .segment_max_sequences = config.segment_max_sequences,
        .worker_threads = 0,
+       .mmap = config.store_mmap,
+       .partition_ms = config.store_partition_ms,
+       .compaction = config.store_compaction,
+       .shared_pool = &pool_,
        .metrics = metrics_});
   TRIPS_RETURN_NOT_OK(store.status());
   shard->store = std::move(store).ValueOrDie();

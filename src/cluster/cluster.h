@@ -60,6 +60,14 @@ struct VenueConfig {
   std::string store_directory;
   /// Sequences per store segment before sealing.
   size_t segment_max_sequences = 256;
+  /// Width of the store's time-partition directories (<= 0: flat layout).
+  DurationMs store_partition_ms = kMillisPerDay;
+  /// Memory-map sealed segments and decode lazily on reopen (see
+  /// store::StoreOptions::mmap).
+  bool store_mmap = true;
+  /// Merge small sealed segments in the background after PersistAll (runs on
+  /// the cluster's shared pool).
+  bool store_compaction = true;
 };
 
 /// Cluster-level options.
@@ -179,7 +187,10 @@ class Cluster {
   /// Flushes every buffered device of every venue (end of stream).
   Status FlushAll();
 
-  /// Seals and persists every venue store that has a directory.
+  /// Seals, persists and checkpoints every venue store that has a directory
+  /// (each store's manifest is rewritten, so this is the cluster's durable
+  /// checkpoint), then lets the stores merge small segments on the shared
+  /// pool in the background.
   Status PersistAll();
 
   // ---- cross-venue queries --------------------------------------------------

@@ -29,11 +29,17 @@
 //                   byte-identical shims
 //   Store         — store::TripStore, the persistent, indexed semantic-
 //                   trajectory store between translation and analytics:
-//                   append-only binary segments (store/segment_codec.h),
-//                   device/region/time indexes, live ingestion via a
-//                   StreamSession sink, queries (DeviceHistory,
-//                   RegionVisitors, FlowBetween, time-range scans) and
-//                   segment-parallel analytics
+//                   append-only binary segments (store/segment_codec.h, v2:
+//                   footer-indexed, mmap'd zero-copy with lazy per-segment
+//                   materialization and deferred index hydration) laid out
+//                   in time-partitioned directories (part-<bucket>/) that
+//                   window scans prune wholesale, background compaction of
+//                   adjacent small segments on the shared pool behind a
+//                   MANIFEST.json checkpoint (crash recovery: torn segments
+//                   dropped, strays cleaned, scan fallback), device/region/
+//                   time indexes, live ingestion via a StreamSession sink,
+//                   queries (DeviceHistory, RegionVisitors, FlowBetween,
+//                   time-range scans) and segment-parallel analytics
 //   Adapters      — core::Pipeline and core::OnlineTranslator, the legacy
 //                   batch/streaming front-ends, now [[deprecated]] shims
 //                   over Service

@@ -1,0 +1,33 @@
+#include "store/compaction.h"
+
+namespace trips::store {
+
+CompactionPlan PlanCompaction(const std::vector<CompactionCandidate>& candidates,
+                              uint64_t max_sequences, size_t min_run) {
+  if (min_run < 2) min_run = 2;
+  size_t i = 0;
+  while (i < candidates.size()) {
+    const CompactionCandidate& head = candidates[i];
+    if (!head.eligible || head.sequences >= max_sequences) {
+      ++i;
+      continue;
+    }
+    // Greedily extend the run while the merge still fits one full segment.
+    uint64_t total = head.sequences;
+    size_t j = i + 1;
+    while (j < candidates.size() && candidates[j].eligible &&
+           candidates[j].partition == head.partition &&
+           candidates[j].sequences < max_sequences &&
+           total + candidates[j].sequences <= max_sequences) {
+      total += candidates[j].sequences;
+      ++j;
+    }
+    if (j - i >= min_run) return {i, j};
+    // A run headed inside [i, j) can still succeed when this one stopped on
+    // capacity (dropping the head frees budget), so only advance one slot.
+    ++i;
+  }
+  return {};
+}
+
+}  // namespace trips::store

@@ -1,0 +1,39 @@
+// Compaction planning for the TripStore: picks runs of small, adjacent,
+// sealed segments in the same time partition to merge into one full segment.
+//
+// Only ADJACENT segments merge, so the store-global sequence order — and with
+// it every SequenceId, posting order and query result — is unchanged by a
+// compaction; queries are byte-identical before and after. The planner is a
+// pure function over segment descriptors so the policy is unit-testable
+// without a store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trips::store {
+
+/// What the planner needs to know about one live segment, in append order.
+struct CompactionCandidate {
+  size_t segment_index = 0;   ///< position in the store's segment list
+  uint64_t sequences = 0;     ///< sequences currently in the segment
+  int64_t partition = 0;      ///< time-partition bucket
+  bool eligible = false;      ///< sealed, persisted, and not the active tail
+};
+
+/// A planned merge: consecutive positions [begin, end) of the candidate list.
+struct CompactionPlan {
+  size_t begin = 0;
+  size_t end = 0;  ///< exclusive; end - begin >= min_run
+  bool empty() const { return begin == end; }
+};
+
+/// Returns the first (oldest) run of at least `min_run` adjacent eligible
+/// candidates that share a partition, are each under `max_sequences`, and
+/// merge to at most `max_sequences` total. Returns an empty plan when no such
+/// run exists. `candidates` must be in append order.
+CompactionPlan PlanCompaction(const std::vector<CompactionCandidate>& candidates,
+                              uint64_t max_sequences, size_t min_run);
+
+}  // namespace trips::store

@@ -1,0 +1,103 @@
+#include "store/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "json/json.h"
+
+namespace trips::store {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHexU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Manifest> ReadManifest(const std::string& directory) {
+  const std::string path = directory + "/" + kManifestFileName;
+  {
+    std::ifstream probe(path);
+    if (!probe) return Status::NotFound("no manifest at " + path);
+  }
+  TRIPS_ASSIGN_OR_RETURN(json::Value doc, json::ParseFile(path));
+  if (!doc.is_object() || doc.GetInt("format", 0) != 1) {
+    return Status::ParseError("unsupported manifest format in " + path);
+  }
+  const json::Value* segments = doc.AsObject().Find("segments");
+  if (segments == nullptr || !segments->is_array()) {
+    return Status::ParseError("manifest missing segments array in " + path);
+  }
+  Manifest manifest;
+  manifest.segments.reserve(segments->AsArray().size());
+  for (const json::Value& entry : segments->AsArray()) {
+    if (!entry.is_object()) {
+      return Status::ParseError("malformed manifest segment entry in " + path);
+    }
+    ManifestSegment seg;
+    seg.file = entry.GetString("file");
+    seg.base_ordinal = static_cast<uint64_t>(entry.GetInt("base_ordinal", 0));
+    seg.sequences = static_cast<uint64_t>(entry.GetInt("sequences", 0));
+    seg.partition = entry.GetInt("partition", 0);
+    std::string checksum = entry.GetString("checksum");
+    if (seg.file.empty() || seg.file.front() == '/' ||
+        seg.file.find("..") != std::string::npos ||
+        (!checksum.empty() && !ParseHexU64(checksum, &seg.checksum))) {
+      return Status::ParseError("malformed manifest segment entry in " + path);
+    }
+    manifest.segments.push_back(std::move(seg));
+  }
+  return manifest;
+}
+
+Status WriteManifest(const std::string& directory, const Manifest& manifest) {
+  json::Object doc;
+  doc["format"] = 1;
+  json::Array segments;
+  segments.reserve(manifest.segments.size());
+  for (const ManifestSegment& seg : manifest.segments) {
+    json::Object entry;
+    entry["file"] = seg.file;
+    entry["base_ordinal"] = static_cast<int64_t>(seg.base_ordinal);
+    entry["sequences"] = static_cast<int64_t>(seg.sequences);
+    entry["partition"] = seg.partition;
+    entry["checksum"] = HexU64(seg.checksum);
+    segments.push_back(json::Value(std::move(entry)));
+  }
+  doc["segments"] = json::Value(std::move(segments));
+
+  const std::string path = directory + "/" + kManifestFileName;
+  const std::string tmp = path + ".tmp";
+  TRIPS_RETURN_NOT_OK(json::WriteFile(json::Value(std::move(doc)), tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace trips::store

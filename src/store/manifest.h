@@ -1,0 +1,53 @@
+// The TripStore manifest: the authoritative list of sealed segment files in
+// append order, written atomically (tmp + rename) after every seal, flush and
+// compaction. Recovery reads it first — a directory scan is only the fallback
+// for a missing or torn manifest — so reopening after a crash is
+// deterministic: segments the manifest does not reference (half-written
+// compaction outputs, torn tails) are dropped and deleted, and the store
+// resumes from the last checkpoint the manifest describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace trips::store {
+
+/// File name of the manifest inside a store directory.
+inline constexpr char kManifestFileName[] = "MANIFEST.json";
+
+/// One sealed segment the manifest references.
+struct ManifestSegment {
+  /// Path relative to the store directory, e.g. "part-20500/segment-000012.tseg".
+  std::string file;
+  /// Store-global append ordinal of the segment's first sequence.
+  uint64_t base_ordinal = 0;
+  /// Number of sequences in the segment.
+  uint64_t sequences = 0;
+  /// Time-partition bucket the segment belongs to (floor of span begin over
+  /// the partition width).
+  int64_t partition = 0;
+  /// FNV-1a 64 of the encoded segment file (0 = unknown; stored as a hex
+  /// string in JSON, since JSON numbers cannot hold a full u64).
+  uint64_t checksum = 0;
+};
+
+/// The parsed manifest: sealed segments in append order.
+struct Manifest {
+  std::vector<ManifestSegment> segments;
+};
+
+/// Reads and parses `<directory>/MANIFEST.json`. Fails with NotFound when the
+/// file does not exist (fresh store, or pre-manifest layout) and ParseError
+/// when it exists but is torn or malformed — callers fall back to a directory
+/// scan in both cases, but only rewrite strays for the latter.
+Result<Manifest> ReadManifest(const std::string& directory);
+
+/// Atomically writes `<directory>/MANIFEST.json` (tmp file + rename), so a
+/// crash mid-write leaves either the old manifest or the new one, never a
+/// torn file under the manifest name.
+Status WriteManifest(const std::string& directory, const Manifest& manifest);
+
+}  // namespace trips::store

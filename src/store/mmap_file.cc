@@ -1,0 +1,81 @@
+#include "store/mmap_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TRIPS_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace trips::store {
+
+namespace {
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = std::move(buffer).str();
+  return Status::OK();
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#if TRIPS_STORE_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  fallback_ = std::move(other.fallback_);
+  other.fallback_.clear();
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if TRIPS_STORE_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+Result<MappedFile> MappedFile::Map(const std::string& path) {
+  MappedFile file;
+#if TRIPS_STORE_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return file;  // empty view, nothing to map
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base != MAP_FAILED) {
+    file.data_ = static_cast<const char*>(base);
+    file.size_ = size;
+    return file;
+  }
+  // Mapping refused (filesystem without mmap support, resource limits):
+  // fall through to the owned-buffer read below.
+#endif
+  TRIPS_RETURN_NOT_OK(ReadWholeFile(path, &file.fallback_));
+  return file;
+}
+
+}  // namespace trips::store

@@ -1,0 +1,47 @@
+// Read-only memory-mapped file for the TripStore's zero-copy segment reads:
+// Open maps every sealed segment and decodes lazily from the mapped bytes, so
+// cold-open cost is paged in on demand instead of read+decoded up front. On
+// platforms without mmap (or when mapping fails) Map falls back to reading
+// the file into an owned buffer — the view contract is identical, only the
+// paging behaviour differs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace trips::store {
+
+/// Move-only RAII handle over one read-only file mapping (or its read-into-
+/// memory fallback). The view stays valid for the lifetime of the handle.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Empty files yield a valid handle with an empty
+  /// view. Fails with IOError when the file cannot be opened or statted.
+  static Result<MappedFile> Map(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// The file's bytes. Empty for a default-constructed handle.
+  std::string_view view() const {
+    return data_ != nullptr ? std::string_view(data_, size_)
+                            : std::string_view(fallback_);
+  }
+
+  /// True when the bytes are an actual kernel mapping (false for the owned-
+  /// buffer fallback and for default-constructed handles).
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  const char* data_ = nullptr;  ///< mmap base (null: fallback_ owns the bytes)
+  size_t size_ = 0;
+  std::string fallback_;
+};
+
+}  // namespace trips::store

@@ -43,6 +43,23 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  uint64_t enqueue_ns =
+      (metrics_.task_wait_ns != nullptr && metrics_.task_wait_ns->recording())
+          ? obs::NowNanos()
+          : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{std::move(fn), enqueue_ns});
+    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(1);
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (threads_.empty() || n == 1) {

@@ -61,6 +61,14 @@ class ThreadPool {
   /// safe to invoke concurrently with distinct arguments.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Enqueues one fire-and-forget task for a pool worker (background
+  /// maintenance: store compaction, deferred rebuilds). With zero workers the
+  /// task runs inline on the calling thread before Submit returns, so callers
+  /// get the same completion guarantees in deterministic serial mode. Tasks
+  /// still queued at destruction are drained by the exiting workers — a
+  /// submitted task always runs exactly once.
+  void Submit(std::function<void()> fn);
+
  private:
   /// One queued helper task plus its enqueue stamp (0 when wait timing is
   /// off, so the fast path never reads the clock).

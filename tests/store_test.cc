@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +17,8 @@
 #include "json/json.h"
 #include "mobility/generator.h"
 #include "positioning/error_model.h"
+#include "store/compaction.h"
+#include "store/manifest.h"
 #include "store/segment_codec.h"
 #include "store/trip_store.h"
 #include "viewer/store_view.h"
@@ -82,6 +88,94 @@ std::vector<RegionVisit> BruteForceVisitors(const TripStore& stored,
   return visits;
 }
 
+// Live segment files in a store directory, recursing into part-*/ partition
+// subdirectories.
+size_t CountSegmentFiles(const std::string& directory) {
+  size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tseg") {
+      ++files;
+    }
+  }
+  return files;
+}
+
+// Sets (value != nullptr) or clears (value == nullptr) an environment
+// variable for one scope, restoring the previous state on destruction — the
+// store tests that assert lazy/eager behavior must control
+// TRIPS_STORE_NO_MMAP even when the surrounding test run sets it (CI runs
+// the whole store suite under the kill switch).
+class ScopedEnvVar {
+ public:
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnvVar() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// Every query surface of a store folded into one comparable string: stats,
+// per-device histories, the flow matrix, and region/range scans over several
+// windows. Two stores of the same corpus must produce the same signature no
+// matter how the corpus is segmented, partitioned, mapped, or compacted.
+std::string AnswerSignature(const TripStore& stored) {
+  std::ostringstream out;
+  StoreStats stats = stored.Stats();
+  out << stats.sequences << '|' << stats.triplets << '|' << stats.devices
+      << '|' << stats.span.begin << ',' << stats.span.end << '\n';
+  for (const std::string& device : stored.Devices()) {
+    out << device << '='
+        << core::SemanticsToJson(stored.DeviceHistory(device)).Dump() << '\n';
+  }
+  for (const auto& [from, row] : stored.FlowMatrix()) {
+    for (const auto& [to, count] : row) {
+      out << from << "->" << to << ':' << count << ' ';
+    }
+  }
+  out << '\n';
+  const TimeRange span = stats.span;
+  const TimeRange windows[] = {
+      span,
+      {span.begin, span.begin + kMillisPerMinute},
+      {span.begin + (span.end - span.begin) / 3,
+       span.begin + (span.end - span.begin) / 2},
+      {span.end + kMillisPerMinute, span.end + 2 * kMillisPerMinute},
+  };
+  for (const TimeRange& w : windows) {
+    for (dsm::RegionId region = -1; region < 6; ++region) {
+      for (const RegionVisit& v : stored.RegionVisitors(region, w.begin, w.end)) {
+        out << v.device_id << '@' << v.visit.range.begin << '-'
+            << v.visit.range.end << ';';
+      }
+      out << '|';
+    }
+    for (const core::MobilitySemanticsSequence& seq :
+         stored.SequencesInRange(w.begin, w.end)) {
+      out << seq.device_id << '#' << seq.semantics.size() << ';';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
 TEST(SegmentCodecTest, RoundTripIsLosslessAndByteStable) {
   std::vector<core::MobilitySemanticsSequence> corpus = TrickyCorpus();
   std::string blob = EncodeSegment(corpus);
@@ -120,6 +214,159 @@ TEST(SegmentCodecTest, RejectsForeignAndCorruptBlobs) {
   bad_range += std::string("\x01\x00\x01", 3);      // 1 sequence, device 0, 1 triplet
   bad_range += std::string("\x00\x00\x00\x00\x01", 5);  // duration = zigzag^-1(1) = -1
   EXPECT_FALSE(DecodeSegment(bad_range).ok());
+}
+
+TEST(SegmentCodecV2Test, RoundTripIsLosslessAndByteStable) {
+  std::vector<core::MobilitySemanticsSequence> corpus = TrickyCorpus();
+  std::string blob = EncodeSegmentV2(corpus, /*base_ordinal=*/17);
+  ASSERT_GT(blob.size(), 8u);
+  EXPECT_EQ(blob.substr(0, 4), std::string(kSegmentMagicV2, 4));
+  EXPECT_EQ(blob.substr(blob.size() - 4), std::string(kSegmentFooterMagic, 4));
+
+  auto decoded = DecodeSegment(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].device_id, corpus[i].device_id) << i;
+    EXPECT_EQ((*decoded)[i].semantics, corpus[i].semantics) << i;
+  }
+  EXPECT_EQ(EncodeSegmentV2(*decoded, 17), blob);
+}
+
+TEST(SegmentCodecV2Test, FooterIndexesWithoutTouchingTheBody) {
+  std::vector<core::MobilitySemanticsSequence> corpus = TrickyCorpus();
+  std::string blob = EncodeSegmentV2(corpus, /*base_ordinal=*/17);
+  auto footer = ReadSegmentFooter(blob);
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  EXPECT_EQ(footer->sequence_count, 3u);
+  EXPECT_EQ(footer->triplet_count, 5u);
+  EXPECT_EQ(footer->base_ordinal, 17u);
+  ASSERT_TRUE(footer->has_span);
+  EXPECT_EQ(footer->span.begin, 0);  // the unicode sequence starts at t=0
+  EXPECT_EQ(footer->span.end, 1'483'266'000'000);
+  EXPECT_NE(footer->checksum, 0u);
+  ASSERT_EQ(footer->devices.size(), 3u);
+  EXPECT_EQ(footer->devices[0], "3a.6f.14");
+  EXPECT_EQ(footer->devices[1], "device-with-no-triplets");
+  EXPECT_EQ(footer->devices[2], "设备-β");
+  EXPECT_EQ(footer->seq_triplets, (std::vector<uint32_t>{4, 0, 1}));
+  // Postings ascend by (region, sequence); kInvalidRegion is never indexed.
+  ASSERT_EQ(footer->postings.size(), 4u);
+  EXPECT_EQ(footer->postings[0].region, 0);
+  EXPECT_EQ(footer->postings[0].sequence, 0u);
+  EXPECT_EQ(footer->postings[1].region, 1);
+  EXPECT_EQ(footer->postings[1].sequence, 0u);
+  EXPECT_EQ(footer->postings[2].region, 1);
+  EXPECT_EQ(footer->postings[2].sequence, 2u);
+  EXPECT_EQ(footer->postings[3].region, 2);
+  EXPECT_EQ(footer->postings[3].sequence, 0u);
+  // Sequence 0 moves 1 -> 0 -> 2 (the invalid-region triplet breaks no edge).
+  ASSERT_EQ(footer->flow.size(), 2u);
+  EXPECT_EQ(footer->flow[0].from, 0);
+  EXPECT_EQ(footer->flow[0].to, 2);
+  EXPECT_EQ(footer->flow[0].count, 1u);
+  EXPECT_EQ(footer->flow[1].from, 1);
+  EXPECT_EQ(footer->flow[1].to, 0);
+  EXPECT_EQ(footer->flow[1].count, 1u);
+}
+
+TEST(SegmentCodecV2Test, RejectsCorruptBlobs) {
+  std::string blob = EncodeSegmentV2(TrickyCorpus(), 0);
+  // Truncation kills both the full decode and the footer parse.
+  std::string_view half = std::string_view(blob).substr(0, blob.size() / 2);
+  EXPECT_FALSE(DecodeSegment(half).ok());
+  EXPECT_FALSE(ReadSegmentFooter(half).ok());
+  // A bit flip in the body trips the checksum on decode.
+  std::string flipped = blob;
+  flipped[blob.size() / 2] ^= 0x40;
+  EXPECT_FALSE(DecodeSegment(flipped).ok());
+  // A damaged trailing magic invalidates the footer.
+  std::string bad_tail = blob;
+  bad_tail[blob.size() - 1] ^= 0x01;
+  EXPECT_FALSE(ReadSegmentFooter(bad_tail).ok());
+  EXPECT_FALSE(DecodeSegment(bad_tail).ok());
+  // The footer parser refuses v1 blobs outright.
+  EXPECT_FALSE(ReadSegmentFooter(EncodeSegment(TrickyCorpus())).ok());
+  EXPECT_FALSE(ReadSegmentFooter("").ok());
+}
+
+TEST(CompactionPlanTest, MergesOldestAdjacentRun) {
+  std::vector<CompactionCandidate> candidates = {
+      {0, 4, 0, true}, {1, 2, 0, true}, {2, 2, 0, true}, {3, 3, 0, false}};
+  CompactionPlan plan = PlanCompaction(candidates, /*max_sequences=*/4,
+                                       /*min_run=*/2);
+  EXPECT_EQ(plan.begin, 1u);  // the full head segment is left alone
+  EXPECT_EQ(plan.end, 3u);
+}
+
+TEST(CompactionPlanTest, EmptyWhenNothingCanMerge) {
+  EXPECT_TRUE(PlanCompaction({}, 8, 2).empty());
+  std::vector<CompactionCandidate> full = {{0, 4, 0, true}, {1, 4, 0, true}};
+  EXPECT_TRUE(PlanCompaction(full, 4, 2).empty());
+  std::vector<CompactionCandidate> unsealed = {{0, 1, 0, false},
+                                               {1, 1, 0, false}};
+  EXPECT_TRUE(PlanCompaction(unsealed, 4, 2).empty());
+  std::vector<CompactionCandidate> lone = {{0, 1, 0, true}};
+  EXPECT_TRUE(PlanCompaction(lone, 4, 2).empty());
+}
+
+TEST(CompactionPlanTest, NeverMergesAcrossPartitions) {
+  std::vector<CompactionCandidate> candidates = {{0, 1, 10, true},
+                                                 {1, 1, 11, true}};
+  EXPECT_TRUE(PlanCompaction(candidates, 4, 2).empty());
+  candidates.push_back({2, 1, 11, true});
+  CompactionPlan plan = PlanCompaction(candidates, 4, 2);
+  EXPECT_EQ(plan.begin, 1u);
+  EXPECT_EQ(plan.end, 3u);
+}
+
+TEST(CompactionPlanTest, CapacityBreakStillFindsLaterRun) {
+  // The run headed at 0 ({9,1}) stops on capacity below min_run; the planner
+  // must still find {1,4,4} starting inside the abandoned window.
+  std::vector<CompactionCandidate> candidates = {
+      {0, 9, 0, true}, {1, 1, 0, true}, {2, 4, 0, true}, {3, 4, 0, true}};
+  CompactionPlan plan = PlanCompaction(candidates, /*max_sequences=*/10,
+                                       /*min_run=*/3);
+  EXPECT_EQ(plan.begin, 1u);
+  EXPECT_EQ(plan.end, 4u);
+}
+
+TEST(CompactionPlanTest, RespectsMinRun) {
+  std::vector<CompactionCandidate> candidates = {{0, 1, 0, true},
+                                                 {1, 1, 0, true}};
+  EXPECT_TRUE(PlanCompaction(candidates, 8, 3).empty());
+  EXPECT_FALSE(PlanCompaction(candidates, 8, 2).empty());
+}
+
+TEST(ManifestTest, RoundTripsAndRejectsTornFiles) {
+  std::string dir = testing::TempDir() + "/trips_manifest_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(ReadManifest(dir).ok());  // NotFound on a fresh directory
+
+  Manifest manifest;
+  manifest.segments.push_back(
+      {"part-0/segment-000000.tseg", 0, 3, 0, 0xdeadbeefdeadbeefull});
+  manifest.segments.push_back({"segment-000001.tseg", 3, 1, -2, 1});
+  ASSERT_TRUE(WriteManifest(dir, manifest).ok());
+  auto back = ReadManifest(dir);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->segments.size(), 2u);
+  EXPECT_EQ(back->segments[0].file, "part-0/segment-000000.tseg");
+  EXPECT_EQ(back->segments[0].base_ordinal, 0u);
+  EXPECT_EQ(back->segments[0].sequences, 3u);
+  EXPECT_EQ(back->segments[0].partition, 0);
+  // The full-width u64 checksum survives the hex-string JSON detour.
+  EXPECT_EQ(back->segments[0].checksum, 0xdeadbeefdeadbeefull);
+  EXPECT_EQ(back->segments[1].partition, -2);
+
+  {
+    std::ofstream torn(std::filesystem::path(dir) / kManifestFileName,
+                       std::ofstream::trunc);
+    torn << "{ \"format\": 1, \"segments\": [ { \"file\": ";  // mid-write crash
+  }
+  EXPECT_FALSE(ReadManifest(dir).ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ResultIoTest, JsonRoundTripSharedWithBinaryCodec) {
@@ -176,6 +423,19 @@ class StoreQueryFixture : public ::testing::Test {
         t += 5 * kMillisPerMinute;
       }
       corpus.push_back(seq);
+    }
+    return corpus;
+  }
+
+  // Corpus() with device d's triplets shifted onto day d — one time partition
+  // per device under the default day-wide partitioning.
+  static std::vector<core::MobilitySemanticsSequence> MultiDayCorpus() {
+    std::vector<core::MobilitySemanticsSequence> corpus = Corpus();
+    for (size_t d = 0; d < corpus.size(); ++d) {
+      for (core::MobilitySemantic& s : corpus[d].semantics) {
+        s.range.begin += static_cast<TimestampMs>(d) * kMillisPerDay;
+        s.range.end += static_cast<TimestampMs>(d) * kMillisPerDay;
+      }
     }
     return corpus;
   }
@@ -408,7 +668,10 @@ TEST_F(StoreQueryFixture, TimelineTextRendersStoredHistory) {
 class StorePersistenceFixture : public StoreQueryFixture {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/trips_store_test";
+    // Per-test directory: ctest runs each test as its own process, possibly
+    // in parallel, and a shared path makes sibling tests trample each other.
+    dir_ = testing::TempDir() + "/trips_store_test_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -472,13 +735,332 @@ TEST_F(StorePersistenceFixture, AppendAfterReopenContinuesSegmentFiles) {
   ASSERT_TRUE(third.ok());
   EXPECT_EQ((*third)->Stats().sequences, 8u);
   EXPECT_EQ((*third)->DeviceHistory("late-arrival").Size(), 1u);
-  // No segment file was overwritten: reopen count = sealed segment count.
-  size_t files = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
-    (void)entry;
-    ++files;
+  // No segment file was overwritten and none leaked: live segment file count
+  // (recursing into partition directories) matches the segment count, and
+  // the manifest checkpoint exists.
+  EXPECT_EQ(CountSegmentFiles(dir_), (*third)->Stats().segments);
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir_) / kManifestFileName));
+}
+
+// The acceptance matrix: every query answer is identical across mmap on/off,
+// compaction on/off, and 0/1/4 workers, including reopening after the
+// directory has been rewritten by compaction.
+TEST_F(StorePersistenceFixture, QueryParityAcrossMmapCompactionWorkers) {
+  std::vector<core::MobilitySemanticsSequence> corpus = Corpus();
+  StoreOptions seed = DiskOptions();
+  seed.segment_max_sequences = 4;
+  seed.compaction = false;  // leave undersized segments for later merges
+  {
+    auto stored = TripStore::Open(seed);
+    ASSERT_TRUE(stored.ok());
+    // Three flushes -> sealed segments of 2, 2 and 3 sequences; the first two
+    // are a mergeable adjacent run under the capacity of 4.
+    size_t i = 0;
+    for (size_t flush_after : {2u, 4u, 7u}) {
+      for (; i < flush_after; ++i) {
+        ASSERT_TRUE((*stored)->Append(corpus[i]).ok());
+      }
+      ASSERT_TRUE((*stored)->Flush().ok());
+    }
+    EXPECT_EQ((*stored)->Stats().segments, 3u);
   }
-  EXPECT_EQ(files, (*third)->Stats().segments);
+  std::string reference;
+  {
+    StoreOptions eager = seed;
+    eager.mmap = false;
+    auto stored = TripStore::Open(eager);
+    ASSERT_TRUE(stored.ok());
+    reference = AnswerSignature(**stored);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  for (bool mmap : {false, true}) {
+    for (bool compaction : {false, true}) {
+      for (size_t workers : {size_t{0}, size_t{1}, size_t{4}}) {
+        StoreOptions options = seed;
+        options.mmap = mmap;
+        options.compaction = compaction;
+        options.worker_threads = workers;
+        auto stored = TripStore::Open(options);
+        ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+        if (compaction) {
+          ASSERT_TRUE((*stored)->Compact().ok());
+          EXPECT_LE((*stored)->Stats().segments, 2u);
+        }
+        EXPECT_EQ(AnswerSignature(**stored), reference)
+            << "mmap=" << mmap << " compaction=" << compaction
+            << " workers=" << workers;
+      }
+    }
+  }
+
+  // The compacted directory reopens to the same answers, with one live file
+  // per segment (stale pre-merge files were deleted).
+  auto reopened = TripStore::Open(seed);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(AnswerSignature(**reopened), reference);
+  EXPECT_EQ(CountSegmentFiles(dir_), (*reopened)->Stats().segments);
+}
+
+TEST_F(StorePersistenceFixture, MmapOpenMaterializesLazily) {
+  ScopedEnvVar clear_kill_switch("TRIPS_STORE_NO_MMAP", nullptr);
+  {
+    std::unique_ptr<TripStore> stored = MakeStore(dir_);
+    ASSERT_TRUE(stored->Flush().ok());
+  }
+  auto lazy = TripStore::Open(DiskOptions());  // mmap defaults on
+  ASSERT_TRUE(lazy.ok());
+  StoreStats cold = (*lazy)->Stats();
+  EXPECT_EQ(cold.segments, 3u);
+  EXPECT_EQ(cold.materialized_segments, 0u);
+  // Index-backed answers (devices, flow) never touch the body columns.
+  EXPECT_EQ((*lazy)->Devices().size(), 7u);
+  EXPECT_FALSE((*lazy)->FlowMatrix().empty());
+  EXPECT_EQ((*lazy)->Stats().materialized_segments, 0u);
+  // dev-0 lives in the first segment only: its history decodes just that one.
+  EXPECT_EQ((*lazy)->DeviceHistory("dev-0").Size(), 5u);
+  EXPECT_EQ((*lazy)->Stats().materialized_segments, 1u);
+  (*lazy)->ForEachSequence([](TripStore::SequenceId,
+                              const core::MobilitySemanticsSequence&) {});
+  EXPECT_EQ((*lazy)->Stats().materialized_segments, 3u);
+
+  // The eager parity path decodes everything at open and answers identically.
+  StoreOptions eager_options = DiskOptions();
+  eager_options.mmap = false;
+  auto eager = TripStore::Open(eager_options);
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ((*eager)->Stats().materialized_segments, 3u);
+  EXPECT_EQ(AnswerSignature(**eager), AnswerSignature(**lazy));
+}
+
+TEST_F(StorePersistenceFixture, EnvKillSwitchForcesEagerDecode) {
+  {
+    std::unique_ptr<TripStore> stored = MakeStore(dir_);
+    ASSERT_TRUE(stored->Flush().ok());
+  }
+  auto forced = [&] {
+    ScopedEnvVar kill_switch("TRIPS_STORE_NO_MMAP", "1");
+    return TripStore::Open(DiskOptions());
+  }();
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ((*forced)->Stats().materialized_segments,
+            (*forced)->Stats().segments);
+  // "0" is not an opt-in: the switch stays off and segments stay lazy.
+  auto lazy = [&] {
+    ScopedEnvVar kill_switch("TRIPS_STORE_NO_MMAP", "0");
+    return TripStore::Open(DiskOptions());
+  }();
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_EQ((*lazy)->Stats().materialized_segments, 0u);
+  EXPECT_EQ(AnswerSignature(**forced), AnswerSignature(**lazy));
+}
+
+TEST_F(StorePersistenceFixture, SealingCompactsPostingsTail) {
+  std::unique_ptr<TripStore> stored = MakeStore(dir_);
+  // 3+3 sealed, 1 active: the active segment's postings live in the tail.
+  EXPECT_GT(stored->Stats().postings_tail_bytes, 0u);
+  ASSERT_TRUE(stored->Flush().ok());
+  // Flush seals the tail segment, and sealing merges the postings tail into
+  // the CSR body — sealed data is served from the dense arrays only.
+  EXPECT_EQ(stored->Stats().postings_tail_bytes, 0u);
+}
+
+TEST_F(StorePersistenceFixture, PartitionedLayoutPrunesWindowsAndMatchesFlat) {
+  std::vector<core::MobilitySemanticsSequence> corpus = MultiDayCorpus();
+  StoreOptions options = DiskOptions();
+  options.segment_max_sequences = 1;  // one segment per sequence = per day
+  {
+    auto stored = TripStore::Open(options);
+    ASSERT_TRUE(stored.ok());
+    for (const core::MobilitySemanticsSequence& seq : corpus) {
+      ASSERT_TRUE((*stored)->Append(seq).ok());
+    }
+    ASSERT_TRUE((*stored)->Flush().ok());
+    StoreStats stats = (*stored)->Stats();
+    EXPECT_EQ(stats.segments, 7u);
+    EXPECT_EQ(stats.partitions, 7u);
+    // Compaction never merges across partition (= day) boundaries.
+    ASSERT_TRUE((*stored)->Compact().ok());
+    EXPECT_EQ((*stored)->Stats().segments, 7u);
+  }
+  // One part-<bucket>/ directory per day on disk.
+  size_t partition_dirs = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_directory()) ++partition_dirs;
+  }
+  EXPECT_EQ(partition_dirs, 7u);
+
+  auto reopened = TripStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  auto expected_in_range = [&corpus](TimeRange w) {
+    size_t n = 0;
+    for (const core::MobilitySemanticsSequence& seq : corpus) {
+      for (const core::MobilitySemantic& s : seq.semantics) {
+        if (s.range.Overlaps(w)) {
+          ++n;
+          break;
+        }
+      }
+    }
+    return n;
+  };
+  for (int day = 0; day < 7; ++day) {
+    TimestampMs t0 = day * kMillisPerDay;
+    const TimeRange windows[] = {
+        {t0, t0 + kMillisPerDay - 1},  // the whole day: exactly one device
+        {t0 + 5 * kMillisPerMinute, t0 + 30 * kMillisPerMinute},
+    };
+    for (const TimeRange& w : windows) {
+      EXPECT_EQ((*reopened)->SequencesInRange(w.begin, w.end).size(),
+                expected_in_range(w))
+          << "day " << day;
+      for (dsm::RegionId region = 0; region < 4; ++region) {
+        EXPECT_EQ((*reopened)->RegionVisitors(region, w.begin, w.end),
+                  BruteForceVisitors(**reopened, region, w.begin, w.end))
+            << "day " << day << " region " << region;
+      }
+    }
+    EXPECT_EQ(
+        (*reopened)->SequencesInRange(t0, t0 + kMillisPerDay - 1).size(), 1u);
+  }
+
+  // A flat (unpartitioned) copy of the same corpus answers identically.
+  std::string flat_dir = dir_ + "_flat";
+  std::filesystem::remove_all(flat_dir);
+  StoreOptions flat = options;
+  flat.directory = flat_dir;
+  flat.partition_ms = 0;
+  auto flat_store = TripStore::Open(flat);
+  ASSERT_TRUE(flat_store.ok());
+  for (const core::MobilitySemanticsSequence& seq : corpus) {
+    ASSERT_TRUE((*flat_store)->Append(seq).ok());
+  }
+  ASSERT_TRUE((*flat_store)->Flush().ok());
+  EXPECT_EQ(AnswerSignature(**flat_store), AnswerSignature(**reopened));
+  std::filesystem::remove_all(flat_dir);
+}
+
+TEST_F(StorePersistenceFixture, DropsTruncatedSegmentOnReopen) {
+  {
+    std::unique_ptr<TripStore> stored = MakeStore(dir_);
+    ASSERT_TRUE(stored->Flush().ok());
+  }
+  // Tear the final segment file (the one holding dev-6) in half, as a crash
+  // mid-write would.
+  std::filesystem::path victim;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tseg" &&
+        (victim.empty() || entry.path().filename() > victim.filename())) {
+      victim = entry.path();
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  std::filesystem::resize_file(victim, std::filesystem::file_size(victim) / 2);
+
+  {
+    auto reopened = TripStore::Open(DiskOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    StoreStats stats = (*reopened)->Stats();
+    EXPECT_EQ(stats.sequences, 6u);  // the torn segment's sequence is gone
+    EXPECT_EQ(stats.segments, 2u);
+    EXPECT_TRUE((*reopened)->DeviceHistory("dev-6").Empty());
+    EXPECT_EQ((*reopened)->DeviceHistory("dev-0").Size(), 5u);
+    // The surviving index still agrees with a brute-force scan.
+    TimeRange span = stats.span;
+    for (dsm::RegionId region = 0; region < 4; ++region) {
+      EXPECT_EQ((*reopened)->RegionVisitors(region, span.begin, span.end),
+                BruteForceVisitors(**reopened, region, span.begin, span.end));
+    }
+    // The torn file is spared on this open (it is still manifest-referenced,
+    // and might hold forensic value) ...
+    EXPECT_TRUE(std::filesystem::exists(victim));
+    ASSERT_TRUE((*reopened)->Flush().ok());  // checkpoint without the victim
+  }
+  // ... but once a checkpoint no longer references it, the next open removes
+  // the stray and serves the same six sequences.
+  auto third = TripStore::Open(DiskOptions());
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(std::filesystem::exists(victim));
+  EXPECT_EQ((*third)->Stats().sequences, 6u);
+}
+
+TEST_F(StorePersistenceFixture, ScanFallbackRecoversFromTornManifest) {
+  std::string reference;
+  {
+    std::unique_ptr<TripStore> stored = MakeStore(dir_);
+    ASSERT_TRUE(stored->Flush().ok());
+    reference = AnswerSignature(*stored);
+  }
+  // A crash mid-checkpoint cannot tear MANIFEST.json (tmp + rename), but a
+  // damaged disk can; the store must fall back to scanning the directory.
+  {
+    std::ofstream torn(std::filesystem::path(dir_) / kManifestFileName,
+                       std::ofstream::trunc);
+    torn << "{ \"format\": 1, \"segments\": [";
+  }
+  {
+    auto reopened = TripStore::Open(DiskOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(AnswerSignature(**reopened), reference);
+  }
+  // The fallback rewrote a valid manifest checkpoint.
+  auto manifest = ReadManifest(dir_);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->segments.size(), 3u);
+
+  // A deleted manifest (pre-manifest layout) recovers the same way.
+  std::filesystem::remove(std::filesystem::path(dir_) / kManifestFileName);
+  auto rescanned = TripStore::Open(DiskOptions());
+  ASSERT_TRUE(rescanned.ok());
+  EXPECT_EQ(AnswerSignature(**rescanned), reference);
+}
+
+TEST_F(StorePersistenceFixture, CleansInterruptedCompactionLeftovers) {
+  StoreOptions options = DiskOptions();
+  options.compaction = false;
+  std::string reference;
+  {
+    auto stored = TripStore::Open(options);
+    ASSERT_TRUE(stored.ok());
+    for (const core::MobilitySemanticsSequence& seq : Corpus()) {
+      ASSERT_TRUE((*stored)->Append(seq).ok());
+    }
+    ASSERT_TRUE((*stored)->Flush().ok());
+    reference = AnswerSignature(**stored);
+  }
+  // Simulate a compaction killed between writing its merged output and the
+  // manifest swap: a fully valid but unreferenced segment file, plus a torn
+  // temp file. The manifest still names only the three inputs.
+  std::filesystem::path part_dir;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tseg") {
+      part_dir = entry.path().parent_path();
+      break;
+    }
+  }
+  ASSERT_FALSE(part_dir.empty());
+  std::filesystem::path orphan = part_dir / "segment-000007.tseg";
+  std::filesystem::path temp = part_dir / "segment-000008.tseg.tmp";
+  {
+    std::ofstream out(orphan, std::ofstream::binary);
+    out << EncodeSegmentV2(TrickyCorpus(), 0);
+  }
+  {
+    std::ofstream out(temp, std::ofstream::binary);
+    out << "half-written";
+  }
+
+  auto reopened = TripStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // Recovery resumes from the checkpoint: the orphan's sequences never
+  // surface, both leftovers are deleted, answers are unchanged.
+  EXPECT_EQ(AnswerSignature(**reopened), reference);
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_FALSE(std::filesystem::exists(temp));
+  EXPECT_EQ(CountSegmentFiles(dir_), 3u);
 }
 
 TEST_F(StorePersistenceFixture, ImportsExportedResultFiles) {
