@@ -1,0 +1,139 @@
+// Load-generator SLO curves: records/sec versus ingest-to-result latency
+// quantiles for the three named scenarios (steady, diurnal ramp, heavy-tail
+// burst) against both a single Service and a multi-venue Cluster.
+//
+// Two row families:
+//   scenario rows  — unpaced replay (dispatcher flat out). Latency counters
+//                    are on the SIMULATED timeline (buffering + flush delay,
+//                    milliseconds of sim time); records/s is the wall-clock
+//                    replay throughput. Deterministic per seed.
+//   paced rows     — the steady scenario offered open-loop at a fixed wall
+//                    records/sec; latency counters are WALL milliseconds, so
+//                    sweeping the rate draws the throughput-vs-tail-latency
+//                    curve for the service.
+//
+//   ./bench_loadgen [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "loadgen/harness.h"
+#include "loadgen/scenario.h"
+
+using namespace trips;
+using bench::MallContext;
+
+namespace {
+
+constexpr size_t kWorkers = 4;
+constexpr size_t kVenues = 4;
+constexpr size_t kSessions = 120;
+
+const MallContext& Ctx() {
+  static MallContext ctx = MallContext::Make(/*floors=*/3, /*shops_per_arm=*/3);
+  return ctx;
+}
+
+std::shared_ptr<const core::Engine> SharedEngine() {
+  static std::shared_ptr<const core::Engine> engine = [] {
+    auto built = core::Engine::Builder().BorrowDsm(Ctx().dsm.get()).Build();
+    if (!built.ok()) std::abort();
+    return built.ValueOrDie();
+  }();
+  return engine;
+}
+
+loadgen::ScenarioConfig ScenarioFor(const std::string& name) {
+  auto config = loadgen::ScenarioByName(name);
+  if (!config.ok()) std::abort();
+  loadgen::ScenarioConfig c = std::move(config).ValueOrDie();
+  c.max_sessions = kSessions;
+  c.noise.floor_count = static_cast<int>(Ctx().dsm->FloorCount());
+  return c;
+}
+
+loadgen::TargetFactory Factory(bool cluster) {
+  if (cluster) {
+    return [](const core::StreamOptions& stream) {
+      return loadgen::MakeClusterTarget(SharedEngine(), kVenues, kWorkers,
+                                        stream);
+    };
+  }
+  return [](const core::StreamOptions& stream) {
+    return loadgen::MakeServiceTarget(SharedEngine(), kWorkers, stream);
+  };
+}
+
+void ReportCounters(benchmark::State& state, const loadgen::ScenarioResult& r) {
+  state.counters["records"] = static_cast<double>(r.records_offered);
+  state.counters["records/s"] = r.achieved_records_per_sec;
+  state.counters["p50_ms"] = r.latency.p50_ms;
+  state.counters["p95_ms"] = r.latency.p95_ms;
+  state.counters["p99_ms"] = r.latency.p99_ms;
+  state.counters["dropped_buffers"] = static_cast<double>(r.dropped_small_buffers);
+  state.counters["max_queue_depth"] = static_cast<double>(r.max_queue_depth);
+  state.counters["slo_pass"] = r.slo_pass ? 1.0 : 0.0;
+}
+
+// Unpaced scenario replay. arg0 selects the scenario, arg1 the target.
+void BM_LoadgenScenario(benchmark::State& state) {
+  const std::string name = loadgen::ScenarioNames()[static_cast<size_t>(state.range(0))];
+  const bool cluster = state.range(1) != 0;
+  const loadgen::ScenarioConfig config = ScenarioFor(name);
+  mobility::MobilityGenerator generator(Ctx().dsm.get(), Ctx().planner.get(),
+                                        config.mobility);
+  loadgen::ScenarioResult last;
+  for (auto _ : state) {
+    auto result = loadgen::RunScenario(config, generator, Factory(cluster));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    last = std::move(result).ValueOrDie();
+  }
+  ReportCounters(state, last);
+  state.SetLabel(name + "/" + last.target);
+}
+
+// Paced open-loop replay of the steady scenario at arg0 records/sec — the
+// throughput-vs-wall-latency curve.
+void BM_LoadgenPaced(benchmark::State& state) {
+  loadgen::ScenarioConfig config = ScenarioFor("steady");
+  config.max_sessions = 48;  // keep each paced run to a few wall seconds
+  config.target_records_per_sec = static_cast<double>(state.range(0));
+  // Wall latencies are milliseconds, not sim minutes: gate loosely so the row
+  // still reports a meaningful slo_pass counter.
+  config.slo.p50_ms = 10'000;
+  config.slo.p95_ms = 20'000;
+  config.slo.p99_ms = 30'000;
+  mobility::MobilityGenerator generator(Ctx().dsm.get(), Ctx().planner.get(),
+                                        config.mobility);
+  loadgen::ScenarioResult last;
+  for (auto _ : state) {
+    auto result = loadgen::RunScenario(config, generator, Factory(false));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    last = std::move(result).ValueOrDie();
+  }
+  ReportCounters(state, last);
+  state.SetLabel("steady/paced@" + std::to_string(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_LoadgenScenario)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_LoadgenPaced)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,210 @@
+// Load & SLO harness CLI: replays event-driven load scenarios (Poisson
+// arrivals, diurnal ramps, heavy-tail bursts) into a single Service or a
+// multi-venue Cluster and reports ingest-to-result latency quantiles, drop
+// counters and queue depths as a JSON SLO report. With --assert-slo the exit
+// code carries the verdict, so CI can gate on it.
+//
+//   ./loadgen_slo                                  # steady scenario, service
+//   ./loadgen_slo --scenario=all --target=both --out=loadgen_report.json
+//   ./loadgen_slo --scenario=burst --assert-slo    # exit 1 on violation
+//
+// Flags:
+//   --scenario=steady|diurnal|burst|all   scenarios to run (default steady)
+//   --target=service|cluster|both         ingest targets (default service)
+//   --sessions=N       session cap per run (default 200)
+//   --templates=N      distinct mobility itineraries (default 16)
+//   --workers=N        worker threads in the target's pool (default 4)
+//   --venues=N         venues in the cluster target (default 4)
+//   --rps=R            pace replay at R records/sec wall (default 0: unpaced)
+//   --seed=S           scenario seed (default 1)
+//   --p50-ms/--p95-ms/--p99-ms=X   override the scenario's latency SLO
+//   --out=FILE         write the JSON report to FILE (default: stdout)
+//   --assert-slo       exit nonzero when any run violates its SLO
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/trips.h"
+#include "loadgen/harness.h"
+#include "loadgen/scenario.h"
+
+using namespace trips;
+
+namespace {
+
+struct Flags {
+  std::string scenario = "steady";
+  std::string target = "service";
+  size_t sessions = 200;
+  size_t templates = 16;
+  size_t workers = 4;
+  size_t venues = 4;
+  double rps = 0;
+  uint64_t seed = 1;
+  double p50_ms = -1, p95_ms = -1, p99_ms = -1;  // < 0: keep scenario default
+  std::string out;
+  bool assert_slo = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--scenario", &value)) {
+      flags->scenario = value;
+    } else if (ParseFlag(argv[i], "--target", &value)) {
+      flags->target = value;
+    } else if (ParseFlag(argv[i], "--sessions", &value)) {
+      flags->sessions = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--templates", &value)) {
+      flags->templates = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      flags->workers = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--venues", &value)) {
+      flags->venues = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--rps", &value)) {
+      flags->rps = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--p50-ms", &value)) {
+      flags->p50_ms = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--p95-ms", &value)) {
+      flags->p95_ms = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--p99-ms", &value)) {
+      flags->p99_ms = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--out", &value)) {
+      flags->out = value;
+    } else if (std::strcmp(argv[i], "--assert-slo") == 0) {
+      flags->assert_slo = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  std::vector<std::string> scenarios;
+  if (flags.scenario == "all") {
+    scenarios = loadgen::ScenarioNames();
+  } else {
+    scenarios.push_back(flags.scenario);
+  }
+  std::vector<std::string> targets;
+  if (flags.target == "both") {
+    targets = {"service", "cluster"};
+  } else if (flags.target == "service" || flags.target == "cluster") {
+    targets.push_back(flags.target);
+  } else {
+    std::fprintf(stderr, "unknown target: %s\n", flags.target.c_str());
+    return 2;
+  }
+
+  // The paper's mall venue: DSM + planner + engine, shared by every run.
+  auto mall = dsm::BuildMallDsm({.floors = 3, .shops_per_arm = 3});
+  if (!mall.ok()) {
+    std::fprintf(stderr, "mall: %s\n", mall.status().ToString().c_str());
+    return 2;
+  }
+  dsm::Dsm dsm = std::move(mall).ValueOrDie();
+  auto planner = dsm::RoutePlanner::Build(&dsm);
+  if (!planner.ok()) {
+    std::fprintf(stderr, "planner: %s\n", planner.status().ToString().c_str());
+    return 2;
+  }
+  auto engine = core::Engine::Builder().BorrowDsm(&dsm).Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+
+  std::vector<loadgen::ScenarioResult> results;
+  for (const std::string& name : scenarios) {
+    auto config_or = loadgen::ScenarioByName(name);
+    if (!config_or.ok()) {
+      std::fprintf(stderr, "%s\n", config_or.status().ToString().c_str());
+      return 2;
+    }
+    loadgen::ScenarioConfig config = std::move(config_or).ValueOrDie();
+    config.seed = flags.seed;
+    config.max_sessions = flags.sessions;
+    config.session_templates = flags.templates;
+    config.target_records_per_sec = flags.rps;
+    if (flags.p50_ms >= 0) config.slo.p50_ms = flags.p50_ms;
+    if (flags.p95_ms >= 0) config.slo.p95_ms = flags.p95_ms;
+    if (flags.p99_ms >= 0) config.slo.p99_ms = flags.p99_ms;
+    config.noise.floor_count = static_cast<int>(dsm.FloorCount());
+
+    mobility::MobilityGenerator generator(&dsm, &planner.ValueOrDie(),
+                                          config.mobility);
+    for (const std::string& target : targets) {
+      loadgen::TargetFactory factory;
+      if (target == "service") {
+        factory = [&](const core::StreamOptions& stream) {
+          return loadgen::MakeServiceTarget(*engine, flags.workers, stream);
+        };
+      } else {
+        factory = [&](const core::StreamOptions& stream) {
+          return loadgen::MakeClusterTarget(*engine, flags.venues,
+                                            flags.workers, stream);
+        };
+      }
+      auto result = loadgen::RunScenario(config, generator, factory);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", name.c_str(), target.c_str(),
+                     result.status().ToString().c_str());
+        return 2;
+      }
+      const loadgen::ScenarioResult& r = result.ValueOrDie();
+      std::fprintf(stderr,
+                   "%-8s %-11s sessions=%llu records=%llu rps=%.0f "
+                   "p50=%.1fms p95=%.1fms p99=%.1fms drops=%llu %s\n",
+                   r.scenario.c_str(), r.target.c_str(),
+                   static_cast<unsigned long long>(r.sessions_started),
+                   static_cast<unsigned long long>(r.records_offered),
+                   r.achieved_records_per_sec, r.latency.p50_ms,
+                   r.latency.p95_ms, r.latency.p99_ms,
+                   static_cast<unsigned long long>(r.dropped_small_buffers),
+                   r.slo_pass ? "PASS" : "VIOLATED");
+      for (const loadgen::SloViolation& v : r.violations) {
+        std::fprintf(stderr, "  SLO violation: %s actual %.1f > limit %.1f\n",
+                     v.what.c_str(), v.actual, v.limit);
+      }
+      results.push_back(std::move(result).ValueOrDie());
+    }
+  }
+
+  const json::Value report = loadgen::SloReportJson(results);
+  if (flags.out.empty()) {
+    std::cout << report.Pretty() << "\n";
+  } else {
+    std::ofstream out(flags.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.out.c_str());
+      return 2;
+    }
+    out << report.Pretty() << "\n";
+    std::fprintf(stderr, "report written to %s\n", flags.out.c_str());
+  }
+
+  bool all_pass = true;
+  for (const loadgen::ScenarioResult& r : results) all_pass &= r.slo_pass;
+  if (flags.assert_slo && !all_pass) return 1;
+  return 0;
+}

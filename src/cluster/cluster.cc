@@ -303,6 +303,22 @@ Status Cluster::FlushAll() {
   return Status::OK();
 }
 
+size_t Cluster::PendingRecords() const {
+  size_t total = 0;
+  for (VenueShard* shard : SnapshotShards()) {
+    total += shard->session->PendingRecords();
+  }
+  return total;
+}
+
+size_t Cluster::PendingDevices() const {
+  size_t total = 0;
+  for (VenueShard* shard : SnapshotShards()) {
+    total += shard->session->PendingDevices();
+  }
+  return total;
+}
+
 Status Cluster::PersistAll() {
   std::vector<VenueShard*> shards = SnapshotShards();
   std::vector<Status> statuses(shards.size());

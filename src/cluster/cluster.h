@@ -184,8 +184,16 @@ class Cluster {
   /// independently, each venue's results in device-id order).
   Status Poll(TimestampMs now);
 
-  /// Flushes every buffered device of every venue (end of stream).
+  /// Flushes every buffered device of every venue (end of stream). Like
+  /// StreamSession::FlushAll, remainders shorter than min_flush_records are
+  /// translated too unless the venue's stream options opt back into dropping.
   Status FlushAll();
+
+  /// Records currently buffered across every venue's stream session — the
+  /// cluster-wide ingest queue depth the load/SLO harness samples.
+  size_t PendingRecords() const;
+  /// Devices currently buffered across every venue's stream session.
+  size_t PendingDevices() const;
 
   /// Seals, persists and checkpoints every venue store that has a directory
   /// (each store's manifest is rewritten, so this is the cluster's durable

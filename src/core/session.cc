@@ -148,6 +148,10 @@ void StreamSession::SetSink(Sink sink) {
   sink_ = std::move(sink);
 }
 
+uint64_t StreamSession::TraceNowNs() const {
+  return options_.trace_clock ? options_.trace_clock() : obs::NowNanos();
+}
+
 StreamSession::BufferShard& StreamSession::ShardFor(const std::string& device) {
   return shards_[std::hash<std::string>{}(device) % shards_.size()];
 }
@@ -239,7 +243,7 @@ Result<std::vector<TranslationResult>> StreamSession::TranslateAndDeliver(
     // its translation is about to be delivered.
     if (popped_buffer.ingest_ns != 0 &&
         stream_metrics_.ingest_to_result_ns != nullptr) {
-      stream_metrics_.ingest_to_result_ns->Record(obs::NowNanos() -
+      stream_metrics_.ingest_to_result_ns->Record(TraceNowNs() -
                                                   popped_buffer.ingest_ns);
     }
     out.push_back(std::move(result));
@@ -268,7 +272,7 @@ Result<std::vector<TranslationResult>> StreamSession::Ingest(
       // only while the latency histogram is live.
       if (stream_metrics_.ingest_to_result_ns != nullptr &&
           stream_metrics_.ingest_to_result_ns->recording()) {
-        buffer.ingest_ns = obs::NowNanos();
+        buffer.ingest_ns = TraceNowNs();
       }
     }
     buffer.block.Append(record);
@@ -309,12 +313,19 @@ Result<std::vector<TranslationResult>> StreamSession::Poll(TimestampMs now) {
 }
 
 Result<std::vector<TranslationResult>> StreamSession::FlushAll() {
+  // End-of-stream drain: unlike the age-based Poll flush, every remainder is
+  // translated, however short — dropping here would silently lose the tail of
+  // any sequence shorter than min_flush_records (stream output must stay
+  // byte-identical to translating the same sequences as a batch). The old
+  // dropping behaviour stays available behind drop_small_on_final_flush.
+  const size_t min_records =
+      options_.drop_small_on_final_flush ? options_.min_flush_records : 1;
   std::vector<PoppedBuffer> popped;
   for (BufferShard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [device, buffer] : shard.buffers) {
       TrackBuffered(shard, -static_cast<int64_t>(buffer.block.Size()));
-      if (buffer.block.Size() >= options_.min_flush_records) {
+      if (buffer.block.Size() >= min_records) {
         popped.push_back(PoppedBuffer{std::move(buffer.block), buffer.ingest_ns});
       } else if (stream_metrics_.dropped_small_buffers != nullptr) {
         stream_metrics_.dropped_small_buffers->Add(1);

@@ -96,15 +96,31 @@ struct StreamOptions {
   /// A device buffer reaching this many records is translated immediately
   /// (bounded memory for devices that never leave).
   size_t max_buffer_records = 20'000;
-  /// Buffers smaller than this are dropped, not translated, at flush time
-  /// (a couple of stray fixes carry no semantics).
+  /// Buffers smaller than this are dropped, not translated, when an age-based
+  /// flush pops them (Poll deciding a device has departed — a couple of stray
+  /// fixes carry no semantics). A final/explicit FlushAll translates every
+  /// remainder regardless, unless drop_small_on_final_flush opts back in.
   size_t min_flush_records = 4;
+  /// Apply the min_flush_records drop at FlushAll time too. Off by default:
+  /// FlushAll is the end-of-stream drain, and dropping there silently loses
+  /// the tail records of every short trailing sequence (stream output would
+  /// no longer match translating the same sequences as a batch).
+  bool drop_small_on_final_flush = false;
   /// Device-hash sub-maps the ingest buffers are split into, each with its
   /// own mutex, so concurrent ingest threads touching different devices never
   /// contend on one lock. 0 behaves as 1 (a single map). Flush output is
   /// byte-identical across any shard count: flushes gather from every shard
   /// and re-establish global device-id order before translating.
   size_t buffer_shards = 8;
+  /// Clock behind the stream.ingest_to_result_ns trace stamps, nanoseconds.
+  /// Null (the default) reads obs::NowNanos() — wall latency on a live feed.
+  /// A load/replay harness driving the session from a simulated schedule
+  /// installs its own clock here so the recorded ingest-to-result latency is
+  /// measured on the simulated timeline instead of being polluted by replay
+  /// speed. Both the first-record stamp and the delivery reading use this
+  /// clock; it must be monotone and thread-safe. Translation output is
+  /// byte-identical whatever clock is installed.
+  std::function<uint64_t()> trace_clock;
 };
 
 /// Incremental translation over a shared engine: records arrive one at a time
@@ -161,7 +177,8 @@ class StreamSession {
   Result<std::vector<TranslationResult>> Poll(TimestampMs now);
 
   /// Flushes everything regardless of idleness (end of stream), in device-id
-  /// order.
+  /// order. Translates every remainder, even buffers shorter than
+  /// min_flush_records (see StreamOptions::drop_small_on_final_flush).
   Result<std::vector<TranslationResult>> FlushAll();
 
   /// Devices currently buffered.
@@ -175,7 +192,8 @@ class StreamSession {
   struct Buffer {
     positioning::RecordBlock block;
     TimestampMs newest = 0;
-    /// Steady-clock stamp of the FIRST record's arrival (0 = not traced).
+    /// Trace-clock stamp of the FIRST record's arrival (0 = not traced) —
+    /// steady clock by default, StreamOptions::trace_clock when installed.
     uint64_t ingest_ns = 0;
   };
   /// One device-hash shard of the ingest buffers. Ingest locks only the
@@ -206,6 +224,10 @@ class StreamSession {
 
   // Shared ctor tail: resolves metric pointers out of metrics_.
   void WireMetrics();
+  // Now on the trace-stamp clock: options_.trace_clock when installed, else
+  // obs::NowNanos(). Every ingest stamp and delivery reading goes through
+  // this, so stamp and reading always share one time base.
+  uint64_t TraceNowNs() const;
   // The shard owning `device`'s buffer.
   BufferShard& ShardFor(const std::string& device);
   // Updates the occupancy gauges for `delta` records entering (positive) or

@@ -1,0 +1,34 @@
+#include "loadgen/event_list.h"
+
+#include <algorithm>
+
+namespace trips::loadgen {
+
+void EventList::Schedule(EventSource* source, TimestampMs at) {
+  heap_.push(Entry{std::max(at, now()), next_seq_++, source});
+}
+
+TimestampMs EventList::NextTime() const {
+  return heap_.empty() ? kNone : heap_.top().at;
+}
+
+bool EventList::DoNextEvent() {
+  if (heap_.empty()) return false;
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_.store(entry.at, std::memory_order_relaxed);
+  ++dispatched_;
+  entry.source->DoNextEvent(this, entry.at);
+  return true;
+}
+
+uint64_t EventList::RunUntil(TimestampMs until) {
+  uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    DoNextEvent();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace trips::loadgen

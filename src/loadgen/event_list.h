@@ -1,0 +1,136 @@
+// loadgen::EventList — the discrete-event heart of the load generator, in the
+// htsim idiom: one simulated clock, one binary heap of timed events, and
+// event sources that re-schedule themselves. A single EventList drives
+// thousands-to-millions of simulated device sessions with O(active sources)
+// heap occupancy: each source holds only its NEXT event in the heap, never
+// its whole future.
+//
+// Determinism: events at equal simulated times dispatch in scheduling order
+// (the heap orders by (time, sequence number)), and dispatch is
+// single-threaded — so one seed always produces one event schedule,
+// regardless of what the dispatched events do on worker pools.
+//
+// Simulated time: TimestampMs, the same epoch-milliseconds unit as raw
+// positioning records, so record timestamps, flush windows (Poll(now)) and
+// the event clock all share one timeline. now_nanos() exposes the clock in
+// nanoseconds for injection as core::StreamOptions::trace_clock — the read is
+// a single atomic load, safe from any thread (flush workers reading the clock
+// race only against the dispatcher's monotone advance).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace trips::loadgen {
+
+class EventList;
+
+/// Something that happens at simulated times. A source is scheduled for one
+/// moment at a time; its DoNextEvent typically does work and re-schedules
+/// itself (or doesn't, ending its participation). Sources are borrowed — the
+/// caller keeps them alive until the list drains.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  /// Invoked when the simulated clock reaches this source's scheduled time.
+  virtual void DoNextEvent(EventList* list, TimestampMs now) = 0;
+};
+
+/// The simulated clock plus the pending-event heap.
+class EventList {
+ public:
+  /// No pending event (NextTime's sentinel).
+  static constexpr TimestampMs kNone = INT64_MIN;
+
+  explicit EventList(TimestampMs start = 0) : now_(start), start_(start) {}
+
+  EventList(const EventList&) = delete;
+  EventList& operator=(const EventList&) = delete;
+
+  /// Current simulated time. Thread-safe (atomic read); advances only inside
+  /// DoNextEvent on the dispatching thread.
+  TimestampMs now() const { return now_.load(std::memory_order_relaxed); }
+
+  /// The simulated clock as nanoseconds — the shape
+  /// core::StreamOptions::trace_clock expects. Offset by 1 ms so the stamp of
+  /// an event at the very start time is nonzero (zero means "not traced").
+  uint64_t now_nanos() const {
+    return static_cast<uint64_t>(now() - start_ + 1) * 1'000'000u;
+  }
+
+  /// Schedules `source` to run at simulated time `at` (clamped to now: the
+  /// past is not schedulable). One source may hold several pending entries;
+  /// it is dispatched once per entry.
+  void Schedule(EventSource* source, TimestampMs at);
+  void ScheduleIn(EventSource* source, DurationMs delay) {
+    Schedule(source, now() + delay);
+  }
+
+  /// Simulated time of the earliest pending event, or kNone when drained.
+  TimestampMs NextTime() const;
+
+  /// Advances the clock to the earliest pending event and dispatches it.
+  /// Returns false (clock untouched) when no event is pending.
+  bool DoNextEvent();
+
+  /// Dispatches until the heap drains or the next event would be later than
+  /// `until`. Returns the number of events dispatched.
+  uint64_t RunUntil(TimestampMs until);
+
+  size_t pending() const { return heap_.size(); }
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    TimestampMs at;
+    uint64_t seq;  // tie-break: equal-time events dispatch in schedule order
+    EventSource* source;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::atomic<TimestampMs> now_;
+  TimestampMs start_;
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+/// A self-rescheduling periodic event (the htsim "trigger"): invokes its
+/// callback every `period` until Stop(). Used for Poll sweeps and SLO
+/// sampling.
+class PeriodicTrigger : public EventSource {
+ public:
+  PeriodicTrigger(std::function<void(TimestampMs)> fn, DurationMs period)
+      : fn_(std::move(fn)), period_(period) {}
+
+  /// Schedules the first firing at `first` and keeps firing every period.
+  void Start(EventList* list, TimestampMs first) {
+    running_ = true;
+    list->Schedule(this, first);
+  }
+  /// The trigger stops re-scheduling; an already-pending firing is ignored.
+  void Stop() { running_ = false; }
+
+  void DoNextEvent(EventList* list, TimestampMs now) override {
+    if (!running_) return;
+    fn_(now);
+    list->Schedule(this, now + period_);
+  }
+
+ private:
+  std::function<void(TimestampMs)> fn_;
+  DurationMs period_;
+  bool running_ = false;
+};
+
+}  // namespace trips::loadgen

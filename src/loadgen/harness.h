@@ -1,0 +1,170 @@
+// loadgen harness — replays a scenario's event schedule into an ingest target
+// and measures the SLO-relevant response: exact ingest-to-result latency
+// quantiles, queue depths, drop counters, achieved records/sec.
+//
+//     auto generator = mobility::MobilityGenerator(&dsm, &planner);
+//     auto result = loadgen::RunScenario(
+//         loadgen::SteadyScenario(), generator,
+//         [&](const core::StreamOptions& stream) {
+//           return loadgen::MakeServiceTarget(engine, /*workers=*/4, stream);
+//         });
+//     if (!result.ValueOrDie().slo_pass) ...  // config.slo already applied
+//
+// Two replay modes (ScenarioConfig::target_records_per_sec):
+//   unpaced (0)  — the dispatcher runs flat out; the harness injects the
+//                  simulated clock into the sessions' trace stamps, so the
+//                  measured latency is the buffering/flush delay on the
+//                  SIMULATED timeline. Fully deterministic: one seed, one
+//                  schedule hash, one set of counters — at any worker count.
+//   paced (> 0)  — records are offered open-loop at the target wall rate
+//                  (arrivals never wait for the system); trace stamps stay on
+//                  the wall clock, so the measured latency includes real
+//                  queueing and translation time. This is the mode behind the
+//                  records/sec-vs-tail-latency curves in BENCH_loadgen.json.
+//
+// Determinism contract (tests/loadgen_test.cc): an unpaced run's
+// schedule_hash, records_offered, records_ingested, results_delivered,
+// dropped_small_buffers and latency summary are identical for one
+// (config, seed) at 0, 1 or N pool workers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "core/service.h"
+#include "json/json.h"
+#include "loadgen/scenario.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace trips::loadgen {
+
+/// Exact latency quantiles over a set of samples (sorted, not bucketed — the
+/// report's tail numbers have full resolution even past the obs histogram's
+/// 80 s ladder).
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Computes a LatencySummary from raw nanosecond samples (takes a copy to
+/// sort; quantiles by the nearest-rank method).
+LatencySummary SummarizeLatencyNs(std::vector<uint64_t> samples_ns);
+
+/// One SLO threshold the run broke.
+struct SloViolation {
+  std::string what;  ///< e.g. "p99_ms"
+  double limit = 0;
+  double actual = 0;
+};
+
+/// Everything one scenario run produced.
+struct ScenarioResult {
+  std::string scenario;
+  std::string target;
+
+  // Offered load.
+  uint64_t sessions_started = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t records_offered = 0;   ///< ingest events dispatched
+  uint64_t events_dispatched = 0; ///< all events (ingest + polls + samples)
+  /// FNV-1a digest over every ingest event's (time, session, record, venue) —
+  /// the determinism fingerprint of the schedule.
+  uint64_t schedule_hash = 0;
+  double sim_seconds = 0;   ///< simulated span from first to last event
+  double wall_seconds = 0;  ///< wall time the replay took
+  double offered_records_per_sec = 0;   ///< records per SIMULATED second
+  double achieved_records_per_sec = 0;  ///< records per WALL second
+
+  // System response (target registry + exact delivery samples).
+  uint64_t records_ingested = 0;
+  uint64_t results_delivered = 0;
+  uint64_t flushes = 0;
+  uint64_t dropped_small_buffers = 0;
+  uint64_t pending_after_flush = 0;  ///< records left buffered after FlushAll
+  LatencySummary latency;            ///< ingest-to-result, exact quantiles
+
+  // Queue-depth samples (SLO logger, every sample_interval).
+  uint64_t samples = 0;
+  int64_t max_queue_depth = 0;       ///< max buffered records seen
+  double mean_queue_depth = 0;
+  int64_t max_pool_queue_depth = 0;  ///< max worker-pool backlog seen
+
+  // Filled by ApplySlo.
+  std::vector<SloViolation> violations;
+  bool slo_pass = true;
+};
+
+/// What the harness drives: a single Service stream session or a multi-venue
+/// Cluster behind one uniform ingest surface. Implementations install the
+/// result observer as their delivery sink.
+class IngestTarget {
+ public:
+  virtual ~IngestTarget() = default;
+  /// Human-readable target label for reports ("service", "cluster[4]").
+  virtual std::string Describe() const = 0;
+  /// Venues records can be addressed to (1 for a Service target).
+  virtual size_t venue_count() const = 0;
+  /// Buffers one record into venue `venue_index % venue_count()`.
+  virtual Status Ingest(size_t venue_index, const std::string& device,
+                        const positioning::RawRecord& record) = 0;
+  virtual Status Poll(TimestampMs now) = 0;
+  virtual Status FlushAll() = 0;
+  /// Records currently buffered (the harness's queue-depth probe).
+  virtual size_t PendingRecords() const = 0;
+  /// The registry the target's sessions record into.
+  virtual obs::MetricsRegistry& registry() const = 0;
+  /// Installs the harness's delivery observer (invoked once per flushed
+  /// result, possibly from several worker threads at once).
+  virtual void SetResultObserver(
+      std::function<void(const core::TranslationResult&)> observer) = 0;
+};
+
+/// Builds the target for one run. Invoked by RunScenario with the scenario's
+/// stream options after the harness has injected its trace clock — targets
+/// must create their sessions with exactly these options.
+using TargetFactory =
+    std::function<std::unique_ptr<IngestTarget>(const core::StreamOptions&)>;
+
+/// A target over one core::Service stream session.
+std::unique_ptr<IngestTarget> MakeServiceTarget(
+    std::shared_ptr<const core::Engine> engine, size_t worker_threads,
+    const core::StreamOptions& stream);
+
+/// A target over a cluster::Cluster with the given venues (memory-only
+/// stores). Venue ids are "venue-00".."venue-NN"; every venue runs `engine`.
+std::unique_ptr<IngestTarget> MakeClusterTarget(
+    std::shared_ptr<const core::Engine> engine, size_t venues,
+    size_t worker_threads, const core::StreamOptions& stream);
+
+/// Replays `config` into a target built by `make_target`, using `generator`
+/// (whose DSM should match the target's engine) for session templates. The
+/// returned result already has config.slo applied; ApplySlo re-gates it
+/// against different thresholds.
+Result<ScenarioResult> RunScenario(const ScenarioConfig& config,
+                                   const mobility::MobilityGenerator& generator,
+                                   const TargetFactory& make_target);
+
+/// Checks `result` against `slo`; returns the violations (empty = pass).
+std::vector<SloViolation> CheckSlo(const ScenarioResult& result,
+                                   const SloThresholds& slo);
+
+/// CheckSlo + records the outcome on the result itself.
+void ApplySlo(ScenarioResult* result, const SloThresholds& slo);
+
+/// One scenario result as JSON.
+json::Value ScenarioResultJson(const ScenarioResult& result);
+
+/// The full SLO report: every (scenario, target) result plus the overall
+/// verdict — what the CLI writes and CI parses.
+json::Value SloReportJson(const std::vector<ScenarioResult>& results);
+
+}  // namespace trips::loadgen

@@ -101,6 +101,49 @@ HistogramSummary Histogram::Summarize() const {
   return out;
 }
 
+// ---- MetricsSnapshot --------------------------------------------------------
+
+namespace {
+
+// Binary search over a name-sorted (name, value) vector; nullptr when absent.
+template <typename V>
+const V* FindByName(const std::vector<std::pair<std::string, V>>& items,
+                    const std::string& name) {
+  auto it = std::lower_bound(
+      items.begin(), items.end(), name,
+      [](const std::pair<std::string, V>& a, const std::string& b) {
+        return a.first < b;
+      });
+  if (it == items.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+const uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  return FindByName(counters, name);
+}
+
+const int64_t* MetricsSnapshot::gauge(const std::string& name) const {
+  return FindByName(gauges, name);
+}
+
+const HistogramSummary* MetricsSnapshot::histogram(const std::string& name) const {
+  return FindByName(histograms, name);
+}
+
+uint64_t MetricsSnapshot::counter_or(const std::string& name,
+                                     uint64_t fallback) const {
+  const uint64_t* v = counter(name);
+  return v != nullptr ? *v : fallback;
+}
+
+int64_t MetricsSnapshot::gauge_or(const std::string& name,
+                                  int64_t fallback) const {
+  const int64_t* v = gauge(name);
+  return v != nullptr ? *v : fallback;
+}
+
 // ---- MetricsRegistry --------------------------------------------------------
 
 namespace {

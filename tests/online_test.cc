@@ -117,9 +117,24 @@ TEST_F(OnlineFixture, BufferCapForcesFlush) {
   EXPECT_TRUE(force_flushed);
 }
 
-TEST_F(OnlineFixture, TinyBuffersDroppedSilently) {
+TEST_F(OnlineFixture, TinyBuffersTranslatedAtFinalFlush) {
   OnlineTranslator online(translator_.get());
-  // Two stray fixes only.
+  // Two stray fixes only — below min_flush_records, but FlushAll is the end
+  // of the stream, so the remainder is translated rather than lost.
+  ASSERT_TRUE(online.Ingest("stray", {50, 30, 0, 1000}).ok());
+  ASSERT_TRUE(online.Ingest("stray", {50, 31, 0, 4000}).ok());
+  auto results = online.FlushAll();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].raw.records.size(), 2u);
+  EXPECT_EQ(online.EmittedCount(), 1u);
+  EXPECT_EQ(online.PendingDevices(), 0u);
+}
+
+TEST_F(OnlineFixture, TinyBuffersDroppedWhenOptedBackIn) {
+  OnlineOptions opt;
+  opt.drop_small_on_final_flush = true;  // the pre-fix behavior, on request
+  OnlineTranslator online(translator_.get(), opt);
   ASSERT_TRUE(online.Ingest("stray", {50, 30, 0, 1000}).ok());
   ASSERT_TRUE(online.Ingest("stray", {50, 31, 0, 4000}).ok());
   auto results = online.FlushAll();

@@ -270,6 +270,101 @@ TEST_F(ServiceFixture, StreamSinkReceivesFlushedResults) {
   EXPECT_EQ(stream->EmittedCount(), fleet.size());
 }
 
+// Regression for the FlushAll data-loss bug: trailing sequences shorter than
+// min_flush_records must be translated by the final drain, byte-identical to
+// batching the same sequences — not silently dropped.
+TEST_F(ServiceFixture, FlushAllTranslatesTrailingShortSequences) {
+  // Truncate every device's feed to under min_flush_records (default 4).
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(3, 173);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].records.resize(1 + i % 3);  // 1, 2, 3 records
+  }
+  Service service(engine_, {});
+
+  auto batch = service.NewBatchSession()->Submit(
+      {.sequences = fleet, .learn_knowledge = false});
+  ASSERT_TRUE(batch.ok());
+  auto expected = DumpByDevice(batch->results);
+
+  auto stream = service.NewStreamSession();
+  for (const auto& seq : fleet) {
+    for (const auto& record : seq.records) {
+      ASSERT_TRUE(stream->Ingest(seq.device_id, record).ok());
+    }
+  }
+  auto flushed = stream->FlushAll();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(DumpByDevice(*flushed), expected);  // nothing lost, bytes equal
+  EXPECT_EQ(stream->PendingRecords(), 0u);
+
+  // Age-based dropping at Poll time is unchanged: the same short buffers are
+  // still discarded when the device merely goes idle.
+  auto poll_stream = service.NewStreamSession();
+  TimestampMs newest = 0;
+  for (const auto& seq : fleet) {
+    for (const auto& record : seq.records) {
+      ASSERT_TRUE(poll_stream->Ingest(seq.device_id, record).ok());
+      newest = std::max(newest, record.timestamp);
+    }
+  }
+  auto polled = poll_stream->Poll(newest + 11 * kMillisPerMinute);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled->empty());
+  EXPECT_EQ(poll_stream->PendingRecords(), 0u);  // dropped, not retained
+
+  // Opting back into the old behavior drops the tails at FlushAll too.
+  StreamOptions dropping;
+  dropping.drop_small_on_final_flush = true;
+  auto legacy_stream = service.NewStreamSession(dropping);
+  for (const auto& seq : fleet) {
+    for (const auto& record : seq.records) {
+      ASSERT_TRUE(legacy_stream->Ingest(seq.device_id, record).ok());
+    }
+  }
+  auto legacy = legacy_stream->FlushAll();
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(legacy->empty());
+  EXPECT_EQ(legacy_stream->PendingRecords(), 0u);
+}
+
+// StreamOptions::trace_clock replaces the steady clock behind the
+// stream.ingest_to_result_ns stamps: with a fake clock installed, the
+// recorded latency is exactly the fake elapsed time, and translation output
+// is unchanged.
+TEST_F(ServiceFixture, TraceClockInjectionDrivesLatencyStamps) {
+  std::vector<positioning::PositioningSequence> fleet = MakeFleet(1, 191);
+  Service service(engine_, {});
+
+  uint64_t fake_now = 5'000'000;  // nonzero: zero means "not traced"
+  StreamOptions opt;
+  opt.trace_clock = [&fake_now] { return fake_now; };
+  auto stream = service.NewStreamSession(opt);
+  for (const auto& record : fleet[0].records) {
+    ASSERT_TRUE(stream->Ingest(fleet[0].device_id, record).ok());
+  }
+  fake_now += 42'000'000;  // 42ms on the fake timeline
+  auto flushed = stream->FlushAll();
+  ASSERT_TRUE(flushed.ok());
+  ASSERT_EQ(flushed->size(), 1u);
+  EXPECT_EQ((*flushed)[0].trace.ingest_steady_ns, 5'000'000u);
+
+  const obs::MetricsSnapshot snap = service.stats_registry()->Snap();
+  const obs::HistogramSummary* latency =
+      snap.histogram("stream.ingest_to_result_ns");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_EQ(latency->count, 1u);
+  EXPECT_EQ(latency->sum, 42'000'000u);  // exactly the fake elapsed time
+
+  // Same feed through a default-clock session: identical translation bytes.
+  auto wall_stream = service.NewStreamSession();
+  for (const auto& record : fleet[0].records) {
+    ASSERT_TRUE(wall_stream->Ingest(fleet[0].device_id, record).ok());
+  }
+  auto wall = wall_stream->FlushAll();
+  ASSERT_TRUE(wall.ok());
+  EXPECT_EQ(DumpByDevice(*wall), DumpByDevice(*flushed));
+}
+
 TEST_F(ServiceFixture, PipelineShimDelegatesToService) {
   std::vector<positioning::PositioningSequence> fleet = MakeFleet(4, 157);
 
